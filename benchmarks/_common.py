@@ -1,0 +1,39 @@
+"""Shared scaffolding for the benchmark harness.
+
+Every bench regenerates one table or figure from DESIGN.md's experiment
+index: it computes the rows/series, *prints* them (run with ``-s`` to see
+them inline), saves them under ``benchmarks/results/``, and times the
+core computation with pytest-benchmark.
+
+Absolute numbers are produced by our simulator on synthetic traces, so
+they will not match the paper's testbed; the *shapes* asserted here are
+the reproduction targets (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.disk.drive import DriveSpec, cheetah_10k
+
+#: The reference drive for every millisecond-scale experiment.
+DRIVE: DriveSpec = cheetah_10k()
+
+#: Standard observation window for millisecond traces (seconds).
+MS_SPAN = 300.0
+
+#: Seed used by every bench for reproducibility.
+SEED = 2009  # the paper's year
+
+#: The enterprise profiles characterized by the ms-scale tables/figures.
+PROFILE_NAMES = ("web", "email", "devel", "database", "fileserver", "backup")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a bench's rows and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

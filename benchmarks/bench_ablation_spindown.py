@@ -1,0 +1,83 @@
+"""A4 — Ablation: spin-down timeout vs. energy and latency.
+
+The idleness characterization's power-management payoff — and its limit.
+Sweeping the fixed spin-down timeout shows that during active periods
+(web at its daytime rate) no timeout saves energy: idle intervals are
+long in aggregate but individually shorter than the ~18 s break-even.
+On near-idle drives (the same workload at its overnight rate — the low
+end of the family-variability spectrum) spin-down saves most of the
+energy. Power management is a per-drive, per-period decision, exactly
+what the paper's cross-drive variability implies.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+import pytest
+
+from repro.core.report import Table, format_percent
+from repro.disk.power import PowerProfile, sweep_timeouts
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+POWER = PowerProfile()
+TIMEOUTS = (1.0, 5.0, POWER.break_even_seconds(), 60.0, float("inf"))
+SPAN = 600.0
+
+#: (label, request rate): the same web workload at day and night rates.
+INTENSITIES = (("web-day", 25.0), ("web-evening", 2.0), ("web-night", 0.01))
+_RESULTS = {}
+
+
+def timeline_for(rate):
+    trace = get_profile("web").with_rate(rate).synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    return DiskSimulator(DRIVE, seed=SEED).run(trace).timeline
+
+
+@pytest.mark.parametrize("label,rate", INTENSITIES)
+def test_ablation_spindown(benchmark, label, rate):
+    timeline = timeline_for(rate)
+    reports = benchmark(sweep_timeouts, timeline, POWER, TIMEOUTS)
+    _RESULTS[label] = reports
+
+    if len(_RESULTS) == len(INTENSITIES):
+        table = Table(
+            ["intensity", "timeout_s", "energy_savings", "spin_downs",
+             "added_latency_s"],
+            title=f"A4: spin-down timeout sweep "
+                  f"(break-even = {POWER.break_even_seconds():.1f} s)",
+            precision=3,
+        )
+        for name, _ in INTENSITIES:
+            for timeout in TIMEOUTS:
+                r = _RESULTS[name][float(timeout)]
+                table.add_row(
+                    [name, timeout, format_percent(r.savings_fraction),
+                     r.spin_downs, r.added_latency_seconds]
+                )
+        save_result("ablation_spindown", table.render())
+
+        for name, _ in INTENSITIES:
+            reports = _RESULTS[name]
+            # Infinite timeout is exactly the baseline.
+            assert reports[float("inf")].savings_fraction == pytest.approx(0.0)
+            downs = [reports[float(t)].spin_downs for t in TIMEOUTS]
+            assert downs == sorted(downs, reverse=True)
+        # Shape: busy period — no finite timeout wins; near-idle — big wins.
+        day_best = max(
+            _RESULTS["web-day"][float(t)].savings_fraction for t in TIMEOUTS
+        )
+        night_best = max(
+            _RESULTS["web-night"][float(t)].savings_fraction for t in TIMEOUTS
+        )
+        assert day_best < 0.05
+        assert night_best > 0.3
+        # The break-even timeout never *loses* much wherever it runs.
+        for name, _ in INTENSITIES:
+            be = _RESULTS[name][float(POWER.break_even_seconds())]
+            assert be.savings_fraction > -0.10

@@ -1,0 +1,62 @@
+"""F10 — Family concentration: Lorenz curve, Gini, and the saturated
+sub-population.
+
+Regenerates the concentration view of the Lifetime traces: family
+traffic is strongly concentrated on a minority of drives, and a small
+sub-population spends many consecutive hours saturated.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.lifetime_analysis import analyze_family, family_lorenz
+from repro.core.report import Table, format_percent, render_series
+from repro.synth.family import FamilyModel
+from repro.synth.hourly import HourlyWorkloadModel
+
+
+def build_family():
+    return FamilyModel(bandwidth=DRIVE.sustained_bandwidth).generate(
+        n_drives=2000, seed=SEED, family=DRIVE.name
+    )
+
+
+def test_fig10_family_concentration(benchmark):
+    family = build_family()
+    pop, cum = benchmark(family_lorenz, family)
+    analysis = analyze_family(family, bandwidth=DRIVE.sustained_bandwidth)
+
+    # Sample the Lorenz curve at round population shares.
+    qs = np.array([0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0])
+    indices = np.minimum((qs * (pop.size - 1)).astype(int), pop.size - 1)
+    series = render_series(
+        pop[indices], cum[indices], "population_share", "traffic_share",
+        title="F10: Lorenz curve of lifetime traffic",
+    )
+
+    model = HourlyWorkloadModel(bandwidth=DRIVE.sustained_bandwidth)
+    hourly = model.generate(n_drives=300, weeks=4, seed=SEED)
+    stretches = np.array(
+        list(hourly.longest_saturated_stretches(DRIVE.sustained_bandwidth).values())
+    )
+    table = Table(["stretch_hours>=", "fraction_of_drives"],
+                  title="consecutive saturated hours", precision=3)
+    for h in (1, 3, 6, 12, 24):
+        table.add_row([h, float(np.mean(stretches >= h))])
+
+    extra = (
+        f"\nGini of lifetime traffic: {analysis.gini:.3f}"
+        f"\ntraffic moved by busiest 10% of drives: "
+        f"{format_percent(analysis.top_decile_share)}"
+    )
+    save_result("fig10_family_concentration", series + "\n\n" + table.render() + extra)
+
+    # Shape: strong concentration; hours-long saturated stretches exist.
+    assert analysis.gini > 0.5
+    assert analysis.top_decile_share > 0.35
+    assert float(np.mean(stretches >= 3)) > 0.005

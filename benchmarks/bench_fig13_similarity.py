@@ -1,0 +1,63 @@
+"""F13 — Workload similarity map.
+
+Characterizes every built-in profile and reports the pairwise feature
+distances: structurally similar workloads (two seeds of one profile)
+must land closest, and the saturated streaming workload must be the
+population's outlier.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+import numpy as np
+
+from repro.core.comparison import compare_studies
+from repro.core.report import Table
+from repro.core.timescales import run_millisecond_study
+from repro.synth.profiles import available_profiles, get_profile
+
+SPAN = 120.0
+
+
+def build_studies():
+    studies = {
+        name: run_millisecond_study(profile, DRIVE, span=SPAN, seed=SEED)
+        for name, profile in available_profiles().items()
+    }
+    # A second seed of web: the self-similarity control.
+    studies["web2"] = run_millisecond_study(
+        get_profile("web"), DRIVE, span=SPAN, seed=SEED + 1
+    )
+    return studies
+
+
+def test_fig13_similarity(benchmark):
+    studies = build_studies()
+    result = benchmark(compare_studies, studies)
+
+    table = Table(
+        ["workload"] + result.names,
+        title="F13: pairwise workload distance (z-scored feature space)",
+        precision=2,
+    )
+    for i, name in enumerate(result.names):
+        table.add_row([name] + [float(d) for d in result.distances[i]])
+    a, b, d = result.most_similar_pair()
+    x, y, far = result.least_similar_pair()
+    extra = (
+        f"\nmost similar: {a} <-> {b} (d = {d:.2f})"
+        f"\nleast similar: {x} <-> {y} (d = {far:.2f})"
+    )
+    save_result("fig13_similarity", table.render() + extra)
+
+    # Shape: the two web seeds are each other's nearest neighbors, and
+    # backup is the farthest-on-average outlier.
+    assert {a, b} == {"web", "web2"}
+    mean_distance = {
+        name: float(np.mean(np.delete(result.distances[i], i)))
+        for i, name in enumerate(result.names)
+    }
+    assert max(mean_distance, key=mean_distance.get) == "backup"

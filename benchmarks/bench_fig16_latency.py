@@ -1,0 +1,64 @@
+"""F16 — Response-time characterization under increasing load.
+
+What the host feels as the drive's utilization climbs: response-time
+percentiles and queue depth versus offered load on one workload, plus
+the read/write split (write-back absorbs writes at electronic speed
+while reads pay mechanical latency).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.latency import analyze_latency
+from repro.disk.simulator import DiskSimulator
+from repro.core.report import Table
+from repro.synth.profiles import get_profile
+
+SPAN = 120.0
+RATES = (30.0, 60.0, 120.0, 240.0, 480.0)
+
+
+def run_at(rate):
+    trace = get_profile("database").with_rate(rate).synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    result = DiskSimulator(DRIVE, seed=SEED).run(trace)
+    return result, analyze_latency(result)
+
+
+def test_fig16_latency(benchmark):
+    outcomes = {rate: run_at(rate) for rate in RATES if rate != 60.0}
+    outcomes[60.0] = benchmark(run_at, 60.0)
+
+    table = Table(
+        ["rate_req_s", "utilization", "median_ms", "p95_ms", "p99_ms",
+         "mean_queue_depth", "max_depth"],
+        title="F16: response time vs offered load (database profile)",
+        precision=3,
+    )
+    for rate in RATES:
+        result, latency = outcomes[rate]
+        table.add_row(
+            [rate, result.utilization, latency.response.median * 1e3,
+             latency.response.p95 * 1e3, latency.response.p99 * 1e3,
+             latency.mean_queue_depth, latency.max_queue_depth]
+        )
+    _, mid = outcomes[120.0]
+    extra = (
+        f"\nread vs write at 120 req/s: median "
+        f"{mid.read_response.median * 1e3:.2f} ms vs "
+        f"{mid.write_response.median * 1e3:.2f} ms"
+    )
+    save_result("fig16_latency", table.render() + extra)
+
+    # Shape: latency and queue depth grow monotonically-ish with load,
+    # with the tail exploding as utilization approaches saturation.
+    p95s = [outcomes[r][1].response.p95 for r in RATES]
+    assert p95s[-1] > 3 * p95s[0]
+    depths = [outcomes[r][1].mean_queue_depth for r in RATES]
+    assert depths[-1] > depths[0]
+    # Write-back: writes far cheaper than reads at moderate load.
+    assert mid.write_response.median < 0.5 * mid.read_response.median

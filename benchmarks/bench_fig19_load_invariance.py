@@ -1,0 +1,61 @@
+"""F19 — Burstiness is not a load artifact: invariance under thinning.
+
+Thinning a trace (keeping each request with probability p) scales the
+rate down without touching the arrival process's correlation structure,
+so the Hurst parameter should survive while utilization falls — the
+control experiment showing "bursty across all time scales" is intrinsic
+to the traffic, not a byproduct of how loaded the drive happens to be.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.burstiness import analyze_burstiness
+from repro.core.report import Table
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+from repro.traces.ops import thin
+
+SPAN = 600.0
+KEEP = (1.0, 0.5, 0.25, 0.1)
+
+
+def build_variants():
+    base = get_profile("web").with_rate(80.0).synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    return {p: (base if p == 1.0 else thin(base, p, seed=SEED)) for p in KEEP}
+
+
+def test_fig19_load_invariance(benchmark):
+    variants = build_variants()
+    analyses = {}
+    utils = {}
+    for p, trace in variants.items():
+        analyses[p] = analyze_burstiness(trace, base_scale=0.02)
+        utils[p] = DiskSimulator(DRIVE, seed=SEED).run(trace).utilization
+    benchmark(analyze_burstiness, variants[0.5], 0.02)
+
+    table = Table(
+        ["keep_prob", "rate_req_s", "utilization", "hurst", "idc_growth", "iat_cv"],
+        title="F19: thinning scales load, burstiness survives",
+        precision=3,
+    )
+    for p in KEEP:
+        a = analyses[p]
+        table.add_row(
+            [p, variants[p].request_rate, utils[p], a.hurst_variance,
+             a.idc_growth, a.interarrival_cv]
+        )
+    save_result("fig19_load_invariance", table.render())
+
+    # Shape: utilization falls ~linearly with p; Hurst stays put.
+    assert utils[0.1] < 0.3 * utils[1.0]
+    hursts = [analyses[p].hurst_variance for p in KEEP]
+    assert max(hursts) - min(hursts) < 0.15
+    assert min(hursts) > 0.65
+    for p in KEEP:
+        assert analyses[p].is_bursty_across_scales, p

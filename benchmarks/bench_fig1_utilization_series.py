@@ -1,0 +1,55 @@
+"""F1 — Utilization over time (1-second windows).
+
+Regenerates the utilization-versus-time view for a light (web) and a
+heavier (database) workload: the series itself plus its spread, showing
+short high-load excursions over a moderate baseline.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, SEED, save_result
+
+from repro.core.report import Table, ascii_plot
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+
+def series_for(name):
+    trace = get_profile(name).synthesize(
+        span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    result = DiskSimulator(DRIVE, seed=SEED).run(trace)
+    return result.timeline.utilization_series(1.0)
+
+
+def test_fig1_utilization_series(benchmark):
+    web = benchmark(series_for, "web")
+    database = series_for("database")
+
+    table = Table(
+        ["workload", "mean", "median", "p95", "max", "frac_zero"],
+        title="F1: utilization per 1 s window",
+        precision=3,
+    )
+    for name, series in (("web", web), ("database", database)):
+        table.add_row(
+            [name, series.mean(), float(np.median(series)),
+             float(np.quantile(series, 0.95)), series.max(),
+             float(np.mean(series == 0.0))]
+        )
+    body = table.render()
+    body += "\n\n" + ascii_plot(
+        np.arange(web.size), web, width=70, height=10,
+        title="web: utilization per second (first 300 s)",
+    )
+    save_result("fig1_utilization_series", body)
+
+    # Shape: spiky series — p95 well above the mean, with idle seconds.
+    for series in (web, database):
+        assert np.quantile(series, 0.95) > 1.5 * series.mean()
+        assert series.max() > 3 * series.mean()
+    assert np.mean(web == 0.0) > 0.05

@@ -1,0 +1,62 @@
+"""F21 — Spatial characterization: where the traffic lands.
+
+The LBA-side companion of the temporal analyses (the authors' disk-level
+characterization line includes exactly these measures): traffic
+concentration over the address space, seek-distance distribution, and
+sequential-run structure per workload.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, PROFILE_NAMES, SEED, save_result
+
+from repro.core.report import Table, format_percent
+from repro.core.spatial_analysis import analyze_spatial, seek_distance_ecdf
+from repro.synth.profiles import get_profile
+
+
+def trace_for(name):
+    return get_profile(name).synthesize(
+        span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+
+
+def test_fig21_spatial(benchmark):
+    traces = {name: trace_for(name) for name in PROFILE_NAMES}
+    analysis_web = benchmark(analyze_spatial, traces["web"], DRIVE.capacity_sectors)
+
+    table = Table(
+        ["workload", "zone_gini", "hot10%_share", "footprint",
+         "seq_frac", "mean_run", "median_jump_Msectors"],
+        title="F21: spatial characterization (100 zones)",
+        precision=3,
+    )
+    analyses = {}
+    for name in PROFILE_NAMES:
+        a = analyze_spatial(traces[name], DRIVE.capacity_sectors)
+        analyses[name] = a
+        table.add_row(
+            [name, a.zone_gini, format_percent(a.hot_zone_share),
+             format_percent(a.touched_fraction), format_percent(a.sequential_fraction),
+             a.mean_run_length, a.median_jump_sectors / 1e6]
+        )
+    # Seek-distance quantiles for two contrasting profiles.
+    extra = []
+    for name in ("database", "backup"):
+        e = seek_distance_ecdf(traces[name])
+        extra.append(
+            f"{name}: seek-distance median {e.median / 1e6:.2f} Msectors, "
+            f"p90 {e.quantile(0.9) / 1e6:.2f}"
+        )
+    save_result("fig21_spatial", table.render() + "\n\n" + "\n".join(extra))
+
+    # Shape: Zipf profiles concentrated, sequential profiles run-heavy.
+    assert analyses["database"].zone_gini > 0.4
+    assert analyses["database"].hot_zone_share > 0.3
+    assert analyses["backup"].sequential_fraction > 0.9
+    assert analyses["backup"].mean_run_length > 10
+    assert analyses["backup"].median_jump_sectors == 0.0
+    # Random-ish workloads sweep most of the platter over 5 minutes.
+    assert analyses["web"].touched_fraction > 0.5

@@ -1,0 +1,83 @@
+"""F23 — RAID-5 write amplification vs request size.
+
+The parity tax each member drive pays: random small writes behave as
+read-modify-write (amplification -> 2.0 in written bytes plus induced
+reads), while writes covering whole stripes approach the ideal
+``n/(n-1)``. Another layer of explanation for disk-level write
+dominance — and for member utilization exceeding what the logical
+workload alone would cause.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import SEED, save_result
+
+import numpy as np
+
+from repro.core.report import Table
+from repro.disk.raid5 import Raid5Array, write_amplification
+from repro.traces.millisecond import RequestTrace
+
+CHUNK = 128                 # 64 KiB stripe unit
+N_MEMBERS = 5
+MEMBER_CAPACITY = CHUNK * 20_000
+SIZES = (8, 32, 128, 512, 1024)   # 4 KiB .. 512 KiB writes
+
+
+def build_array():
+    return Raid5Array(N_MEMBERS, CHUNK, MEMBER_CAPACITY)
+
+
+def trace_of_writes(nsectors, n=400):
+    rng = np.random.default_rng(SEED)
+    array = build_array()
+    # Align full-stripe-size writes to stripe boundaries (the controller
+    # or file system would); smaller writes land anywhere.
+    stripe = (N_MEMBERS - 1) * CHUNK
+    if nsectors >= stripe:
+        rows = rng.integers(0, array.logical_capacity_sectors // stripe - 2, n)
+        lbas = rows * stripe
+    else:
+        lbas = rng.integers(0, array.logical_capacity_sectors - nsectors, n)
+    return RequestTrace(
+        np.sort(rng.uniform(0, 60, n)), lbas, np.full(n, nsectors),
+        np.ones(n, dtype=bool), span=60.0,
+    )
+
+
+def test_fig23_raid5(benchmark):
+    array = build_array()
+    rows = []
+    for size in SIZES:
+        trace = trace_of_writes(size)
+        parts = array.split_trace(trace)
+        wa = write_amplification(trace, parts)
+        induced_reads = sum(float(p.reads().total_bytes) for p in parts)
+        rows.append((size, wa, induced_reads / float(trace.total_bytes)))
+    benchmark(array.split_trace, trace_of_writes(8, n=200))
+
+    table = Table(
+        ["write_KiB", "write_amplification", "induced_reads_per_written_byte"],
+        title=f"F23: RAID-5 parity tax ({N_MEMBERS} members, 64 KiB chunks)",
+        precision=3,
+    )
+    for size, wa, reads in rows:
+        table.add_row([size * 512 / 1024, wa, reads])
+    ideal = N_MEMBERS / (N_MEMBERS - 1)
+    save_result(
+        "fig23_raid5",
+        table.render() + f"\nfull-stripe ideal amplification: {ideal:.3f}",
+    )
+
+    by_size = {r[0]: r for r in rows}
+    # Shape: small writes pay ~2x write bytes plus matching reads...
+    assert by_size[8][1] == 2.0
+    assert by_size[8][2] == 2.0
+    # ...amplification declines with size toward the full-stripe ideal...
+    was = [r[1] for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(was, was[1:]))
+    assert by_size[1024][1] < 1.5
+    # ...and aligned full-stripe writes induce no reads at all.
+    assert by_size[1024][2] == 0.0

@@ -1,0 +1,78 @@
+"""F26 — Fleet monitoring: detecting regime changes in Hour traces.
+
+Injects known regime changes (workload surges, drives going quiet, one
+population outlier) into a synthetic fleet and measures the detectors'
+precision and recall — the operational use of hour-granularity data the
+paper's characterization enables.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.anomaly import (
+    inject_regime_change,
+    population_anomalies,
+    self_anomalies,
+)
+from repro.core.report import Table, format_percent
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.traces.hourly import HourlyDataset
+
+RECENT = 168
+
+
+def build_fleet_with_ground_truth():
+    model = HourlyWorkloadModel(
+        bandwidth=DRIVE.sustained_bandwidth, burst_sigma=0.3,
+        saturated_fraction=0.0,
+    )
+    fleet = list(model.generate(n_drives=100, weeks=8, seed=SEED))
+    surges = {"d0003": 6.0, "d0017": 10.0, "d0042": 4.0}
+    collapses = {"d0055": 0.05, "d0071": 0.1}
+    for i, trace in enumerate(fleet):
+        if trace.drive_id in surges:
+            fleet[i] = inject_regime_change(
+                trace, trace.hours - RECENT, surges[trace.drive_id]
+            )
+        elif trace.drive_id in collapses:
+            fleet[i] = inject_regime_change(
+                trace, trace.hours - RECENT, collapses[trace.drive_id]
+            )
+    truth = set(surges) | set(collapses)
+    return HourlyDataset(fleet), truth
+
+
+def test_fig26_fleet_anomalies(benchmark):
+    fleet, truth = build_fleet_with_ground_truth()
+    flagged = benchmark(self_anomalies, fleet, RECENT, 3.5)
+
+    found = {a.drive_id for a in flagged}
+    tp = len(found & truth)
+    precision = tp / len(found) if found else float("nan")
+    recall = tp / len(truth)
+
+    table = Table(
+        ["drive", "kind", "robust_z", "detail"],
+        title="F26: flagged drives (injected: 3 surges, 2 collapses in 100)",
+        precision=2,
+    )
+    for a in flagged[:8]:
+        table.add_row([a.drive_id, a.kind, a.z_score, a.detail])
+    pop = population_anomalies(fleet, threshold=4.0)
+    extra = (
+        f"\nself-anomaly precision {format_percent(precision)}, "
+        f"recall {format_percent(recall)}"
+        f"\npopulation outliers at z>=4: {len(pop)}"
+    )
+    save_result("fig26_fleet_anomalies", table.render() + extra)
+
+    # Shape: all injected regime changes found with few false alarms.
+    assert recall == 1.0
+    assert precision > 0.6
+    # Surges and collapses both represented with the right signs.
+    by_id = {a.drive_id: a for a in flagged}
+    assert by_id["d0017"].z_score > 0
+    assert by_id["d0055"].z_score < 0

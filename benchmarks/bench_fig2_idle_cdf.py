@@ -1,0 +1,58 @@
+"""F2 — CDF of idle-interval lengths: "long stretches of idleness".
+
+Regenerates the idle-time distribution per workload. The reproduction
+target is the shape: a heavy upper tail, with most of the *idle time*
+(not intervals) residing in intervals orders of magnitude above the mean
+service time.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, PROFILE_NAMES, SEED, save_result
+
+from repro.core.idleness import analyze_idleness, idle_interval_ecdf
+from repro.core.report import Table, render_series
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+
+def idleness_for(name):
+    trace = get_profile(name).synthesize(
+        span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    result = DiskSimulator(DRIVE, seed=SEED).run(trace)
+    return result.timeline
+
+
+def test_fig2_idle_cdf(benchmark):
+    timelines = {name: idleness_for(name) for name in PROFILE_NAMES}
+    analysis_web = benchmark(analyze_idleness, timelines["web"])
+
+    table = Table(
+        ["workload", "idle_frac", "median_ms", "p99_ms", "top10%_time_share", "fit"],
+        title="F2: idle-interval distribution",
+        precision=3,
+    )
+    parts = []
+    for name in PROFILE_NAMES:
+        a = analyze_idleness(timelines[name])
+        table.add_row(
+            [name, a.idle_fraction, a.median_interval * 1e3,
+             a.p99_interval * 1e3, a.top_decile_time_share, a.best_fit_family]
+        )
+        if name == "web":
+            xs, ys = idle_interval_ecdf(timelines[name]).sample_points(12, log_x=True)
+            parts.append(
+                render_series(xs * 1e3, ys, "idle_ms", "CDF", title="web idle-interval CDF")
+            )
+    save_result("fig2_idle_cdf", table.render() + "\n\n" + "\n".join(parts))
+
+    for name in ("web", "email", "devel", "database", "fileserver"):
+        a = analyze_idleness(timelines[name])
+        # Long stretches: p99 interval far above the median, and the
+        # longest tenth of intervals carries most of the idle time.
+        assert a.p99_interval > 5 * a.median_interval, name
+        assert a.top_decile_time_share > 0.4, name
+        assert a.best_fit_family != "exponential", name

@@ -1,0 +1,57 @@
+"""F3 — CDF of busy-period lengths.
+
+Regenerates the busy-period distribution per workload: short periods
+dominate (most busy periods are one request or a small queued batch),
+with rare long saturated episodes in the tail.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, PROFILE_NAMES, SEED, save_result
+
+from repro.core.busyness import analyze_busyness, busy_period_ecdf
+from repro.core.report import Table, render_series
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+
+def timeline_for(name):
+    trace = get_profile(name).synthesize(
+        span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    return DiskSimulator(DRIVE, seed=SEED).run(trace).timeline
+
+
+def test_fig3_busy_cdf(benchmark):
+    timelines = {name: timeline_for(name) for name in PROFILE_NAMES}
+    analysis_web = benchmark(analyze_busyness, timelines["web"])
+
+    table = Table(
+        ["workload", "periods_per_h", "median_ms", "p99_ms", "longest_s", "top10%_time_share"],
+        title="F3: busy-period distribution",
+        precision=3,
+    )
+    parts = []
+    for name in PROFILE_NAMES:
+        a = analyze_busyness(timelines[name])
+        table.add_row(
+            [name, a.periods_per_hour, a.median_period * 1e3,
+             a.p99_period * 1e3, a.longest_period, a.top_decile_time_share]
+        )
+        if name == "database":
+            xs, ys = busy_period_ecdf(timelines[name]).sample_points(12, log_x=True)
+            parts.append(
+                render_series(xs * 1e3, ys, "busy_ms", "CDF", title="database busy-period CDF")
+            )
+    save_result("fig3_busy_cdf", table.render() + "\n\n" + "\n".join(parts))
+
+    for name in ("web", "email", "devel", "database", "fileserver"):
+        a = analyze_busyness(timelines[name])
+        # Short busy periods: medians in the tens of ms at most.
+        assert a.median_period < 0.2, name
+        # Tail exists: the longest period well above the median.
+        assert a.longest_period > 5 * a.median_period, name
+    # The saturated workload's busy periods run to tens of seconds.
+    assert analyze_busyness(timelines["backup"]).longest_period > 5.0

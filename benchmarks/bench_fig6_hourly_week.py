@@ -1,0 +1,54 @@
+"""F6 — Hour traces: traffic over a week (diurnal and weekly cycles).
+
+Regenerates the hour-scale traffic view: the population's mean traffic
+per hour-of-week shows a day/night cycle and quieter weekends, with
+reads and writes both following it.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.hour_analysis import diurnal_peak_ratio, population_weekly_curve
+from repro.core.report import Table, ascii_plot
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.units import MIB
+
+
+def build_dataset():
+    model = HourlyWorkloadModel(bandwidth=DRIVE.sustained_bandwidth)
+    return model.generate(n_drives=20, weeks=4, seed=SEED)
+
+
+def test_fig6_hourly_week(benchmark):
+    dataset = benchmark(build_dataset)
+    curve = population_weekly_curve(dataset)
+
+    daily = np.nanmean(curve.reshape(7, 24), axis=0)
+    table = Table(
+        ["hour_of_day", "mean_MiB_per_hour"],
+        title="F6: population traffic by hour of day",
+        precision=2,
+    )
+    for hour in range(24):
+        table.add_row([hour, daily[hour] / MIB])
+
+    weekday = float(np.nanmean(curve[: 5 * 24]))
+    weekend = float(np.nanmean(curve[5 * 24:]))
+    extra = (
+        f"\nweekday mean: {weekday / MIB:.1f} MiB/h   "
+        f"weekend mean: {weekend / MIB:.1f} MiB/h   "
+        f"diurnal peak ratio: {diurnal_peak_ratio(dataset):.2f}"
+    )
+    plot = ascii_plot(np.arange(168), curve, width=70, height=10,
+                      title="mean traffic per hour-of-week")
+    save_result("fig6_hourly_week", table.render() + extra + "\n\n" + plot)
+
+    # Shape: clear diurnal cycle (afternoon >> pre-dawn), quiet weekends.
+    assert daily[14] > 1.5 * daily[3]
+    assert weekend < 0.8 * weekday
+    assert diurnal_peak_ratio(dataset) > 2.0

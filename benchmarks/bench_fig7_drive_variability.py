@@ -1,0 +1,61 @@
+"""F7 — Variability across drives at hour scale.
+
+Regenerates the cross-drive view of the Hour traces: per-drive mean and
+peak throughput CDFs spanning orders of magnitude, and the saturated
+sub-population — "a portion of them fully utilizing the available disk
+bandwidth for hours at a time".
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.hour_analysis import analyze_hour_scale
+from repro.core.report import Table, format_percent
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.units import MIB
+
+
+def build_and_analyze():
+    model = HourlyWorkloadModel(bandwidth=DRIVE.sustained_bandwidth)
+    dataset = model.generate(n_drives=200, weeks=4, seed=SEED)
+    return analyze_hour_scale(dataset, bandwidth=DRIVE.sustained_bandwidth)
+
+
+def test_fig7_drive_variability(benchmark):
+    analysis = benchmark(build_and_analyze)
+
+    table = Table(
+        ["quantile", "mean_MiB_s", "peak_MiB_s", "peak_to_mean"],
+        title="F7: cross-drive throughput distribution (200 drives, 4 weeks)",
+        precision=3,
+    )
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+        table.add_row(
+            [q,
+             analysis.mean_throughput_ecdf.quantile(q) / MIB,
+             analysis.peak_throughput_ecdf.quantile(q) / MIB,
+             analysis.peak_to_mean_ecdf.quantile(q)]
+        )
+    stretches = np.array(list(analysis.longest_stretches.values()))
+    extra = (
+        f"\ndrive-hours saturated (>=90% bw): {format_percent(analysis.saturated_hour_fraction, 2)}"
+        f"\ndrives ever saturated: {format_percent(analysis.saturated_drive_fraction)}"
+        f"\ndrives saturated >= 3 h straight: {format_percent(analysis.multi_hour_saturated_fraction)}"
+        f"\nlongest single stretch: {stretches.max()} h"
+    )
+    save_result("fig7_drive_variability", table.render() + extra)
+
+    # Shape: order-of-magnitude spread; nonzero multi-hour saturation.
+    spread = (
+        analysis.mean_throughput_ecdf.quantile(0.9)
+        / max(analysis.mean_throughput_ecdf.quantile(0.1), 1.0)
+    )
+    assert spread > 10.0
+    assert analysis.peak_to_mean_ecdf.median > 2.0
+    assert 0.0 < analysis.multi_hour_saturated_fraction < 0.5
+    assert stretches.max() >= 3

@@ -1,0 +1,64 @@
+"""F8 — Read/write traffic dynamics.
+
+Regenerates the R:W-mix-over-time view at two scales: the second-scale
+write-fraction series of the millisecond traces (swinging mix, write
+bursts) and the hour-scale write share across a drive population.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, SEED, save_result
+
+from repro.core.report import Table, format_percent
+from repro.core.traffic import analyze_traffic, write_bursts
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.profiles import get_profile
+
+
+def dynamics_for(name):
+    trace = get_profile(name).synthesize(
+        span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    return trace, analyze_traffic(trace, scale=1.0)
+
+
+def test_fig8_rw_dynamics(benchmark):
+    traces = {}
+    dynamics = {}
+    for name in ("database", "email", "fileserver"):
+        traces[name], dynamics[name] = dynamics_for(name)
+    _, dynamics["database"] = benchmark(dynamics_for, "database")
+
+    table = Table(
+        ["workload", "mean_write_share", "windowed_std", "write_bursts>=90%", "rw_corr"],
+        title="F8: read/write dynamics at 1 s windows",
+        precision=3,
+    )
+    for name, d in dynamics.items():
+        bursts = write_bursts(traces[name], scale=1.0, threshold=0.9)
+        table.add_row(
+            [name, d.mean_write_fraction, d.write_fraction_std, len(bursts), d.rw_correlation]
+        )
+
+    # Hour scale: per-drive write share across a population.
+    model = HourlyWorkloadModel(bandwidth=DRIVE.sustained_bandwidth)
+    hourly = model.generate(n_drives=100, weeks=2, seed=SEED)
+    shares = np.array([t.write_byte_fraction for t in hourly])
+    extra = (
+        f"\nhour-scale write share across 100 drives: "
+        f"median {format_percent(float(np.nanmedian(shares)))}, "
+        f"p10 {format_percent(float(np.nanquantile(shares, 0.1)))}, "
+        f"p90 {format_percent(float(np.nanquantile(shares, 0.9)))}"
+    )
+    save_result("fig8_rw_dynamics", table.render() + extra)
+
+    # Shape: write-leaning server mixes whose instantaneous share swings.
+    for name in ("database", "email"):
+        assert dynamics[name].mean_write_fraction > 0.55, name
+        assert dynamics[name].write_fraction_std > 0.1, name
+        assert len(write_bursts(traces[name], 1.0, 0.9)) >= 1, name
+    assert 0.4 < float(np.nanmedian(shares)) < 0.85

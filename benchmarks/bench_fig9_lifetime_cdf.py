@@ -1,0 +1,51 @@
+"""F9 — Lifetime traces: utilization CDF across the drive family.
+
+Regenerates the family-level distribution: moderate median lifetime
+utilization with a heavy upper tail reaching drives that averaged near
+full bandwidth over their whole deployment.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.lifetime_analysis import analyze_family
+from repro.core.report import Table, format_percent
+from repro.synth.family import FamilyModel
+from repro.units import MIB
+
+
+def build_and_analyze():
+    family = FamilyModel(bandwidth=DRIVE.sustained_bandwidth).generate(
+        n_drives=2000, seed=SEED, family=DRIVE.name
+    )
+    return analyze_family(family, bandwidth=DRIVE.sustained_bandwidth)
+
+
+def test_fig9_lifetime_cdf(benchmark):
+    analysis = benchmark(build_and_analyze)
+
+    table = Table(
+        ["quantile", "lifetime_util", "throughput_MiB_s"],
+        title=f"F9: lifetime utilization across {analysis.n_drives} drives",
+        precision=4,
+    )
+    for q in (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+        table.add_row(
+            [q, analysis.utilization_ecdf.quantile(q),
+             analysis.throughput_ecdf.quantile(q) / MIB]
+        )
+    extra = (
+        f"\nmedian utilization: {format_percent(analysis.median_utilization, 2)}"
+        f"\ndrives above 50% lifetime utilization: {format_percent(analysis.heavy_fraction)}"
+        f"\nmedian lifetime write share: {format_percent(analysis.write_fraction_ecdf.median)}"
+    )
+    save_result("fig9_lifetime_cdf", table.render() + extra)
+
+    # Shape: moderate median, heavy tail, small but real heavy population.
+    assert analysis.median_utilization < 0.25
+    assert analysis.p95_utilization > 3 * analysis.median_utilization
+    assert 0.005 < analysis.heavy_fraction < 0.2
+    assert analysis.utilization_ecdf.quantile(0.99) > 0.5

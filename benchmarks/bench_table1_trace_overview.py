@@ -1,0 +1,67 @@
+"""T1 — Trace-set overview.
+
+The paper's Table 1 introduces the three data sets and their
+granularities. This bench regenerates the overview from our synthetic
+equivalents: records, covered time, and granularity per set.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.report import Table
+from repro.synth.family import FamilyModel
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.profiles import get_profile
+from repro.units import format_duration
+
+
+def build_all():
+    ms = get_profile("web").synthesize(
+        span=60.0, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    hourly = HourlyWorkloadModel(bandwidth=DRIVE.sustained_bandwidth).generate(
+        n_drives=20, weeks=1, seed=SEED
+    )
+    family = FamilyModel(bandwidth=DRIVE.sustained_bandwidth).generate(
+        n_drives=500, seed=SEED, family=DRIVE.name
+    )
+    return ms, hourly, family
+
+
+def test_table1_trace_overview(benchmark):
+    ms, hourly, family = benchmark(build_all)
+
+    table = Table(
+        ["trace_set", "granularity", "drives", "covered_time", "records"],
+        title="T1: trace-set overview (synthetic equivalents)",
+    )
+    table.add_row(
+        ["Millisecond", "per request", 1, format_duration(ms.span), len(ms)]
+    )
+    table.add_row(
+        [
+            "Hour",
+            "1 hour counters",
+            len(hourly),
+            format_duration(hourly.hours * 3600.0),
+            len(hourly) * hourly.hours,
+        ]
+    )
+    table.add_row(
+        [
+            "Lifetime",
+            "cumulative",
+            len(family),
+            format_duration(float(family.power_on_hours().max()) * 3600.0),
+            len(family),
+        ]
+    )
+    save_result("table1_trace_overview", table.render())
+
+    # Shape assertions: three granularities, coarser sets cover more time.
+    assert len(ms) > 100
+    assert hourly.hours == 168
+    assert len(family) == 500

@@ -1,0 +1,59 @@
+"""T2 — Millisecond-trace summary per enterprise workload.
+
+Regenerates the per-workload overview row the paper reports for its
+request-level traces: arrival rate, transfer rate, read/write mix,
+request size, sequentiality and interarrival variability.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, MS_SPAN, PROFILE_NAMES, SEED, save_result
+
+from repro.core.report import Table
+from repro.core.summary import summarize_trace
+from repro.synth.profiles import get_profile
+from repro.units import KIB
+
+
+def summarize_all():
+    rows = []
+    for name in PROFILE_NAMES:
+        trace = get_profile(name).synthesize(
+            span=MS_SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+        )
+        rows.append(summarize_trace(trace))
+    return rows
+
+
+def test_table2_ms_summary(benchmark):
+    summaries = benchmark(summarize_all)
+
+    table = Table(
+        [
+            "workload", "req_per_s", "KiB_per_s", "write_req_frac",
+            "write_byte_frac", "mean_req_KiB", "seq_frac", "iat_cv",
+        ],
+        title="T2: millisecond-trace summary per workload",
+        precision=3,
+    )
+    for s in summaries:
+        table.add_row(
+            [
+                s.name, s.request_rate, s.byte_rate / KIB,
+                s.write_request_fraction, s.write_byte_fraction,
+                s.mean_request_kib, s.sequentiality, s.interarrival_cv,
+            ]
+        )
+    save_result("table2_ms_summary", table.render())
+
+    by_name = {s.name: s for s in summaries}
+    # Shape: disk-level mixes lean to writes for server workloads ...
+    for name in ("web", "email", "devel", "database"):
+        assert by_name[name].write_byte_fraction > 0.5
+    # ... backup streams sequential reads,
+    assert by_name["backup"].sequentiality > 0.9
+    assert by_name["backup"].write_byte_fraction < 0.2
+    # ... and arrivals are far burstier than Poisson (CV 1).
+    assert any(s.interarrival_cv > 2.0 for s in summaries)

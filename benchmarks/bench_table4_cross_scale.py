@@ -1,0 +1,48 @@
+"""T4 — Cross-time-scale consistency.
+
+The three granularities describe the same drives: lifetime counters are
+the sum of hour counters (exact), and a millisecond trace matched to a
+drive's mean hour reproduces its throughput and mix (approximate). This
+bench regenerates the per-scale comparison rows.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.report import Table
+from repro.core.timescales import CrossScaleStudy
+from repro.synth.profiles import get_profile
+from repro.units import MIB
+
+
+def build_study():
+    return CrossScaleStudy.build(
+        get_profile("database"), DRIVE, n_drives=50, weeks=2, ms_span=300.0, seed=SEED
+    )
+
+
+def test_table4_cross_scale(benchmark):
+    study = benchmark(build_study)
+    rows = study.rows()
+
+    table = Table(
+        ["time_scale", "mean_throughput_MiB_s", "write_byte_share"],
+        title=f"T4: one drive ({study.reference_drive}) seen at three scales",
+        precision=4,
+    )
+    for row in rows:
+        table.add_row([row.scale, row.throughput / MIB, row.write_byte_fraction])
+    error = study.max_relative_error()
+    save_result(
+        "table4_cross_scale",
+        table.render() + f"\nmax relative throughput error vs hour scale: {error:.3%}",
+    )
+
+    # Shape: hour and lifetime agree exactly; ms within tolerance.
+    assert rows[1].throughput == rows[2].throughput
+    assert rows[1].write_byte_fraction == rows[2].write_byte_fraction
+    assert error < 0.25
+    assert abs(rows[0].write_byte_fraction - rows[1].write_byte_fraction) < 0.1

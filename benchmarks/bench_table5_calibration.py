@@ -1,0 +1,60 @@
+"""T5 — Calibration quality: fingerprint -> profile -> clone round trip.
+
+Fits a profile to each built-in workload's trace and verifies the clone
+reproduces the original's fingerprint — the workflow a user with real
+enterprise traces would run.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.report import Table
+from repro.synth.calibrate import calibrate_profile, calibration_report
+from repro.synth.profiles import get_profile
+
+WORKLOADS = ("web", "email", "database", "fileserver", "backup")
+SPAN = 300.0
+
+
+def calibrate_one(name):
+    target = get_profile(name).synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    profile = calibrate_profile(target)
+    report = calibration_report(
+        target, profile, DRIVE.capacity_sectors, seed=SEED + 1
+    )
+    return profile, report
+
+
+def test_table5_calibration(benchmark):
+    results = {name: calibrate_one(name) for name in WORKLOADS if name != "web"}
+    results["web"] = benchmark(calibrate_one, "web")
+
+    table = Table(
+        ["workload", "fitted_arrival", "fitted_spatial", "rate_err",
+         "mix_err", "size_err", "seq_err"],
+        title="T5: calibration round-trip errors",
+        precision=3,
+    )
+    for name in WORKLOADS:
+        profile, report = results[name]
+        table.add_row(
+            [name, profile.arrival.model, profile.spatial,
+             report["request_rate"], report["write_fraction"],
+             report["mean_sectors"], report["sequentiality"]]
+        )
+    save_result("table5_calibration", table.render())
+
+    for name in WORKLOADS:
+        _, report = results[name]
+        assert report["request_rate"] < 0.35, name
+        assert report["write_fraction"] < 0.12, name
+        assert report["mean_sectors"] < 0.35, name
+        assert report["sequentiality"] < 0.2, name
+    # Structural choices recovered: backup is sequential, web is bursty.
+    assert results["backup"][0].spatial == "sequential"
+    assert results["web"][0].arrival.model in ("bmodel", "mmpp")

@@ -1,0 +1,76 @@
+"""T6 — Simulator validation against M/G/1 theory, and the burstiness
+penalty.
+
+Two results in one table: (a) under genuinely Poisson arrivals the
+simulator's mean wait matches the Pollaczek-Khinchine prediction — the
+standard simulator sanity check; (b) under bursty arrivals at the *same*
+offered load, measured waits exceed P-K by a large factor — the queueing
+cost of the paper's burstiness finding.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.report import Table
+from repro.disk.cache import CacheConfig
+from repro.disk.simulator import DiskSimulator
+from repro.stats.queueing import burstiness_penalty, mg1_predict_from_samples
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+SPAN = 300.0
+RATE = 40.0
+
+MODELS = {
+    "poisson": ArrivalSpec("poisson"),
+    "mmpp": ArrivalSpec("mmpp", {"rate_ratios": (0.2, 3.0), "mean_holding": (2.0, 0.5)}),
+    "onoff": ArrivalSpec("onoff", {"on_alpha": 1.4, "off_alpha": 1.4}),
+    "bmodel": ArrivalSpec("bmodel", {"bias": 0.72, "min_bin": 1e-2}),
+}
+
+
+def run_model(spec):
+    drive = DRIVE.with_cache(CacheConfig.disabled())
+    profile = WorkloadProfile(
+        name="t6", rate=RATE, arrival=spec, spatial="uniform",
+        sizes=FixedSizes(16), mix=BernoulliMix(0.5),
+    )
+    trace = profile.synthesize(SPAN, drive.capacity_sectors, seed=SEED)
+    result = DiskSimulator(drive, seed=SEED).run(trace)
+    prediction = mg1_predict_from_samples(trace.request_rate, result.service_times)
+    measured = float(result.wait_times.mean())
+    return result, prediction, measured
+
+
+def test_table6_mg1_validation(benchmark):
+    outcomes = {name: run_model(spec) for name, spec in MODELS.items() if name != "poisson"}
+    outcomes["poisson"] = benchmark(run_model, MODELS["poisson"])
+
+    table = Table(
+        ["arrival_model", "offered_load", "measured_wait_ms",
+         "pk_predicted_ms", "penalty"],
+        title=f"T6: measured wait vs Pollaczek-Khinchine at {RATE:.0f} req/s",
+        precision=3,
+    )
+    for name in MODELS:
+        result, prediction, measured = outcomes[name]
+        penalty = burstiness_penalty(measured, prediction)
+        table.add_row(
+            [name, prediction.utilization, measured * 1e3,
+             prediction.mean_wait * 1e3, penalty]
+        )
+    save_result("table6_mg1_validation", table.render())
+
+    # (a) Poisson matches theory.
+    _, p_pred, p_measured = outcomes["poisson"]
+    assert p_measured == (
+        __import__("pytest").approx(p_pred.mean_wait, rel=0.5)
+    )
+    # (b) Bursty arrivals pay a multiple of the memoryless wait.
+    for name in ("onoff", "bmodel"):
+        _, prediction, measured = outcomes[name]
+        assert burstiness_penalty(measured, prediction) > 2.0, name

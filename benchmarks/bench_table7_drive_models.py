@@ -1,0 +1,76 @@
+"""T7 — The same workload across drive models.
+
+The paper's findings should be robust to which member of the era's
+drive lineup serves the traffic. Running one workload on the 15K-RPM
+performance drive, the 10K-RPM mainstream drive and the 7200-RPM
+nearline drive shows utilization and latency ranking with the mechanics
+(faster drive, lower utilization) while the workload-side statistics
+(burstiness, mix) stay put.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import SEED, save_result
+
+import pytest
+
+from repro.core.report import Table
+from repro.core.timescales import run_millisecond_study
+from repro.disk.drive import cheetah_10k, cheetah_15k, nearline_7200
+from repro.synth.profiles import get_profile
+from repro.units import MIB
+
+SPAN = 120.0
+DRIVES = {
+    "enterprise-15k": cheetah_15k(),
+    "enterprise-10k": cheetah_10k(),
+    "nearline-7200": nearline_7200(),
+}
+_RESULTS = {}
+
+
+def study_on(drive):
+    # Same logical workload, remapped to each drive's address space.
+    profile = get_profile("database")
+    return run_millisecond_study(profile, drive, span=SPAN, seed=SEED)
+
+
+@pytest.mark.parametrize("name", sorted(DRIVES))
+def test_table7_drive_models(benchmark, name):
+    _RESULTS[name] = benchmark(study_on, DRIVES[name])
+
+    if len(_RESULTS) == len(DRIVES):
+        table = Table(
+            ["drive", "bandwidth_MiB_s", "utilization", "mean_response_ms",
+             "hurst", "write_byte_share"],
+            title="T7: one workload (database) across the drive lineup",
+            precision=3,
+        )
+        for drive_name in ("enterprise-15k", "enterprise-10k", "nearline-7200"):
+            study = _RESULTS[drive_name]
+            table.add_row(
+                [drive_name,
+                 DRIVES[drive_name].sustained_bandwidth / MIB,
+                 study.utilization.overall,
+                 study.simulation.response_times.mean() * 1e3,
+                 study.burstiness.hurst_variance if study.burstiness else float("nan"),
+                 study.summary.write_byte_fraction]
+            )
+        save_result("table7_drive_models", table.render())
+
+        # Shape: faster mechanics -> lower utilization; all moderate.
+        u15 = _RESULTS["enterprise-15k"].utilization.overall
+        u10 = _RESULTS["enterprise-10k"].utilization.overall
+        u72 = _RESULTS["nearline-7200"].utilization.overall
+        assert u15 < u10 < u72
+        assert u72 < 0.6
+        # Workload-side statistics are drive-independent.
+        hursts = [
+            _RESULTS[n].burstiness.hurst_variance
+            for n in DRIVES if _RESULTS[n].burstiness
+        ]
+        assert max(hursts) - min(hursts) < 0.1
+        mixes = [_RESULTS[n].summary.write_byte_fraction for n in DRIVES]
+        assert max(mixes) - min(mixes) < 0.05

@@ -1,0 +1,72 @@
+"""T8 — Streaming characterization: bounded memory, identical answers.
+
+Real captures don't fit in RAM. The streaming characterizer folds
+chunked trace data into O(1)-per-statistic state; this bench verifies it
+reproduces the batch answers on a long trace and measures its
+throughput (requests/second of analysis).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+import numpy as np
+
+from repro.core.report import Table
+from repro.core.streaming import StreamingCharacterizer
+from repro.core.summary import summarize_trace
+from repro.synth.profiles import get_profile
+
+SPAN = 600.0
+N_CHUNKS = 20
+
+
+def build_chunks():
+    trace = get_profile("database").with_rate(150.0).synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+    edges = np.linspace(0, SPAN, N_CHUNKS + 1)
+    chunks = [
+        trace.slice_time(a, b, rebase=False)
+        for a, b in zip(edges[:-1], edges[1:])
+    ]
+    return trace, chunks
+
+
+def stream_all(chunks):
+    stream = StreamingCharacterizer(label="stream", count_scale=0.1)
+    for chunk in chunks:
+        stream.add_chunk(chunk)
+    return stream
+
+
+def test_table8_streaming(benchmark):
+    trace, chunks = build_chunks()
+    stream = benchmark(stream_all, chunks)
+
+    batch = summarize_trace(trace)
+    streamed = stream.summary()
+    table = Table(
+        ["statistic", "batch", "streaming"],
+        title=f"T8: batch vs streaming on {len(trace)} requests in {N_CHUNKS} chunks",
+        precision=5,
+    )
+    for name in (
+        "n_requests", "request_rate", "byte_rate", "write_byte_fraction",
+        "sequentiality", "interarrival_cv",
+    ):
+        table.add_row([name, getattr(batch, name), getattr(streamed, name)])
+    table.add_row(["hurst(stream)", float("nan"), stream.hurst()])
+    save_result("table8_streaming", table.render())
+
+    assert streamed.n_requests == batch.n_requests
+    for name in ("request_rate", "byte_rate", "interarrival_cv"):
+        assert getattr(streamed, name) == (
+            __import__("pytest").approx(getattr(batch, name), rel=1e-6)
+        ), name
+    assert streamed.write_byte_fraction == (
+        __import__("pytest").approx(batch.write_byte_fraction, abs=1e-12)
+    )
+    assert 0.5 < stream.hurst() <= 1.0

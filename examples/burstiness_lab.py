@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Burstiness across time scales, side by side.
+
+Generates four arrival processes at the same mean rate — memoryless
+Poisson, Markov-modulated, heavy-tailed ON/OFF, and the b-model cascade —
+and shows how differently they look as the analysis window widens from
+10 ms to 10 s: the paper's "bursty across all time scales" evidence,
+reproduced in one screen.
+
+Run:  python examples/burstiness_lab.py
+"""
+
+from repro import analyze_burstiness, cheetah_10k
+from repro.core.report import Table, ascii_plot
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+from repro.synth.sizes import FixedSizes
+from repro.synth.mix import BernoulliMix
+
+RATE = 60.0
+SPAN = 600.0
+
+MODELS = {
+    "poisson": ArrivalSpec("poisson"),
+    "mmpp": ArrivalSpec("mmpp", {"rate_ratios": (0.2, 3.0), "mean_holding": (2.0, 0.5)}),
+    "onoff": ArrivalSpec("onoff", {"on_alpha": 1.4, "off_alpha": 1.4}),
+    "bmodel": ArrivalSpec("bmodel", {"bias": 0.72, "min_bin": 1e-2}),
+}
+
+
+def main() -> None:
+    capacity = cheetah_10k().capacity_sectors
+    analyses = {}
+    for name, spec in MODELS.items():
+        profile = WorkloadProfile(
+            name=name, rate=RATE, arrival=spec, spatial="uniform",
+            sizes=FixedSizes(8), mix=BernoulliMix(0.6),
+        )
+        trace = profile.synthesize(SPAN, capacity, seed=3)
+        analyses[name] = analyze_burstiness(trace, base_scale=0.01)
+
+    scales = analyses["poisson"].scales
+    table = Table(
+        ["scale_s"] + list(MODELS),
+        title=f"IDC vs window size (all at {RATE:.0f} req/s)",
+        precision=2,
+    )
+    for i, scale in enumerate(scales):
+        row = [float(scale)]
+        for name in MODELS:
+            idc = analyses[name].idc
+            row.append(float(idc[i]) if i < idc.size else float("nan"))
+        table.add_row(row)
+    print(table.render())
+
+    print()
+    summary = Table(["model", "hurst", "interarrival_cv", "bursty_across_scales"], precision=2)
+    for name, a in analyses.items():
+        summary.add_row([name, a.hurst_variance, a.interarrival_cv, str(a.is_bursty_across_scales)])
+    print(summary.render())
+
+    print()
+    a = analyses["bmodel"]
+    print(ascii_plot(a.scales, a.idc, width=60, height=10, log_x=True,
+                     title="b-model: IDC keeps climbing at every scale (log x)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The full stack: application -> host page cache -> disk.
+
+Why do disk-level workloads look the way the paper describes? This
+example builds a read-heavy application workload, pushes it through the
+host page-cache model, and characterizes both sides: the application
+sees 70 % reads; the disk sees a write-dominated byte mix arriving in
+periodic flush bursts, at moderate utilization, with long idle
+stretches — the paper's disk-level picture, derived rather than assumed.
+
+Run:  python examples/full_stack.py
+"""
+
+from repro import cheetah_10k, run_millisecond_study
+from repro.core.report import Table, format_percent
+from repro.core.traffic import write_bursts
+from repro.host.pagecache import PageCache
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+SPAN = 300.0
+PAGE = 8
+
+
+def main() -> None:
+    app_profile = WorkloadProfile(
+        name="application", rate=150.0,
+        arrival=ArrivalSpec("onoff", {"on_alpha": 1.5, "off_alpha": 1.5}),
+        spatial="zipf", spatial_params={"n_zones": 128, "exponent": 1.3},
+        sizes=FixedSizes(PAGE), mix=BernoulliMix(0.3),
+    )
+    app = app_profile.synthesize(SPAN, 200_000, seed=9)
+
+    cache = PageCache(capacity_pages=30_000, page_sectors=PAGE, flush_interval=30.0)
+    disk, stats = cache.filter_trace(app)
+
+    table = Table(["level", "requests", "write_bytes_share", "rate_req_s"])
+    table.add_row(["application", len(app), format_percent(app.write_byte_fraction),
+                   app.request_rate])
+    table.add_row(["disk", len(disk), format_percent(disk.write_byte_fraction),
+                   disk.request_rate])
+    print(table.render())
+    print(f"\npage-cache read hit ratio: {format_percent(stats.read_hit_ratio)}; "
+          f"{stats.flush_batches} flush batches")
+    bursts = write_bursts(disk, scale=1.0, threshold=0.9)
+    print(f"disk-level write bursts (>=90% write seconds): {len(bursts)} — "
+          "one per flush sweep\n")
+
+    drive = cheetah_10k()
+    study = run_millisecond_study(disk, drive)
+    print(f"disk-level characterization on {drive.name}:")
+    print(f"  utilization:  {format_percent(study.utilization.overall)}")
+    if study.idleness:
+        print(f"  idleness:     {format_percent(study.idleness.idle_fraction)}, "
+              f"longest 10% of intervals hold "
+              f"{format_percent(study.idleness.top_decile_time_share)} of idle time")
+    from repro import analyze_burstiness
+    read_burst = analyze_burstiness(disk.reads())
+    print(f"  burstiness:   read traffic keeps the application's memory "
+          f"(Hurst {read_burst.hurst_variance:.2f}); write traffic is "
+          f"re-shaped into flush-period batches")
+    print(
+        "\nReading: nothing about the disk-level picture was assumed — the"
+        "\nwrite-leaning mix and the flush-driven write bursts emerge from an"
+        "\nordinary cached application, the miss traffic keeps its long-range"
+        "\ndependence, and the cache *transforms* the write burstiness from"
+        "\nthe application's time-scales onto the flush clock."
+    )
+
+
+if __name__ == "__main__":
+    main()

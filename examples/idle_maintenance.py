@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Sizing background maintenance from the idleness characterization.
+
+The practical payoff of "long stretches of idleness" is that drives can
+run background work — media scans, scrubbing, self-tests — without
+hurting foreground traffic. This example asks, per workload: if a scan
+chunk needs ``d`` seconds of uninterrupted idle time plus a 50 ms setup
+(head reposition / state restore), how many hours would a full-surface
+scan take if it only ever ran during qualifying idle intervals?
+
+Run:  python examples/idle_maintenance.py
+"""
+
+from repro import DiskSimulator, cheetah_10k, available_profiles
+from repro.core.idleness import idle_time_usability, usable_idle_time
+from repro.core.report import Table
+from repro.units import MIB, format_duration
+
+SPAN = 600.0           # observation window we extrapolate from
+SETUP_COST = 0.05      # seconds to start background work in an interval
+SCAN_RATE = 60 * MIB   # bytes/second a sequential media scan achieves
+CHUNK_SECONDS = 0.25   # one scan chunk: a few track groups
+
+
+def main() -> None:
+    drive = cheetah_10k()
+    capacity_bytes = drive.capacity_sectors * 512
+    scan_seconds_needed = capacity_bytes / SCAN_RATE
+    print(f"drive: {drive.name}, full-surface scan needs "
+          f"{format_duration(scan_seconds_needed)} of media time\n")
+
+    table = Table(
+        ["workload", "idle_frac", "usable_idle_frac",
+         f"idle_in_chunks>={CHUNK_SECONDS}s", "scan_wall_clock"],
+        title=f"background scan feasibility ({CHUNK_SECONDS}s chunks, "
+              f"{SETUP_COST * 1e3:.0f} ms setup)",
+        precision=3,
+    )
+    for name, profile in sorted(available_profiles().items()):
+        trace = profile.synthesize(SPAN, drive.capacity_sectors, seed=7)
+        timeline = DiskSimulator(drive, seed=7).run(trace).timeline
+
+        idle_fraction = timeline.total_idle / timeline.span
+        usable = usable_idle_time(timeline, SETUP_COST)
+        _, in_chunks = idle_time_usability(timeline, [CHUNK_SECONDS])
+
+        # Scan throughput = usable idle seconds per wall-clock second,
+        # restricted to intervals that fit a whole chunk.
+        scan_seconds_per_second = (usable / SPAN) * float(in_chunks[0])
+        if scan_seconds_per_second > 0:
+            wall_clock = scan_seconds_needed / scan_seconds_per_second
+            eta = format_duration(wall_clock)
+        else:
+            eta = "never (no qualifying idle)"
+        table.add_row(
+            [name, idle_fraction, usable / SPAN, float(in_chunks[0]), eta]
+        )
+    print(table.render())
+    print(
+        "\nReading: even the busiest OLTP profile leaves usable idle time;"
+        "\nlight profiles can scan the whole surface within a day or two"
+        "\nwithout touching a single foreground request."
+    )
+
+
+if __name__ == "__main__":
+    main()

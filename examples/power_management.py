@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Spin-down power management, driven by the idleness characterization.
+
+The same web workload at three intensities — daytime, evening, and the
+overnight trickle — produces radically different idle structure, and so
+radically different spin-down economics. This example sweeps fixed
+timeouts (including the classical break-even value) across all three
+and prints the energy/latency trade-off.
+
+Run:  python examples/power_management.py
+"""
+
+from repro import DiskSimulator, cheetah_10k, get_profile
+from repro.core.report import Table, format_percent
+from repro.disk.power import PowerProfile, sweep_timeouts
+from repro.units import format_duration
+
+SPAN = 600.0
+INTENSITIES = (("daytime", 25.0), ("evening", 2.0), ("overnight", 0.01))
+
+
+def main() -> None:
+    drive = cheetah_10k()
+    power = PowerProfile()
+    break_even = power.break_even_seconds()
+    print(f"drive power: {power.active_watts} W active, {power.idle_watts} W idle, "
+          f"{power.standby_watts} W standby")
+    print(f"spin-up: {power.spinup_seconds} s at {power.spinup_watts} W "
+          f"-> break-even idle time {format_duration(break_even)}\n")
+
+    table = Table(
+        ["period", "timeout", "energy_saved", "spin_downs", "latency_added"],
+        title=f"fixed-timeout spin-down over {format_duration(SPAN)} of web traffic",
+    )
+    for label, rate in INTENSITIES:
+        trace = get_profile("web").with_rate(rate).synthesize(
+            SPAN, drive.capacity_sectors, seed=5
+        )
+        timeline = DiskSimulator(drive, seed=5).run(trace).timeline
+        reports = sweep_timeouts(timeline, power, [5.0, break_even, 60.0])
+        for timeout, report in sorted(reports.items()):
+            table.add_row(
+                [label, format_duration(timeout),
+                 format_percent(report.savings_fraction),
+                 report.spin_downs,
+                 format_duration(report.added_latency_seconds)]
+            )
+    print(table.render())
+    print(
+        "\nReading: during active periods no timeout pays off — idle time is"
+        "\nplentiful but fragmented below the break-even length. The overnight"
+        "\ntrickle (or an idle spare, per the family variability finding) is"
+        "\nwhere spin-down earns its keep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: characterize one enterprise workload at the disk level.
+
+Synthesizes ten minutes of the ``web`` profile against a 10K-RPM
+enterprise drive, replays it through the disk model, and prints the
+paper's headline measurements: utilization, idleness, burstiness and
+the read/write mix.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import cheetah_10k, get_profile, run_millisecond_study
+from repro.core.report import format_percent
+from repro.units import format_bytes, format_duration
+
+
+def main() -> None:
+    drive = cheetah_10k()
+    profile = get_profile("web")
+    print(f"drive:    {drive.name} "
+          f"({format_bytes(drive.capacity_sectors * 512)}, "
+          f"{format_bytes(drive.sustained_bandwidth)}/s sustained)")
+    print(f"workload: {profile.name} — {profile.description}")
+    print()
+
+    study = run_millisecond_study(profile, drive, span=600.0, seed=1)
+
+    s = study.summary
+    print(f"requests:            {s.n_requests} over {format_duration(s.span_seconds)}")
+    print(f"arrival rate:        {s.request_rate:.1f} req/s "
+          f"({format_bytes(s.byte_rate)}/s)")
+    print(f"write share (bytes): {format_percent(s.write_byte_fraction)}")
+    print()
+
+    u = study.utilization
+    print(f"utilization:         {format_percent(u.overall)} overall "
+          f"(busiest 1 s window: {format_percent(u.per_scale[1.0].maximum)})")
+
+    i = study.idleness
+    print(f"idleness:            {format_percent(i.idle_fraction)} of the time, "
+          f"in {i.n_intervals} intervals")
+    print(f"                     median interval {format_duration(i.median_interval)}, "
+          f"p99 {format_duration(i.p99_interval)}")
+    print(f"                     longest 10% of intervals hold "
+          f"{format_percent(i.top_decile_time_share)} of all idle time")
+
+    b = study.burstiness
+    print(f"burstiness:          IDC grows {b.idc_growth:.0f}x from "
+          f"{b.scales[0] * 1e3:.0f} ms to {b.scales[-1]:.1f} s windows")
+    print(f"                     Hurst = {b.hurst_variance:.2f} (aggregate variance), "
+          f"{b.hurst_rs:.2f} (R/S); interarrival CV = {b.interarrival_cv:.1f}")
+    print(f"                     bursty across scales: {b.is_bursty_across_scales}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""What one member of a RAID group actually sees.
+
+Enterprise drives — the paper's population — live behind array
+controllers. This example stripes an OLTP workload across a 4-drive
+RAID-0 group, replays each member through the drive model, and shows
+that each member individually exhibits the paper's single-drive
+findings: moderate utilization, long idle stretches, bursty arrivals.
+
+Run:  python examples/raid_group.py
+"""
+
+from repro import DiskSimulator, analyze_burstiness, analyze_idleness, cheetah_10k, get_profile
+from repro.core.report import Table, format_percent
+from repro.disk.array import StripedArray, member_imbalance
+from repro.units import format_bytes
+
+SPAN = 180.0
+CHUNK_SECTORS = 512  # 256 KiB stripe unit
+
+
+def main() -> None:
+    drive = cheetah_10k()
+    member_capacity = (drive.capacity_sectors // CHUNK_SECTORS) * CHUNK_SECTORS
+    array = StripedArray(4, CHUNK_SECTORS, member_capacity)
+    print(f"array: 4 x {drive.name}, {format_bytes(array.logical_capacity_sectors * 512)} "
+          f"logical, {CHUNK_SECTORS * 512 // 1024} KiB stripe unit\n")
+
+    logical = get_profile("database").with_rate(120.0).synthesize(
+        SPAN, array.logical_capacity_sectors, seed=21
+    )
+    members = array.split_trace(logical)
+    print(f"logical workload: {len(logical)} requests at "
+          f"{logical.request_rate:.0f} req/s; "
+          f"member imbalance {member_imbalance(members):.3f}\n")
+
+    table = Table(
+        ["member", "requests", "utilization", "idle_frac",
+         "idle_top10%_share", "bursty_across_scales"],
+        precision=3,
+    )
+    for i, member in enumerate(members):
+        result = DiskSimulator(drive, seed=21).run(member)
+        idleness = analyze_idleness(result.timeline)
+        try:
+            bursty = analyze_burstiness(member).is_bursty_across_scales
+        except Exception:
+            bursty = "n/a"
+        table.add_row(
+            [f"member{i}", len(member), format_percent(result.utilization),
+             format_percent(idleness.idle_fraction),
+             format_percent(idleness.top_decile_time_share), str(bursty)]
+        )
+    print(table.render())
+    print(
+        "\nReading: striping spreads the load almost evenly, and every"
+        "\nmember inherits the logical workload's character — each drive in"
+        "\nthe group is one of the paper's moderately-utilized, bursty,"
+        "\nmostly-idle enterprise disks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""repro: multi-time-scale disk-level workload characterization.
+
+A production-quality reproduction of Riska & Riedel, *Evaluation of
+disk-level workloads at different time-scales* (IISWC 2009), built
+entirely from scratch:
+
+* :mod:`repro.traces` — containers for the three trace granularities
+  (Millisecond per-request, Hour counters, Lifetime family records);
+* :mod:`repro.synth` — statistically calibrated synthetic generators
+  standing in for the paper's proprietary enterprise traces;
+* :mod:`repro.disk` — a mechanical drive model and trace-replay
+  simulator providing busy/idle ground truth;
+* :mod:`repro.stats` — the estimators (ECDF, IDC, Hurst, tail, Gini, ...);
+* :mod:`repro.core` — the characterization framework itself: utilization,
+  idleness, busy periods, burstiness across scales, read/write dynamics,
+  hour- and lifetime-scale population analyses, cross-scale consistency;
+* :mod:`repro.cli` — the ``repro-workloads`` command.
+
+Quickstart::
+
+    from repro import cheetah_10k, get_profile, run_millisecond_study
+
+    drive = cheetah_10k()
+    study = run_millisecond_study(get_profile("web"), drive, span=600.0)
+    print(study.utilization.overall, study.burstiness.hurst_variance)
+"""
+
+from repro.core import (
+    BurstinessAnalysis,
+    BusynessAnalysis,
+    CrossScaleStudy,
+    FamilyAnalysis,
+    HourScaleAnalysis,
+    IdlenessAnalysis,
+    MillisecondStudy,
+    TrafficDynamics,
+    UtilizationAnalysis,
+    WorkloadSummary,
+    analyze_burstiness,
+    analyze_busyness,
+    analyze_family,
+    analyze_hour_scale,
+    analyze_idleness,
+    analyze_traffic,
+    analyze_utilization,
+    run_millisecond_study,
+    summarize_trace,
+)
+from repro.disk import (
+    BusyIdleTimeline,
+    DiskDrive,
+    DiskSimulator,
+    DriveSpec,
+    SimulationResult,
+    cheetah_10k,
+    cheetah_15k,
+    nearline_7200,
+)
+from repro.errors import ReproError
+from repro.synth import (
+    ArrivalSpec,
+    FamilyModel,
+    HourlyWorkloadModel,
+    WorkloadProfile,
+    available_profiles,
+    get_profile,
+)
+from repro.traces import (
+    DiskRequest,
+    DriveFamilyDataset,
+    HourlyDataset,
+    HourlyTrace,
+    LifetimeRecord,
+    RequestTrace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # traces
+    "DiskRequest",
+    "RequestTrace",
+    "HourlyTrace",
+    "HourlyDataset",
+    "LifetimeRecord",
+    "DriveFamilyDataset",
+    # synth
+    "ArrivalSpec",
+    "WorkloadProfile",
+    "available_profiles",
+    "get_profile",
+    "HourlyWorkloadModel",
+    "FamilyModel",
+    # disk
+    "DriveSpec",
+    "DiskDrive",
+    "DiskSimulator",
+    "SimulationResult",
+    "BusyIdleTimeline",
+    "cheetah_10k",
+    "cheetah_15k",
+    "nearline_7200",
+    # core
+    "WorkloadSummary",
+    "summarize_trace",
+    "UtilizationAnalysis",
+    "analyze_utilization",
+    "IdlenessAnalysis",
+    "analyze_idleness",
+    "BusynessAnalysis",
+    "analyze_busyness",
+    "BurstinessAnalysis",
+    "analyze_burstiness",
+    "TrafficDynamics",
+    "analyze_traffic",
+    "HourScaleAnalysis",
+    "analyze_hour_scale",
+    "FamilyAnalysis",
+    "analyze_family",
+    "MillisecondStudy",
+    "run_millisecond_study",
+    "CrossScaleStudy",
+]

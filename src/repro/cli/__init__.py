@@ -1,0 +1,10 @@
+"""Command-line interface (``repro-workloads``).
+
+Subcommands cover the library's workflow end to end: list profiles,
+synthesize traces at each granularity, analyze trace files, and run the
+one-shot millisecond study. See ``repro-workloads --help``.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

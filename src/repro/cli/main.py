@@ -1,0 +1,321 @@
+"""``repro-workloads``: the command-line front end.
+
+Examples
+--------
+List the built-in workload profiles::
+
+    repro-workloads profiles
+
+Synthesize ten minutes of the web workload and analyze it::
+
+    repro-workloads synth-ms --profile web --span 600 -o web.csv
+    repro-workloads analyze-ms web.csv
+
+One-shot study (synthesize + simulate + report)::
+
+    repro-workloads study --profile database --span 300
+
+Hour- and lifetime-granularity data sets::
+
+    repro-workloads synth-hourly --drives 50 --weeks 4 -o hourly.jsonl
+    repro-workloads analyze-hourly hourly.jsonl
+    repro-workloads synth-family --drives 2000 -o family.csv
+    repro-workloads analyze-family family.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.hour_analysis import analyze_hour_scale, diurnal_peak_ratio
+from repro.core.lifetime_analysis import analyze_family
+from repro.core.report import Table, format_percent, section
+from repro.core.timescales import run_millisecond_study
+from repro.disk.drive import DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
+from repro.errors import CliError, ReproError
+from repro.synth.family import FamilyModel
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.profiles import available_profiles, get_profile
+from repro.traces.io import (
+    read_hourly_dataset,
+    read_lifetime_dataset,
+    read_request_trace,
+    write_hourly_dataset,
+    write_lifetime_dataset,
+    write_request_trace,
+)
+from repro.units import format_duration
+
+_DRIVES = {
+    "enterprise-10k": cheetah_10k,
+    "enterprise-15k": cheetah_15k,
+    "nearline-7200": nearline_7200,
+}
+
+
+def _drive(name: str) -> DriveSpec:
+    try:
+        return _DRIVES[name]()
+    except KeyError:
+        raise CliError(f"unknown drive {name!r}; available: {sorted(_DRIVES)}") from None
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    table = Table(["name", "rate_req_s", "arrival", "spatial", "description"])
+    for name, profile in sorted(available_profiles().items()):
+        table.add_row(
+            [name, profile.rate, profile.arrival.model, profile.spatial, profile.description]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_synth_ms(args: argparse.Namespace) -> int:
+    drive = _drive(args.drive)
+    profile = get_profile(args.profile)
+    trace = profile.synthesize(
+        span=args.span, capacity_sectors=drive.capacity_sectors, seed=args.seed
+    )
+    write_request_trace(trace, args.output)
+    print(f"wrote {len(trace)} requests ({format_duration(trace.span)}) to {args.output}")
+    return 0
+
+
+def _cmd_synth_hourly(args: argparse.Namespace) -> int:
+    drive = _drive(args.drive)
+    model = HourlyWorkloadModel(bandwidth=drive.sustained_bandwidth)
+    dataset = model.generate(n_drives=args.drives, weeks=args.weeks, seed=args.seed)
+    write_hourly_dataset(dataset, args.output)
+    print(f"wrote {len(dataset)} drives x {dataset.hours} hours to {args.output}")
+    return 0
+
+
+def _cmd_synth_family(args: argparse.Namespace) -> int:
+    drive = _drive(args.drive)
+    model = FamilyModel(bandwidth=drive.sustained_bandwidth)
+    dataset = model.generate(n_drives=args.drives, seed=args.seed, family=drive.name)
+    write_lifetime_dataset(dataset, args.output)
+    print(f"wrote {len(dataset)} lifetime records to {args.output}")
+    return 0
+
+
+def _cmd_analyze_ms(args: argparse.Namespace) -> int:
+    trace = read_request_trace(args.trace)
+    drive = _drive(args.drive)
+    study = run_millisecond_study(trace, drive, scheduler=args.scheduler)
+    print(_render_study(study, drive))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    drive = _drive(args.drive)
+    profile = get_profile(args.profile)
+    study = run_millisecond_study(
+        profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler
+    )
+    print(_render_study(study, drive))
+    return 0
+
+
+def _render_study(study, drive: DriveSpec) -> str:
+    from repro.core.dossier import render_study_report
+
+    return render_study_report(study, drive_name=drive.name)
+
+
+def _cmd_analyze_hourly(args: argparse.Namespace) -> int:
+    from repro.core.dossier import render_hour_report
+
+    dataset = read_hourly_dataset(args.dataset)
+    drive = _drive(args.drive)
+    analysis = analyze_hour_scale(dataset, bandwidth=drive.sustained_bandwidth)
+    print(render_hour_report(analysis, diurnal_ratio=diurnal_peak_ratio(dataset)))
+    return 0
+
+
+def _cmd_analyze_family(args: argparse.Namespace) -> int:
+    from repro.core.dossier import render_family_report
+
+    dataset = read_lifetime_dataset(args.dataset)
+    drive = _drive(args.drive)
+    analysis = analyze_family(dataset, bandwidth=drive.sustained_bandwidth)
+    print(render_family_report(analysis, family=dataset.family))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.synth.calibrate import calibrate_profile, calibration_report, fingerprint
+
+    trace = read_request_trace(args.trace)
+    drive = _drive(args.drive)
+    fp = fingerprint(trace)
+    profile = calibrate_profile(trace)
+    report = calibration_report(trace, profile, drive.capacity_sectors, seed=args.seed)
+
+    table = Table(["statistic", "value"])
+    table.add_row(["request rate (req/s)", fp.request_rate])
+    table.add_row(["write fraction", fp.write_fraction])
+    table.add_row(["sequentiality", fp.sequentiality])
+    table.add_row(["interarrival CV", fp.interarrival_cv])
+    table.add_row(["Hurst", fp.hurst])
+    table.add_row(["fitted arrival model", profile.arrival.model])
+    table.add_row(["fitted spatial model", profile.spatial])
+    print(section("Fingerprint & fit", table.render()))
+
+    errors = Table(["statistic", "relative_error"])
+    for key, value in report.items():
+        errors.add_row([key, value])
+    print(section("Calibration report", errors.render()))
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.core.timescales import run_millisecond_study
+    from repro.disk.power import PowerProfile, sweep_timeouts
+
+    trace = read_request_trace(args.trace)
+    drive = _drive(args.drive)
+    power = PowerProfile()
+    study = run_millisecond_study(trace, drive)
+    timeouts = sorted(set(args.timeouts + [power.break_even_seconds()]))
+    reports = sweep_timeouts(study.simulation.timeline, power, timeouts + [float("inf")])
+
+    table = Table(["timeout_s", "energy_savings", "spin_downs", "added_latency_s"])
+    for timeout in sorted(reports):
+        r = reports[timeout]
+        table.add_row(
+            [timeout, format_percent(r.savings_fraction), r.spin_downs,
+             r.added_latency_seconds]
+        )
+    print(
+        section(
+            f"Spin-down sweep (break-even {power.break_even_seconds():.1f} s)",
+            table.render(),
+        )
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.anomaly import population_anomalies, self_anomalies
+
+    dataset = read_hourly_dataset(args.dataset)
+    flagged = self_anomalies(
+        dataset, recent_hours=args.recent_hours, threshold=args.threshold
+    ) + population_anomalies(dataset, threshold=args.threshold)
+    table = Table(["drive", "kind", "robust_z", "detail"])
+    for anomaly in flagged:
+        table.add_row(
+            [anomaly.drive_id, anomaly.kind, anomaly.z_score, anomaly.detail]
+        )
+    if not flagged:
+        print("no anomalies detected")
+    else:
+        print(section(f"Fleet anomalies ({len(flagged)} flagged)", table.render()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workloads",
+        description="Multi-time-scale disk-level workload characterization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_drive(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--drive", default="enterprise-10k", choices=sorted(_DRIVES),
+            help="drive model (default: enterprise-10k)",
+        )
+
+    p = sub.add_parser("profiles", help="list built-in workload profiles")
+    p.set_defaults(func=_cmd_profiles)
+
+    p = sub.add_parser("synth-ms", help="synthesize a millisecond trace")
+    p.add_argument("--profile", required=True)
+    p.add_argument("--span", type=float, default=600.0, help="seconds (default 600)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    add_drive(p)
+    p.set_defaults(func=_cmd_synth_ms)
+
+    p = sub.add_parser("synth-hourly", help="synthesize an hourly dataset")
+    p.add_argument("--drives", type=int, default=50)
+    p.add_argument("--weeks", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    add_drive(p)
+    p.set_defaults(func=_cmd_synth_hourly)
+
+    p = sub.add_parser("synth-family", help="synthesize a lifetime family dataset")
+    p.add_argument("--drives", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    add_drive(p)
+    p.set_defaults(func=_cmd_synth_family)
+
+    p = sub.add_parser("analyze-ms", help="analyze a millisecond trace file")
+    p.add_argument("trace")
+    p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
+    add_drive(p)
+    p.set_defaults(func=_cmd_analyze_ms)
+
+    p = sub.add_parser("study", help="synthesize + simulate + report in one shot")
+    p.add_argument("--profile", required=True)
+    p.add_argument("--span", type=float, default=300.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
+    add_drive(p)
+    p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser("calibrate", help="fit a synthetic profile to a trace file")
+    p.add_argument("trace")
+    p.add_argument("--seed", type=int, default=0)
+    add_drive(p)
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("power", help="spin-down energy sweep over a trace file")
+    p.add_argument("trace")
+    p.add_argument(
+        "--timeouts", type=float, nargs="+", default=[1.0, 5.0, 60.0],
+        help="spin-down timeouts in seconds (break-even added automatically)",
+    )
+    add_drive(p)
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("analyze-hourly", help="analyze an hourly dataset file")
+    p.add_argument("dataset")
+    add_drive(p)
+    p.set_defaults(func=_cmd_analyze_hourly)
+
+    p = sub.add_parser("fleet", help="flag anomalous drives in an hourly dataset")
+    p.add_argument("dataset")
+    p.add_argument("--recent-hours", type=int, default=168)
+    p.add_argument("--threshold", type=float, default=3.5)
+    add_drive(p)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("analyze-family", help="analyze a lifetime dataset file")
+    p.add_argument("dataset")
+    add_drive(p)
+    p.set_defaults(func=_cmd_analyze_family)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Fleet anomaly detection over hour traces.
+
+The operational consumer of a drive population's Hour traces is fleet
+monitoring: which drives stopped behaving like themselves, or like the
+population? Two complementary detectors:
+
+* **self-anomaly** — a drive's recent traffic deviates from its own
+  earlier baseline (robust z-score of the recent window against the
+  drive's history): catches regime changes such as the onset of
+  saturated episodes, a workload migration, or a drive going quiet;
+* **population-anomaly** — a drive's overall level is extreme within
+  the family (robust z-score across drives): catches the outliers the
+  Lifetime analyses aggregate.
+
+Both use median/MAD statistics so the heavy tails the paper documents
+don't poison the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+
+
+def _robust_z(value: float, sample: np.ndarray, scale_floor: float = 0.0) -> float:
+    median = float(np.median(sample))
+    mad = float(np.median(np.abs(sample - median)))
+    scale = max(1.4826 * mad, scale_floor)  # MAD, floored for tiny samples
+    if scale == 0:
+        return 0.0 if value == median else float("inf") * np.sign(value - median)
+    return (value - median) / scale
+
+
+@dataclass(frozen=True)
+class DriveAnomaly:
+    """One flagged drive.
+
+    Attributes
+    ----------
+    drive_id:
+        Which drive.
+    kind:
+        ``'self'`` (deviates from its own history) or ``'population'``
+        (deviates from the family).
+    z_score:
+        The robust z-score that triggered the flag (signed: positive =
+        busier than baseline).
+    detail:
+        Human-readable one-liner.
+    """
+
+    drive_id: str
+    kind: str
+    z_score: float
+    detail: str
+
+
+def self_anomalies(
+    dataset: HourlyDataset,
+    recent_hours: int = 168,
+    threshold: float = 3.5,
+) -> List[DriveAnomaly]:
+    """Drives whose recent traffic left their own baseline.
+
+    For each drive, the mean hourly traffic of the last ``recent_hours``
+    is scored against the distribution of same-length windows in the
+    drive's earlier history. Requires at least three baseline windows.
+    """
+    if recent_hours < 1:
+        raise AnalysisError(f"recent_hours must be >= 1, got {recent_hours!r}")
+    if threshold <= 0:
+        raise AnalysisError(f"threshold must be > 0, got {threshold!r}")
+    flagged: List[DriveAnomaly] = []
+    for trace in dataset:
+        total = trace.total_bytes
+        if total.size < 4 * recent_hours:
+            continue  # not enough history for a baseline
+        recent = float(total[-recent_hours:].mean())
+        history = total[:-recent_hours]
+        n_windows = history.size // recent_hours
+        windows = history[: n_windows * recent_hours].reshape(n_windows, recent_hours)
+        baseline = windows.mean(axis=1)
+        if baseline.size < 3:
+            continue
+        # With few baseline windows the MAD is unstable; floor the scale
+        # at 5% of the baseline level so ordinary weekly wobble never
+        # produces extreme scores.
+        floor = 0.05 * abs(float(np.median(baseline)))
+        z = _robust_z(recent, baseline, scale_floor=floor)
+        if abs(z) >= threshold:
+            direction = "surged" if z > 0 else "collapsed"
+            flagged.append(
+                DriveAnomaly(
+                    drive_id=trace.drive_id,
+                    kind="self",
+                    z_score=float(z),
+                    detail=(
+                        f"recent {recent_hours} h mean {direction} to "
+                        f"{recent:.3g} B/h vs its own baseline "
+                        f"(robust z = {z:.1f})"
+                    ),
+                )
+            )
+    return sorted(flagged, key=lambda a: -abs(a.z_score))
+
+
+def population_anomalies(
+    dataset: HourlyDataset, threshold: float = 3.5
+) -> List[DriveAnomaly]:
+    """Drives whose overall level is extreme within the family.
+
+    Levels are log-transformed before scoring (per-drive load is
+    lognormal-ish across the family, per the Lifetime analyses), so the
+    detector flags genuine outliers rather than the whole upper tail.
+    """
+    if threshold <= 0:
+        raise AnalysisError(f"threshold must be > 0, got {threshold!r}")
+    if len(dataset) < 4:
+        raise AnalysisError("population scoring needs at least 4 drives")
+    means = dataset.mean_throughputs()
+    positive_floor = means[means > 0]
+    if positive_floor.size == 0:
+        return []
+    floor = positive_floor.min() / 10.0
+    logs = np.log(np.maximum(means, floor))
+    flagged: List[DriveAnomaly] = []
+    for trace, level in zip(dataset, logs):
+        others = logs[logs != level] if np.sum(logs == level) == 1 else logs
+        z = _robust_z(float(level), others)
+        if abs(z) >= threshold:
+            direction = "far above" if z > 0 else "far below"
+            flagged.append(
+                DriveAnomaly(
+                    drive_id=trace.drive_id,
+                    kind="population",
+                    z_score=float(z),
+                    detail=(
+                        f"mean throughput {direction} the family "
+                        f"(robust z = {z:.1f} in log space)"
+                    ),
+                )
+            )
+    return sorted(flagged, key=lambda a: -abs(a.z_score))
+
+
+def inject_regime_change(
+    trace: HourlyTrace, start_hour: int, multiplier: float
+) -> HourlyTrace:
+    """A copy of ``trace`` whose traffic is scaled by ``multiplier`` from
+    ``start_hour`` on — the ground-truth generator for detector tests."""
+    if start_hour < 0 or start_hour >= trace.hours:
+        raise AnalysisError(
+            f"start_hour must be in [0, {trace.hours}), got {start_hour!r}"
+        )
+    if multiplier < 0:
+        raise AnalysisError(f"multiplier must be >= 0, got {multiplier!r}")
+    scale = np.ones(trace.hours)
+    scale[start_hour:] = multiplier
+    return HourlyTrace(
+        drive_id=trace.drive_id,
+        read_bytes=trace.read_bytes * scale,
+        write_bytes=trace.write_bytes * scale,
+        start_hour=trace.start_hour,
+    )

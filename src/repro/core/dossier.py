@@ -1,0 +1,124 @@
+"""Full text dossiers: render complete analyses for humans.
+
+The CLI and notebooks want the same thing: every number an analysis
+produced, arranged readably. These renderers take the analysis objects
+and return plain text (built on :mod:`repro.core.report`); the CLI is a
+thin wrapper around them.
+"""
+
+from __future__ import annotations
+
+from repro.core.hour_analysis import HourScaleAnalysis
+from repro.core.lifetime_analysis import FamilyAnalysis
+from repro.core.report import Table, format_percent, section
+from repro.core.timescales import MillisecondStudy
+from repro.units import format_bytes, format_duration
+
+
+def render_study_report(study: MillisecondStudy, drive_name: str = "") -> str:
+    """The complete millisecond-study dossier: workload overview,
+    utilization, idleness, burstiness and read/write dynamics."""
+    parts = []
+    s = study.summary
+    overview = Table(["metric", "value"])
+    overview.add_row(["workload", s.name])
+    if drive_name:
+        overview.add_row(["drive", drive_name])
+    overview.add_row(["requests", s.n_requests])
+    overview.add_row(["span", format_duration(s.span_seconds)])
+    overview.add_row(["request rate (req/s)", s.request_rate])
+    overview.add_row(["byte rate", format_bytes(s.byte_rate) + "/s"])
+    overview.add_row(["write fraction (requests)", format_percent(s.write_request_fraction)])
+    overview.add_row(["write fraction (bytes)", format_percent(s.write_byte_fraction)])
+    overview.add_row(["sequentiality", format_percent(s.sequentiality)])
+    overview.add_row(["interarrival CV", s.interarrival_cv])
+    parts.append(section("Workload", overview.render()))
+
+    u = study.utilization
+    util = Table(["scale_s", "mean_util", "p95_util", "max_util"])
+    for scale in sorted(u.per_scale):
+        d = u.per_scale[scale]
+        util.add_row([scale, d.mean, d.p95, d.maximum])
+    body = (
+        f"overall utilization: {format_percent(u.overall)}\n"
+        f"windows >= {u.high_load_threshold:.0%} busy: "
+        f"{format_percent(u.high_load_fraction)}\n" + util.render()
+    )
+    parts.append(section("Utilization", body))
+
+    if study.idleness is not None:
+        i = study.idleness
+        idle = Table(["metric", "value"])
+        idle.add_row(["idle fraction", format_percent(i.idle_fraction)])
+        idle.add_row(["idle intervals", i.n_intervals])
+        idle.add_row(["mean interval", format_duration(i.mean_interval)])
+        idle.add_row(["median interval", format_duration(i.median_interval)])
+        idle.add_row(["p99 interval", format_duration(i.p99_interval)])
+        idle.add_row(["idle time in longest 10% of intervals", format_percent(i.top_decile_time_share)])
+        idle.add_row(["best-fit family", i.best_fit_family])
+        parts.append(section("Idleness", idle.render()))
+
+    if study.busyness is not None:
+        b = study.busyness
+        busy = Table(["metric", "value"])
+        busy.add_row(["busy periods", b.n_periods])
+        busy.add_row(["periods per hour", b.periods_per_hour])
+        busy.add_row(["median period", format_duration(b.median_period)])
+        busy.add_row(["p99 period", format_duration(b.p99_period)])
+        busy.add_row(["longest period", format_duration(b.longest_period)])
+        parts.append(section("Busy periods", busy.render()))
+
+    if study.burstiness is not None:
+        b = study.burstiness
+        burst = Table(["scale_s", "IDC"])
+        for scale, idc in zip(b.scales, b.idc):
+            burst.add_row([scale, idc])
+        body = (
+            f"Hurst (aggregate variance): {b.hurst_variance:.3f}\n"
+            f"Hurst (R/S): {b.hurst_rs:.3f}\n"
+            f"interarrival CV: {b.interarrival_cv:.3f}\n"
+            f"bursty across scales: {b.is_bursty_across_scales}\n" + burst.render()
+        )
+        parts.append(section("Burstiness", body))
+
+    t = study.traffic
+    parts.append(
+        section(
+            "Read/write dynamics",
+            f"mean write byte share: {format_percent(t.mean_write_fraction)}\n"
+            f"windowed write-share std: {t.write_fraction_std:.3f}\n"
+            f"read/write rate correlation: {t.rw_correlation:.3f}",
+        )
+    )
+    return "\n".join(parts)
+
+
+def render_hour_report(analysis: HourScaleAnalysis, diurnal_ratio: float = float("nan")) -> str:
+    """The hour-scale population dossier."""
+    table = Table(["metric", "value"])
+    table.add_row(["drives", analysis.n_drives])
+    table.add_row(["hours", analysis.hours])
+    table.add_row(["median mean throughput", format_bytes(analysis.mean_throughput_ecdf.median) + "/s"])
+    table.add_row(["median peak throughput", format_bytes(analysis.peak_throughput_ecdf.median) + "/s"])
+    table.add_row(["median peak-to-mean", analysis.peak_to_mean_ecdf.median])
+    table.add_row(["drive-hours saturated", format_percent(analysis.saturated_hour_fraction)])
+    table.add_row(["drives ever saturated", format_percent(analysis.saturated_drive_fraction)])
+    table.add_row(["drives saturated >= 3h straight", format_percent(analysis.multi_hour_saturated_fraction)])
+    table.add_row(["diurnal peak ratio", diurnal_ratio])
+    return section("Hour-scale analysis", table.render())
+
+
+def render_family_report(analysis: FamilyAnalysis, family: str = "family") -> str:
+    """The lifetime/family dossier."""
+    table = Table(["metric", "value"])
+    table.add_row(["drives", analysis.n_drives])
+    table.add_row(["median lifetime utilization", format_percent(analysis.median_utilization)])
+    table.add_row(["p95 lifetime utilization", format_percent(analysis.p95_utilization)])
+    table.add_row([
+        f"drives above {analysis.heavy_threshold:.0%} utilization",
+        format_percent(analysis.heavy_fraction),
+    ])
+    table.add_row(["Gini of lifetime traffic", analysis.gini])
+    table.add_row(["traffic moved by busiest 10%", format_percent(analysis.top_decile_share)])
+    table.add_row(["median write byte share", format_percent(analysis.write_fraction_ecdf.median)])
+    return section(f"Family analysis: {family}", table.render())

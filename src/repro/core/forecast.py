@@ -1,0 +1,115 @@
+"""Forecasting hourly traffic: the capacity-planning use of Hour traces.
+
+The practical consumer of hour-granularity data is provisioning: how
+much traffic will this drive see tomorrow? Two simple, strong baselines
+are provided — the seasonal-naive forecast (this hour last period) and
+a per-phase EWMA that tracks slow drift — plus the evaluation loop that
+scores them, so a user can tell whether the hourly series is predictable
+beyond its cycle (it largely is; the bursty residual is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def seasonal_naive_forecast(history: np.ndarray, horizon: int, period: int) -> np.ndarray:
+    """Forecast ``horizon`` steps by repeating the last observed period."""
+    history = np.asarray(history, dtype=np.float64)
+    if period < 1:
+        raise AnalysisError(f"period must be >= 1, got {period!r}")
+    if history.size < period:
+        raise AnalysisError(
+            f"need at least one full period ({period}), got {history.size}"
+        )
+    if horizon < 1:
+        raise AnalysisError(f"horizon must be >= 1, got {horizon!r}")
+    last_cycle = history[-period:]
+    repeats = int(np.ceil(horizon / period))
+    return np.tile(last_cycle, repeats)[:horizon]
+
+
+def seasonal_ewma_forecast(
+    history: np.ndarray, horizon: int, period: int, alpha: float = 0.3
+) -> np.ndarray:
+    """Forecast by an exponentially weighted mean *per phase of the cycle*.
+
+    Each hour-of-period keeps its own EWMA over past cycles, so the
+    forecast adapts to drift while preserving the diurnal shape.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    if not 0.0 < alpha <= 1.0:
+        raise AnalysisError(f"alpha must be in (0, 1], got {alpha!r}")
+    if period < 1:
+        raise AnalysisError(f"period must be >= 1, got {period!r}")
+    if history.size < period:
+        raise AnalysisError(
+            f"need at least one full period ({period}), got {history.size}"
+        )
+    if horizon < 1:
+        raise AnalysisError(f"horizon must be >= 1, got {horizon!r}")
+    phase_level = np.full(period, np.nan)
+    for i, value in enumerate(history):
+        phase = i % period
+        if np.isnan(phase_level[phase]):
+            phase_level[phase] = value
+        else:
+            phase_level[phase] = alpha * value + (1.0 - alpha) * phase_level[phase]
+    start_phase = history.size % period
+    phases = (start_phase + np.arange(horizon)) % period
+    return phase_level[phases]
+
+
+def flat_mean_forecast(history: np.ndarray, horizon: int) -> np.ndarray:
+    """The no-structure baseline: forecast the historical mean."""
+    history = np.asarray(history, dtype=np.float64)
+    if history.size == 0:
+        raise AnalysisError("history is empty")
+    if horizon < 1:
+        raise AnalysisError(f"horizon must be >= 1, got {horizon!r}")
+    return np.full(horizon, float(history.mean()))
+
+
+@dataclass(frozen=True)
+class ForecastScore:
+    """Accuracy of one forecast against the realized values.
+
+    Attributes
+    ----------
+    mape:
+        Mean absolute percentage error over hours with nonzero truth.
+    rmse:
+        Root mean squared error (same units as the series).
+    bias:
+        Mean signed error (forecast - truth).
+    """
+
+    mape: float
+    rmse: float
+    bias: float
+
+
+def score_forecast(forecast: np.ndarray, truth: np.ndarray) -> ForecastScore:
+    """Score a forecast against the realized series."""
+    forecast = np.asarray(forecast, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if forecast.shape != truth.shape or forecast.ndim != 1 or forecast.size == 0:
+        raise AnalysisError(
+            f"forecast {forecast.shape} and truth {truth.shape} must be "
+            "equal-length non-empty 1-D arrays"
+        )
+    errors = forecast - truth
+    nonzero = truth != 0
+    mape = (
+        float(np.mean(np.abs(errors[nonzero]) / np.abs(truth[nonzero])))
+        if nonzero.any() else float("nan")
+    )
+    return ForecastScore(
+        mape=mape,
+        rmse=float(np.sqrt(np.mean(errors ** 2))),
+        bias=float(errors.mean()),
+    )

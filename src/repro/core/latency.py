@@ -1,0 +1,133 @@
+"""Response-time characterization of a simulation run.
+
+Utilization and idleness describe the drive; latency describes what the
+host feels. This module characterizes the response-time distribution of
+a :class:`~repro.disk.SimulationResult` overall and per request class
+(reads vs. writes — very different under a write-back cache), and
+reconstructs the queue-depth process from arrival/finish times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.disk.simulator import SimulationResult
+from repro.errors import AnalysisError
+from repro.stats.ecdf import Ecdf
+from repro.stats.moments import SampleDescription, describe
+
+
+@dataclass(frozen=True)
+class LatencyAnalysis:
+    """Latency characterization of one simulation run.
+
+    Attributes
+    ----------
+    response:
+        Response-time (arrival to completion) description, seconds.
+    wait:
+        Queueing-delay description.
+    service:
+        Service-time description.
+    read_response, write_response:
+        Per-class response descriptions (``None`` when a class is empty).
+    mean_queue_depth, max_queue_depth:
+        Time-averaged and peak number of requests in the system.
+    """
+
+    response: SampleDescription
+    wait: SampleDescription
+    service: SampleDescription
+    read_response: Optional[SampleDescription]
+    write_response: Optional[SampleDescription]
+    mean_queue_depth: float
+    max_queue_depth: int
+
+
+def queue_depth_series(result: SimulationResult, scale: float) -> np.ndarray:
+    """Mean number of requests in the system per ``scale``-second window.
+
+    Reconstructed from arrival and finish times: the system size N(t)
+    rises at each arrival and falls at each completion; per-window means
+    come from integrating N(t) exactly between window edges.
+    """
+    if scale <= 0:
+        raise AnalysisError(f"scale must be > 0, got {scale!r}")
+    trace = result.trace
+    if not len(trace):
+        return np.zeros(0)
+    span = result.timeline.span
+    # Event-sorted +1/-1 steps.
+    events = np.concatenate([trace.times, result.finish_times])
+    deltas = np.concatenate([np.ones(len(trace)), -np.ones(len(trace))])
+    order = np.argsort(events, kind="stable")
+    events, deltas = events[order], deltas[order]
+    # Integral of N(t) at each event boundary.
+    depth = np.cumsum(deltas)
+    # N(t) between events[i] and events[i+1] equals depth[i].
+    nbins = int(np.ceil(span / scale))
+    edges = np.minimum(np.arange(nbins + 1) * scale, span)
+    # Cumulative integral of N at arbitrary t.
+    seg_starts = events
+    seg_depths = depth
+    cum = np.concatenate(
+        [[0.0], np.cumsum(seg_depths[:-1] * np.diff(seg_starts))]
+    )
+
+    def integral(t: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(seg_starts, t, side="right") - 1
+        out = np.zeros_like(t)
+        inside = idx >= 0
+        clipped = np.clip(idx, 0, seg_starts.size - 1)
+        out[inside] = cum[clipped[inside]] + seg_depths[clipped[inside]] * (
+            t[inside] - seg_starts[clipped[inside]]
+        )
+        return out
+
+    areas = np.diff(integral(edges))
+    widths = np.diff(edges)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        series = np.where(widths > 0, areas / widths, 0.0)
+    return np.maximum(series, 0.0)
+
+
+def analyze_latency(result: SimulationResult) -> LatencyAnalysis:
+    """Characterize the latency of a non-empty simulation run."""
+    trace = result.trace
+    if not len(trace):
+        raise AnalysisError("simulation served no requests; nothing to analyze")
+    reads = ~trace.is_write
+    writes = trace.is_write
+    read_desc = describe(result.response_times[reads]) if reads.any() else None
+    write_desc = describe(result.response_times[writes]) if writes.any() else None
+
+    # Time-averaged system size via Little's law: L = lambda * W.
+    span = result.timeline.span
+    mean_depth = (
+        float(result.response_times.sum()) / span if span > 0 else float("nan")
+    )
+    # Peak depth from the event walk.
+    events = np.concatenate([trace.times, result.finish_times])
+    deltas = np.concatenate([np.ones(len(trace)), -np.ones(len(trace))])
+    order = np.argsort(events, kind="stable")
+    peak = int(np.cumsum(deltas[order]).max())
+
+    return LatencyAnalysis(
+        response=describe(result.response_times),
+        wait=describe(result.wait_times),
+        service=describe(result.service_times),
+        read_response=read_desc,
+        write_response=write_desc,
+        mean_queue_depth=mean_depth,
+        max_queue_depth=peak,
+    )
+
+
+def response_ecdf(result: SimulationResult) -> Ecdf:
+    """ECDF of response times — the latency CDF figure."""
+    if not len(result.trace):
+        raise AnalysisError("simulation served no requests; nothing to analyze")
+    return Ecdf(result.response_times)

@@ -1,0 +1,113 @@
+"""Lifetime/family analysis: variability across an entire drive family.
+
+The Lifetime traces reduce each drive to cumulative counters, so the
+analysis is purely distributional: how is lifetime-average load spread
+across the family, how concentrated is the family's traffic on its
+busiest members, and how large is the heavily-utilized sub-population?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.ecdf import Ecdf
+from repro.stats.inequality import gini_coefficient, lorenz_curve, top_share
+from repro.traces.lifetime import DriveFamilyDataset
+
+
+@dataclass(frozen=True)
+class FamilyAnalysis:
+    """Distributional characterization of a drive family.
+
+    Attributes
+    ----------
+    n_drives:
+        Family size.
+    throughput_ecdf:
+        ECDF of per-drive lifetime-average throughput (bytes/s).
+    utilization_ecdf:
+        ECDF of per-drive lifetime-average bandwidth utilization.
+    write_fraction_ecdf:
+        ECDF of per-drive lifetime write byte share.
+    median_utilization, p95_utilization:
+        Utilization quantiles across drives.
+    heavy_fraction:
+        Share of drives above the heavy-utilization threshold.
+    heavy_threshold:
+        That threshold (default 0.5 = half the bandwidth, lifetime
+        average — an extremely busy drive).
+    gini:
+        Gini coefficient of lifetime traffic across the family.
+    top_decile_share:
+        Share of family traffic moved by the busiest 10 % of drives.
+    age_load_correlation:
+        Pearson correlation between power-on hours and lifetime-average
+        throughput (near 0: load is role-driven, not age-driven).
+    bandwidth:
+        The bandwidth used for utilization, bytes/second.
+    """
+
+    n_drives: int
+    throughput_ecdf: Ecdf
+    utilization_ecdf: Ecdf
+    write_fraction_ecdf: Ecdf
+    median_utilization: float
+    p95_utilization: float
+    heavy_fraction: float
+    heavy_threshold: float
+    gini: float
+    top_decile_share: float
+    age_load_correlation: float
+    bandwidth: float
+
+
+def analyze_family(
+    dataset: DriveFamilyDataset,
+    bandwidth: float,
+    heavy_threshold: float = 0.5,
+) -> FamilyAnalysis:
+    """Characterize a drive family against a sustained ``bandwidth``."""
+    if len(dataset) == 0:
+        raise AnalysisError(f"family {dataset.family!r} is empty")
+    if bandwidth <= 0:
+        raise AnalysisError(f"bandwidth must be > 0, got {bandwidth!r}")
+    if not 0.0 < heavy_threshold <= 1.0:
+        raise AnalysisError(
+            f"heavy_threshold must be in (0, 1], got {heavy_threshold!r}"
+        )
+    utilizations = dataset.mean_utilizations(bandwidth)
+    util_ecdf = Ecdf(utilizations)
+    totals = dataset.total_bytes()
+    ages = dataset.power_on_hours()
+    throughputs = dataset.mean_throughputs()
+    if len(dataset) > 2 and ages.std() > 0 and throughputs.std() > 0:
+        age_corr = float(np.corrcoef(ages, throughputs)[0, 1])
+    else:
+        age_corr = float("nan")
+    return FamilyAnalysis(
+        n_drives=len(dataset),
+        throughput_ecdf=Ecdf(throughputs),
+        utilization_ecdf=util_ecdf,
+        write_fraction_ecdf=Ecdf(dataset.write_byte_fractions()),
+        median_utilization=util_ecdf.median,
+        p95_utilization=util_ecdf.quantile(0.95),
+        heavy_fraction=float(np.mean(utilizations >= heavy_threshold)),
+        heavy_threshold=float(heavy_threshold),
+        gini=gini_coefficient(totals),
+        top_decile_share=top_share(totals, 0.1),
+        age_load_correlation=age_corr,
+        bandwidth=float(bandwidth),
+    )
+
+
+def family_lorenz(dataset: DriveFamilyDataset) -> Tuple[np.ndarray, np.ndarray]:
+    """Lorenz curve of lifetime traffic across the family — the paper's
+    concentration figure: x = share of drives (ascending load),
+    y = share of total family traffic."""
+    if len(dataset) == 0:
+        raise AnalysisError(f"family {dataset.family!r} is empty")
+    return lorenz_curve(dataset.total_bytes())

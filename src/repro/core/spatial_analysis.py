@@ -1,0 +1,125 @@
+"""Spatial (LBA) characterization: where on the drive the traffic lands.
+
+The companion of the temporal analyses: how concentrated the accesses
+are over the address space, how far the head must travel between
+consecutive requests, and how long sequential runs last. These shape
+positioning costs (and therefore utilization) as strongly as arrival
+timing does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.ecdf import Ecdf
+from repro.stats.inequality import gini_coefficient, top_share
+from repro.traces.millisecond import RequestTrace
+
+
+@dataclass(frozen=True)
+class SpatialAnalysis:
+    """Spatial characterization of one trace.
+
+    Attributes
+    ----------
+    n_zones:
+        Number of equal zones the address space was divided into.
+    zone_gini:
+        Gini coefficient of per-zone byte traffic (0 = uniform).
+    hot_zone_share:
+        Share of bytes landing in the busiest 10 % of zones.
+    touched_fraction:
+        Fraction of zones receiving any traffic at all (the footprint).
+    mean_jump_sectors, median_jump_sectors:
+        Absolute LBA distance between consecutive requests.
+    sequential_fraction:
+        Fraction of requests starting exactly where the previous ended.
+    mean_run_length:
+        Mean number of requests per sequential run.
+    """
+
+    n_zones: int
+    zone_gini: float
+    hot_zone_share: float
+    touched_fraction: float
+    mean_jump_sectors: float
+    median_jump_sectors: float
+    sequential_fraction: float
+    mean_run_length: float
+
+
+def zone_traffic(
+    trace: RequestTrace, capacity_sectors: int, n_zones: int = 100
+) -> np.ndarray:
+    """Bytes of traffic per equal-size zone of the address space."""
+    if not len(trace):
+        raise AnalysisError(f"trace {trace.label!r} is empty; nothing to analyze")
+    if n_zones <= 0:
+        raise AnalysisError(f"n_zones must be > 0, got {n_zones!r}")
+    if capacity_sectors <= 0:
+        raise AnalysisError(f"capacity_sectors must be > 0, got {capacity_sectors!r}")
+    zone_size = max(1, capacity_sectors // n_zones)
+    zones = np.minimum(trace.lbas // zone_size, n_zones - 1).astype(int)
+    return np.bincount(zones, weights=trace.nbytes.astype(float), minlength=n_zones)
+
+
+def seek_distance_ecdf(trace: RequestTrace) -> Ecdf:
+    """ECDF of absolute LBA jumps between consecutive requests (the
+    queue-free proxy for seek distances)."""
+    if len(trace) < 2:
+        raise AnalysisError("seek-distance analysis needs at least 2 requests")
+    prev_end = trace.lbas[:-1] + trace.nsectors[:-1]
+    jumps = np.abs(trace.lbas[1:].astype(np.int64) - prev_end.astype(np.int64))
+    return Ecdf(jumps.astype(float))
+
+
+def run_length_distribution(trace: RequestTrace) -> np.ndarray:
+    """Lengths (in requests) of the maximal sequential runs, in order."""
+    if not len(trace):
+        raise AnalysisError(f"trace {trace.label!r} is empty; nothing to analyze")
+    if len(trace) == 1:
+        return np.array([1])
+    prev_end = trace.lbas[:-1] + trace.nsectors[:-1]
+    continues = trace.lbas[1:] == prev_end
+    runs = []
+    current = 1
+    for flag in continues:
+        if flag:
+            current += 1
+        else:
+            runs.append(current)
+            current = 1
+    runs.append(current)
+    return np.asarray(runs)
+
+
+def analyze_spatial(
+    trace: RequestTrace, capacity_sectors: int, n_zones: int = 100
+) -> SpatialAnalysis:
+    """Full spatial characterization of a non-empty trace."""
+    traffic = zone_traffic(trace, capacity_sectors, n_zones)
+    runs = run_length_distribution(trace)
+    if len(trace) >= 2:
+        prev_end = trace.lbas[:-1] + trace.nsectors[:-1]
+        jumps = np.abs(
+            trace.lbas[1:].astype(np.int64) - prev_end.astype(np.int64)
+        ).astype(float)
+        mean_jump = float(jumps.mean())
+        median_jump = float(np.median(jumps))
+        seq = float(np.mean(jumps == 0))
+    else:
+        mean_jump = median_jump = float("nan")
+        seq = float("nan")
+    return SpatialAnalysis(
+        n_zones=int(n_zones),
+        zone_gini=gini_coefficient(traffic) if traffic.sum() > 0 else float("nan"),
+        hot_zone_share=top_share(traffic, 0.1) if traffic.sum() > 0 else float("nan"),
+        touched_fraction=float(np.mean(traffic > 0)),
+        mean_jump_sectors=mean_jump,
+        median_jump_sectors=median_jump,
+        sequential_fraction=seq,
+        mean_run_length=float(runs.mean()),
+    )

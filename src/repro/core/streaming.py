@@ -1,0 +1,120 @@
+"""Streaming workload summarization for traces too large to hold.
+
+Production captures run to hundreds of millions of requests. This module
+summarizes a request stream in bounded memory: chunks of a trace (or
+individual requests) are folded into streaming moments, direction/byte
+totals, sequentiality counts, and a base-scale count series, from which
+a :class:`~repro.core.summary.WorkloadSummary`-compatible view and a
+burstiness estimate are produced at the end.
+
+Memory use is O(span / count_scale) for the count series (a day at a
+1-second base scale is 86 400 floats) plus O(1) for everything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.summary import WorkloadSummary
+from repro.errors import AnalysisError
+from repro.stats.hurst import hurst_aggregate_variance
+from repro.stats.moments import StreamingMoments
+from repro.traces.millisecond import RequestTrace
+from repro.units import KIB
+
+
+class StreamingCharacterizer:
+    """Fold trace chunks into a bounded-memory characterization.
+
+    Chunks must arrive in time order on a shared clock (each chunk's
+    times are absolute, as produced by slicing one long capture without
+    rebasing, or by a collector's shards read back in order).
+    """
+
+    def __init__(self, label: str = "stream", count_scale: float = 1.0) -> None:
+        if count_scale <= 0:
+            raise AnalysisError(f"count_scale must be > 0, got {count_scale!r}")
+        self.label = str(label)
+        self.count_scale = float(count_scale)
+        self._sizes = StreamingMoments()
+        self._gaps = StreamingMoments()
+        self._counts: List[int] = []
+        self._n = 0
+        self._bytes_total = 0
+        self._bytes_written = 0
+        self._writes = 0
+        self._sequential = 0
+        self._prev_time: Optional[float] = None
+        self._prev_end: Optional[int] = None
+        self._span = 0.0
+
+    def add_chunk(self, chunk: RequestTrace) -> None:
+        """Fold one chunk; its times must not precede prior chunks."""
+        if len(chunk) and self._prev_time is not None:
+            if chunk.times[0] < self._prev_time:
+                raise AnalysisError(
+                    f"chunk starts at {chunk.times[0]} before the stream's "
+                    f"clock at {self._prev_time}"
+                )
+        for i in range(len(chunk)):
+            time = float(chunk.times[i])
+            lba = int(chunk.lbas[i])
+            n = int(chunk.nsectors[i])
+            nbytes = n * 512
+            self._n += 1
+            self._bytes_total += nbytes
+            if chunk.is_write[i]:
+                self._writes += 1
+                self._bytes_written += nbytes
+            self._sizes.add(nbytes / KIB)
+            if self._prev_time is not None:
+                self._gaps.add(time - self._prev_time)
+            if self._prev_end is not None and lba == self._prev_end:
+                self._sequential += 1
+            index = int(time / self.count_scale)
+            while len(self._counts) <= index:
+                self._counts.append(0)
+            self._counts[index] += 1
+            self._prev_time = time
+            self._prev_end = lba + n
+        self._span = max(self._span, float(chunk.span))
+
+    @property
+    def n_requests(self) -> int:
+        """Requests folded so far."""
+        return self._n
+
+    def summary(self) -> WorkloadSummary:
+        """The accumulated summary (requires at least one request)."""
+        if self._n == 0:
+            raise AnalysisError("stream is empty; nothing to summarize")
+        span = max(self._span, self._prev_time or 0.0)
+        cv = self._gaps.cv if self._gaps.n >= 2 else float("nan")
+        return WorkloadSummary(
+            name=self.label,
+            n_requests=self._n,
+            span_seconds=span,
+            request_rate=self._n / span if span > 0 else 0.0,
+            byte_rate=self._bytes_total / span if span > 0 else 0.0,
+            write_request_fraction=self._writes / self._n,
+            write_byte_fraction=(
+                self._bytes_written / self._bytes_total
+                if self._bytes_total else float("nan")
+            ),
+            mean_request_kib=self._sizes.mean,
+            median_request_kib=float("nan"),  # medians need the sample
+            sequentiality=(
+                self._sequential / (self._n - 1) if self._n > 1 else float("nan")
+            ),
+            interarrival_cv=cv,
+        )
+
+    def hurst(self) -> float:
+        """Aggregate-variance Hurst estimate of the streamed counts."""
+        if len(self._counts) < 64:
+            raise AnalysisError(
+                f"only {len(self._counts)} count bins; Hurst needs >= 64"
+            )
+        return hurst_aggregate_variance(np.asarray(self._counts, dtype=float))

@@ -1,0 +1,227 @@
+"""Cross-time-scale orchestration.
+
+Two orchestrators tie the layers together:
+
+* :class:`MillisecondStudy` / :func:`run_millisecond_study` — the full
+  millisecond-scale pipeline for one workload: synthesize (or accept) a
+  trace, replay it through the disk model, and run every ms-scale
+  analysis. This is the one-call entry point the examples and benchmarks
+  use.
+* :class:`CrossScaleStudy` — the consistency experiment (table T4): the
+  same drive population summarized at the hour and lifetime scales, plus
+  a millisecond trace matched to a representative drive-hour, must agree
+  on mean throughput and read/write mix. Lifetime counters are *derived*
+  from the hourly counters by summation, mirroring how a drive's
+  cumulative counters really are the sum of its hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.burstiness import BurstinessAnalysis, analyze_burstiness
+from repro.core.busyness import BusynessAnalysis, analyze_busyness
+from repro.core.idleness import IdlenessAnalysis, analyze_idleness
+from repro.core.summary import WorkloadSummary, summarize_trace
+from repro.core.traffic import TrafficDynamics, analyze_traffic
+from repro.core.utilization import UtilizationAnalysis, analyze_utilization
+from repro.disk.drive import DriveSpec
+from repro.disk.simulator import DiskSimulator, SimulationResult
+from repro.errors import AnalysisError
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.workload import WorkloadProfile
+from repro.traces.hourly import HourlyDataset
+from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
+from repro.traces.millisecond import RequestTrace
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class MillisecondStudy:
+    """Every millisecond-scale analysis of one trace on one drive."""
+
+    trace: RequestTrace
+    simulation: SimulationResult
+    summary: WorkloadSummary
+    utilization: UtilizationAnalysis
+    idleness: Optional[IdlenessAnalysis]
+    busyness: Optional[BusynessAnalysis]
+    burstiness: Optional[BurstinessAnalysis]
+    traffic: TrafficDynamics
+
+
+def run_millisecond_study(
+    trace_or_profile,
+    drive: DriveSpec,
+    span: float = 600.0,
+    seed: int = 0,
+    scheduler: str = "fcfs",
+    utilization_scales: Sequence[float] = (1.0, 10.0, 60.0),
+    burstiness_base_scale: float = 0.01,
+) -> MillisecondStudy:
+    """Run the full millisecond-scale pipeline.
+
+    ``trace_or_profile`` is either a ready :class:`RequestTrace` (replayed
+    as-is; ``span``/``seed`` ignored) or a :class:`WorkloadProfile`
+    (synthesized against the drive first). Analyses that are undefined
+    for the particular timeline (no idle on a saturated drive, too few
+    requests for burstiness) come back as ``None`` rather than failing
+    the whole study.
+    """
+    if isinstance(trace_or_profile, WorkloadProfile):
+        trace = trace_or_profile.synthesize(
+            span=span, capacity_sectors=drive.capacity_sectors, seed=seed
+        )
+    elif isinstance(trace_or_profile, RequestTrace):
+        trace = trace_or_profile
+    else:
+        raise AnalysisError(
+            "expected a RequestTrace or WorkloadProfile, got "
+            f"{type(trace_or_profile).__name__}"
+        )
+    result = DiskSimulator(drive, scheduler=scheduler, seed=seed).run(trace)
+    timeline = result.timeline
+
+    def _try(fn, *args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except AnalysisError:
+            return None
+
+    return MillisecondStudy(
+        trace=trace,
+        simulation=result,
+        summary=summarize_trace(trace),
+        utilization=analyze_utilization(timeline, scales=utilization_scales),
+        idleness=_try(analyze_idleness, timeline),
+        busyness=_try(analyze_busyness, timeline),
+        burstiness=_try(analyze_burstiness, trace, base_scale=burstiness_base_scale),
+        traffic=analyze_traffic(trace, scale=1.0),
+    )
+
+
+def lifetime_from_hourly(
+    dataset: HourlyDataset, family: str = "derived"
+) -> DriveFamilyDataset:
+    """Collapse hourly counters into lifetime records by summation —
+    exactly the relationship between the paper's Hour and Lifetime data."""
+    if len(dataset) == 0:
+        raise AnalysisError("hourly dataset is empty")
+    records = []
+    for trace in dataset:
+        if trace.hours == 0:
+            continue
+        records.append(
+            LifetimeRecord(
+                drive_id=trace.drive_id,
+                power_on_hours=float(trace.hours),
+                bytes_read=float(trace.read_bytes.sum()),
+                bytes_written=float(trace.write_bytes.sum()),
+                model=family,
+            )
+        )
+    if not records:
+        raise AnalysisError("no drive in the dataset has observed hours")
+    return DriveFamilyDataset(records, family=family)
+
+
+@dataclass(frozen=True)
+class ScaleRow:
+    """One time scale's view of the same traffic."""
+
+    scale: str
+    throughput: float
+    write_byte_fraction: float
+
+
+class CrossScaleStudy:
+    """The cross-scale consistency experiment.
+
+    Built from one hourly dataset: the lifetime view is derived by
+    summation, and a millisecond trace is synthesized whose byte rate
+    targets a chosen drive's mean hourly throughput. :meth:`rows` then
+    reports (throughput, write share) per scale and
+    :meth:`max_relative_error` quantifies their agreement.
+    """
+
+    def __init__(
+        self,
+        hourly: HourlyDataset,
+        family: DriveFamilyDataset,
+        ms_trace: RequestTrace,
+        reference_drive: str,
+    ) -> None:
+        self.hourly = hourly
+        self.family = family
+        self.ms_trace = ms_trace
+        self.reference_drive = reference_drive
+
+    @classmethod
+    def build(
+        cls,
+        profile: WorkloadProfile,
+        drive: DriveSpec,
+        hourly_model: Optional[HourlyWorkloadModel] = None,
+        n_drives: int = 50,
+        weeks: int = 2,
+        ms_span: float = 600.0,
+        seed: int = 0,
+    ) -> "CrossScaleStudy":
+        """Generate the three linked views.
+
+        The reference drive is the population's median-load drive; the
+        millisecond profile's rate and mix are retargeted to reproduce
+        that drive's mean hourly byte rate and write share.
+        """
+        model = hourly_model or HourlyWorkloadModel(bandwidth=drive.sustained_bandwidth)
+        hourly = model.generate(n_drives=n_drives, weeks=weeks, seed=seed)
+        family = lifetime_from_hourly(hourly, family=drive.name)
+
+        throughputs = hourly.mean_throughputs()
+        median_index = int(np.argsort(throughputs)[len(throughputs) // 2])
+        reference = hourly[median_index]
+        target_byte_rate = reference.mean_throughput
+        target_write_share = reference.write_byte_fraction
+
+        mean_request_bytes = float(
+            np.mean(profile.sizes.generate(np.random.default_rng(seed), 4096))
+        ) * 512.0
+        rate = max(target_byte_rate / mean_request_bytes, 1e-3)
+        from dataclasses import replace
+        from repro.synth.mix import BernoulliMix
+
+        matched = replace(
+            profile,
+            rate=rate,
+            mix=BernoulliMix(float(np.clip(target_write_share, 0.0, 1.0))),
+        )
+        ms_trace = matched.synthesize(
+            span=ms_span, capacity_sectors=drive.capacity_sectors, seed=seed
+        )
+        return cls(hourly, family, ms_trace, reference.drive_id)
+
+    def rows(self) -> List[ScaleRow]:
+        """The per-scale (throughput, write share) comparison rows."""
+        reference = self.hourly.by_id(self.reference_drive)
+        lifetime = self.family.by_id(self.reference_drive)
+        return [
+            ScaleRow("millisecond", self.ms_trace.byte_rate, self.ms_trace.write_byte_fraction),
+            ScaleRow("hour", reference.mean_throughput, reference.write_byte_fraction),
+            ScaleRow(
+                "lifetime",
+                lifetime.total_bytes / (lifetime.power_on_hours * SECONDS_PER_HOUR),
+                lifetime.write_byte_fraction,
+            ),
+        ]
+
+    def max_relative_error(self) -> float:
+        """Largest relative disagreement in throughput between any scale
+        and the hour-scale reference (the construction target)."""
+        rows = self.rows()
+        reference = rows[1].throughput
+        if reference <= 0:
+            return float("nan")
+        return max(abs(r.throughput - reference) / reference for r in rows)

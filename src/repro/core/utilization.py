@@ -1,0 +1,101 @@
+"""Utilization analysis: how busy the disk actually is.
+
+The paper's first finding is that enterprise drives operate at *moderate*
+utilization. :func:`analyze_utilization` quantifies that from a
+busy/idle timeline: the overall busy fraction, the distribution of
+windowed utilization at chosen scales (the paper's utilization-over-time
+figures), and how much of the time the drive spends above high-load
+thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import AnalysisError
+from repro.stats.ecdf import Ecdf
+from repro.stats.moments import SampleDescription, describe
+
+
+@dataclass(frozen=True)
+class UtilizationAnalysis:
+    """Utilization characterization of one timeline.
+
+    Attributes
+    ----------
+    overall:
+        Busy fraction over the whole window.
+    per_scale:
+        Windowed-utilization description per analysis scale (seconds).
+    high_load_fraction:
+        Fraction of windows (at the finest scale) at or above the
+        high-load threshold.
+    high_load_threshold:
+        The threshold used (default 0.9).
+    """
+
+    overall: float
+    per_scale: Dict[float, SampleDescription]
+    high_load_fraction: float
+    high_load_threshold: float
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(scale, mean windowed utilization) pairs, ascending scale."""
+        scales = np.array(sorted(self.per_scale))
+        means = np.array([self.per_scale[s].mean for s in scales])
+        return scales, means
+
+
+def analyze_utilization(
+    timeline: BusyIdleTimeline,
+    scales: Sequence[float] = (1.0, 10.0, 60.0),
+    high_load_threshold: float = 0.9,
+) -> UtilizationAnalysis:
+    """Characterize utilization at the given window scales.
+
+    Scales longer than the observation window are skipped; at least one
+    must fit or :class:`AnalysisError` is raised.
+    """
+    if not scales:
+        raise AnalysisError("need at least one analysis scale")
+    if not 0.0 < high_load_threshold <= 1.0:
+        raise AnalysisError(
+            f"high_load_threshold must be in (0, 1], got {high_load_threshold!r}"
+        )
+    per_scale: Dict[float, SampleDescription] = {}
+    for scale in scales:
+        if scale <= 0:
+            raise AnalysisError(f"scales must be > 0, got {scale!r}")
+        if scale > timeline.span:
+            continue
+        per_scale[float(scale)] = describe(timeline.utilization_series(scale))
+    if not per_scale:
+        raise AnalysisError(
+            f"no scale fits the {timeline.span:.3f}s window; pass smaller scales"
+        )
+    finest = min(per_scale)
+    fine_series = timeline.utilization_series(finest)
+    high = float(np.mean(fine_series >= high_load_threshold))
+    return UtilizationAnalysis(
+        overall=timeline.utilization,
+        per_scale=per_scale,
+        high_load_fraction=high,
+        high_load_threshold=float(high_load_threshold),
+    )
+
+
+def utilization_ecdf(timeline: BusyIdleTimeline, scale: float) -> Ecdf:
+    """ECDF of windowed utilization at one scale — the distribution behind
+    the paper's utilization figures."""
+    if scale > timeline.span:
+        raise AnalysisError(
+            f"window scale {scale!r} exceeds the {timeline.span!r}s observation span"
+        )
+    series = timeline.utilization_series(scale)
+    if series.size == 0:
+        raise AnalysisError("window scale exceeds the observation span")
+    return Ecdf(series)

@@ -1,0 +1,53 @@
+"""Disk substrate: a mechanical drive model and trace-replay simulator.
+
+The paper measures utilization and idleness on real enterprise drives.
+Those drives are unavailable, so this subpackage provides the substitute:
+a zoned-geometry mechanical model (seek curve, rotational latency, zoned
+transfer rates, on-board cache) of a late-2000s enterprise drive, a
+queueing scheduler, and an event-driven simulator that replays a
+:class:`~repro.traces.RequestTrace` and produces per-request timings plus
+the busy/idle timeline the utilization and idleness analyses consume.
+"""
+
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.mechanics import SeekProfile, rotation_time, transfer_time
+from repro.disk.cache import CacheConfig, DiskCache
+from repro.disk.scheduler import FcfsScheduler, SstfScheduler, ScanScheduler, make_scheduler
+from repro.disk.drive import DiskDrive, DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
+from repro.disk.simulator import DiskSimulator, SimulationResult
+from repro.disk.timeline import BusyIdleTimeline
+from repro.disk.power import EnergyReport, PowerProfile, baseline_energy, evaluate_spin_down, sweep_timeouts
+from repro.disk.array import MirroredPair, StripedArray, member_imbalance
+from repro.disk.raid5 import Raid5Array, write_amplification
+
+__all__ = [
+    "DiskGeometry",
+    "Zone",
+    "SeekProfile",
+    "rotation_time",
+    "transfer_time",
+    "CacheConfig",
+    "DiskCache",
+    "FcfsScheduler",
+    "SstfScheduler",
+    "ScanScheduler",
+    "make_scheduler",
+    "DiskDrive",
+    "DriveSpec",
+    "cheetah_10k",
+    "cheetah_15k",
+    "nearline_7200",
+    "DiskSimulator",
+    "SimulationResult",
+    "BusyIdleTimeline",
+    "PowerProfile",
+    "EnergyReport",
+    "baseline_energy",
+    "evaluate_spin_down",
+    "sweep_timeouts",
+    "StripedArray",
+    "MirroredPair",
+    "member_imbalance",
+    "Raid5Array",
+    "write_amplification",
+]

@@ -1,0 +1,204 @@
+"""The drive model: specs, presets and per-request service times.
+
+:class:`DriveSpec` bundles the data-sheet parameters of one drive model;
+:class:`DiskDrive` is the stateful object the simulator drives, combining
+geometry, seek curve, rotation, cache and head position into a service
+time per request.
+
+The presets approximate the enterprise drive classes of the paper's era:
+a 10K-RPM mainstream enterprise drive (the family the Lifetime traces
+would cover), a 15K-RPM performance drive, and a 7200-RPM nearline drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.disk.cache import CacheConfig, DiskCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import SeekProfile, rotation_time, transfer_time
+from repro.errors import DiskModelError
+from repro.units import SECTOR_BYTES, ms
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Data-sheet level description of a drive model."""
+
+    name: str
+    rpm: float
+    heads: int
+    cylinders: int
+    nzones: int
+    outer_spt: int
+    inner_spt: int
+    single_cylinder_seek: float
+    full_stroke_seek: float
+    command_overhead: float = ms(0.3)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        if self.rpm <= 0:
+            raise DiskModelError(f"rpm must be > 0, got {self.rpm!r}")
+        if self.command_overhead < 0:
+            raise DiskModelError(
+                f"command_overhead must be >= 0, got {self.command_overhead!r}"
+            )
+
+    def geometry(self) -> DiskGeometry:
+        """Instantiate the zoned geometry this spec describes."""
+        return DiskGeometry.uniform(
+            heads=self.heads,
+            cylinders=self.cylinders,
+            nzones=self.nzones,
+            outer_spt=self.outer_spt,
+            inner_spt=self.inner_spt,
+        )
+
+    def seek_profile(self) -> SeekProfile:
+        """Instantiate the seek curve this spec describes."""
+        return SeekProfile(
+            single_cylinder=self.single_cylinder_seek,
+            full_stroke=self.full_stroke_seek,
+            max_distance=self.cylinders,
+        )
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """Media transfer rate at the middle zone, bytes/second — the
+        "available disk bandwidth" the utilization analyses normalize by."""
+        mid_spt = (self.outer_spt + self.inner_spt) / 2.0
+        return mid_spt * SECTOR_BYTES / rotation_time(self.rpm)
+
+    @property
+    def capacity_sectors(self) -> int:
+        """Total addressable sectors."""
+        return self.geometry().capacity_sectors
+
+    def with_cache(self, cache: CacheConfig) -> "DriveSpec":
+        """A copy of this spec with a different cache configuration."""
+        return replace(self, cache=cache)
+
+
+def cheetah_10k() -> DriveSpec:
+    """A 10K-RPM enterprise drive (~90 GB, ~80 MB/s sustained)."""
+    return DriveSpec(
+        name="enterprise-10k",
+        rpm=10_000,
+        heads=4,
+        cylinders=50_000,
+        nzones=10,
+        outer_spt=1200,
+        inner_spt=700,
+        single_cylinder_seek=ms(0.5),
+        full_stroke_seek=ms(9.0),
+    )
+
+
+def cheetah_15k() -> DriveSpec:
+    """A 15K-RPM performance enterprise drive (~65 GB, ~135 MB/s)."""
+    return DriveSpec(
+        name="enterprise-15k",
+        rpm=15_000,
+        heads=3,
+        cylinders=40_000,
+        nzones=10,
+        outer_spt=1300,
+        inner_spt=800,
+        single_cylinder_seek=ms(0.4),
+        full_stroke_seek=ms(7.0),
+    )
+
+
+def nearline_7200() -> DriveSpec:
+    """A 7200-RPM nearline/capacity drive (~320 GB, ~70 MB/s)."""
+    return DriveSpec(
+        name="nearline-7200",
+        rpm=7_200,
+        heads=6,
+        cylinders=90_000,
+        nzones=12,
+        outer_spt=1400,
+        inner_spt=900,
+        single_cylinder_seek=ms(0.8),
+        full_stroke_seek=ms(16.0),
+    )
+
+
+class DiskDrive:
+    """Stateful drive: evolves head position and cache as it services
+    requests, returning each request's service time.
+
+    Rotational latency is sampled uniformly over one revolution with a
+    drive-local RNG (the head lands at an effectively random rotational
+    offset after a seek), except for media accesses contiguous with the
+    previous one, which proceed with zero positioning cost — the head is
+    already there.
+    """
+
+    def __init__(self, spec: DriveSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.geometry = spec.geometry()
+        self.seek = spec.seek_profile()
+        self.cache = DiskCache(spec.cache)
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._head_cylinder = 0
+        self._last_media_end: int = -1  # LBA after the previous media access
+
+    def reset(self) -> None:
+        """Return the drive to its initial state (fresh RNG included)."""
+        self.cache.reset()
+        self._rng = np.random.default_rng(self._seed)
+        self._head_cylinder = 0
+        self._last_media_end = -1
+
+    @property
+    def head_cylinder(self) -> int:
+        """Cylinder currently under the heads."""
+        return self._head_cylinder
+
+    def cylinder_of(self, lba: int) -> int:
+        """Delegate to the geometry (used by the scheduler glue)."""
+        return self.geometry.cylinder_of(lba)
+
+    def service_time(self, lba: int, nsectors: int, is_write: bool, now: float) -> float:
+        """Service time in seconds for one request starting at ``now``,
+        advancing the drive's internal state.
+
+        Raises :class:`DiskModelError` if the request extends past the
+        drive's capacity.
+        """
+        if nsectors <= 0:
+            raise DiskModelError(f"nsectors must be > 0, got {nsectors!r}")
+        if lba < 0 or lba + nsectors > self.geometry.capacity_sectors:
+            raise DiskModelError(
+                f"request [{lba}, {lba + nsectors}) exceeds capacity "
+                f"{self.geometry.capacity_sectors}"
+            )
+
+        if not is_write and self.cache.read_hit(lba, nsectors):
+            return self.spec.cache.hit_overhead
+
+        if is_write and self.cache.absorb_write(nsectors * SECTOR_BYTES, now):
+            return self.spec.cache.hit_overhead
+
+        # Media access: position and transfer.
+        target_cylinder = self.geometry.cylinder_of(lba)
+        contiguous = lba == self._last_media_end
+        if contiguous:
+            positioning = 0.0
+        else:
+            distance = abs(target_cylinder - self._head_cylinder)
+            latency = float(self._rng.uniform(0.0, rotation_time(self.spec.rpm)))
+            positioning = self.seek.seek_time(distance) + latency
+        media = transfer_time(
+            nsectors, self.geometry.sectors_per_track_at(lba), self.spec.rpm
+        )
+        self._head_cylinder = self.geometry.cylinder_of(lba + nsectors - 1)
+        self._last_media_end = lba + nsectors
+        if not is_write:
+            self.cache.note_read(lba, nsectors)
+        return self.spec.command_overhead + positioning + media

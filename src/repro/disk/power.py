@@ -1,0 +1,178 @@
+"""Disk power model and spin-down policy evaluation.
+
+One of the motivations for characterizing idleness (and a follow-on
+thread of the authors' work) is power management: long idle stretches
+make spinning the drive down worthwhile. This module prices a busy/idle
+timeline under a drive power profile and evaluates fixed-timeout
+spin-down policies — energy saved versus latency added — including the
+classical break-even analysis.
+
+Model: after ``timeout`` seconds of idleness the drive spins down to
+standby; the next request triggers an on-demand spin-up that delays it
+by ``spinup_seconds`` and costs ``spinup_energy``. Idle intervals
+shorter than the timeout never spin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import DiskModelError
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Electrical profile of one drive.
+
+    Attributes
+    ----------
+    active_watts:
+        Power while seeking/transferring.
+    idle_watts:
+        Power while spinning but idle.
+    standby_watts:
+        Power spun down.
+    spinup_seconds:
+        Time to return to speed from standby.
+    spinup_watts:
+        Power draw during spin-up.
+    """
+
+    active_watts: float = 11.5
+    idle_watts: float = 7.5
+    standby_watts: float = 1.0
+    spinup_seconds: float = 6.0
+    spinup_watts: float = 20.0
+
+    def __post_init__(self) -> None:
+        if min(self.active_watts, self.idle_watts, self.standby_watts,
+               self.spinup_watts) < 0:
+            raise DiskModelError("power figures must be >= 0")
+        if self.standby_watts > self.idle_watts:
+            raise DiskModelError("standby power must not exceed idle power")
+        if self.spinup_seconds < 0:
+            raise DiskModelError(
+                f"spinup_seconds must be >= 0, got {self.spinup_seconds!r}"
+            )
+
+    @property
+    def spinup_energy(self) -> float:
+        """Energy of one spin-up, joules."""
+        return self.spinup_watts * self.spinup_seconds
+
+    def break_even_seconds(self) -> float:
+        """The idle duration at which spinning down pays for itself.
+
+        Staying idle for ``t`` costs ``idle_watts * t``; spinning down
+        costs ``standby_watts * t + spinup_energy``. Equality at
+        ``spinup_energy / (idle_watts - standby_watts)`` — the classical
+        threshold a 2-competitive fixed timeout is set to.
+        """
+        saving_rate = self.idle_watts - self.standby_watts
+        if saving_rate <= 0:
+            return float("inf")
+        return self.spinup_energy / saving_rate
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy and latency accounting of one policy on one timeline.
+
+    Attributes
+    ----------
+    total_joules:
+        Energy under the evaluated policy.
+    baseline_joules:
+        Energy with spin-down disabled (active + idle only).
+    savings_fraction:
+        ``1 - total / baseline`` (negative when the policy loses).
+    spin_downs:
+        Number of spin-down events.
+    delayed_busy_periods:
+        Busy periods whose first request waited for a spin-up.
+    added_latency_seconds:
+        Total spin-up delay imposed on foreground work.
+    active_joules, idle_joules, standby_joules, spinup_joules:
+        The energy breakdown.
+    """
+
+    total_joules: float
+    baseline_joules: float
+    savings_fraction: float
+    spin_downs: int
+    delayed_busy_periods: int
+    added_latency_seconds: float
+    active_joules: float
+    idle_joules: float
+    standby_joules: float
+    spinup_joules: float
+
+
+def baseline_energy(timeline: BusyIdleTimeline, power: PowerProfile) -> float:
+    """Energy with the drive always spinning: active busy + idle otherwise."""
+    return (
+        power.active_watts * timeline.total_busy
+        + power.idle_watts * timeline.total_idle
+    )
+
+
+def evaluate_spin_down(
+    timeline: BusyIdleTimeline, power: PowerProfile, timeout: float
+) -> EnergyReport:
+    """Price a fixed-timeout spin-down policy on a timeline.
+
+    ``timeout = inf`` reduces to the always-on baseline. The model
+    assumes the spin-up completes within the triggering idle-to-busy
+    transition (its latency is *reported*, not fed back into the
+    timeline — the standard first-order evaluation).
+    """
+    if timeout < 0:
+        raise DiskModelError(f"timeout must be >= 0, got {timeout!r}")
+    idle_intervals = timeline.idle_periods()
+    active = power.active_watts * timeline.total_busy
+
+    idle_energy = 0.0
+    standby_energy = 0.0
+    spinup_energy = 0.0
+    spin_downs = 0
+    delayed = 0
+    added_latency = 0.0
+    for interval in idle_intervals:
+        if np.isinf(timeout) or interval <= timeout:
+            idle_energy += power.idle_watts * interval
+            continue
+        spin_downs += 1
+        idle_energy += power.idle_watts * timeout
+        standby_energy += power.standby_watts * (interval - timeout)
+        spinup_energy += power.spinup_energy
+        delayed += 1
+        added_latency += power.spinup_seconds
+
+    total = active + idle_energy + standby_energy + spinup_energy
+    baseline = baseline_energy(timeline, power)
+    savings = 1.0 - total / baseline if baseline > 0 else float("nan")
+    return EnergyReport(
+        total_joules=total,
+        baseline_joules=baseline,
+        savings_fraction=savings,
+        spin_downs=spin_downs,
+        delayed_busy_periods=delayed,
+        added_latency_seconds=added_latency,
+        active_joules=active,
+        idle_joules=idle_energy,
+        standby_joules=standby_energy,
+        spinup_joules=spinup_energy,
+    )
+
+
+def sweep_timeouts(
+    timeline: BusyIdleTimeline, power: PowerProfile, timeouts
+) -> dict:
+    """Evaluate several timeouts at once; returns ``{timeout: report}``."""
+    reports = {}
+    for timeout in timeouts:
+        reports[float(timeout)] = evaluate_spin_down(timeline, power, float(timeout))
+    return reports

@@ -1,0 +1,197 @@
+"""RAID-5: rotating parity and its write amplification.
+
+The third classical layout the paper's drives served under. Reads map
+like striping (skipping the parity chunk); writes pay the parity tax:
+
+* a **full-stripe** write (all data chunks of a row, whole chunks)
+  computes parity from the new data — data writes plus one parity
+  write, no reads;
+* a **partial** write does read-modify-write — read the old data and
+  old parity, write new data and new parity — the classical
+  "small-write problem" that turns one logical write into four disk
+  I/Os.
+
+The resulting member traces expose how much *extra* disk-level write
+traffic parity creates (:func:`write_amplification`), one of the
+reasons disk-level mixes lean even further toward writes than host
+caching alone explains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import DiskModelError
+from repro.traces.millisecond import RequestTrace
+
+
+class Raid5Array:
+    """Left-symmetric RAID-5 over ``n_members`` drives.
+
+    Parameters
+    ----------
+    n_members:
+        Member count (>= 3).
+    chunk_sectors:
+        Stripe unit in sectors.
+    member_capacity_sectors:
+        Per-member capacity (a whole number of chunks). Usable logical
+        capacity is ``(n_members - 1) * member_capacity_sectors``.
+    """
+
+    def __init__(
+        self, n_members: int, chunk_sectors: int, member_capacity_sectors: int
+    ) -> None:
+        if n_members < 3:
+            raise DiskModelError(f"RAID-5 needs >= 3 members, got {n_members!r}")
+        if chunk_sectors <= 0:
+            raise DiskModelError(f"chunk_sectors must be > 0, got {chunk_sectors!r}")
+        if member_capacity_sectors <= 0 or member_capacity_sectors % chunk_sectors:
+            raise DiskModelError(
+                "member capacity must be a positive whole number of chunks"
+            )
+        self.n_members = int(n_members)
+        self.chunk_sectors = int(chunk_sectors)
+        self.member_capacity_sectors = int(member_capacity_sectors)
+
+    @property
+    def logical_capacity_sectors(self) -> int:
+        """Usable sectors (capacity minus one member's worth of parity)."""
+        return (self.n_members - 1) * self.member_capacity_sectors
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    def parity_member(self, row: int) -> int:
+        """Member holding the parity chunk of stripe ``row``
+        (left-symmetric rotation)."""
+        return (self.n_members - 1 - (row % self.n_members)) % self.n_members
+
+    def data_member(self, row: int, data_index: int) -> int:
+        """Member holding data chunk ``data_index`` (0-based within the
+        row) of stripe ``row``."""
+        if not 0 <= data_index < self.n_members - 1:
+            raise DiskModelError(
+                f"data_index must be in [0, {self.n_members - 2}], got {data_index!r}"
+            )
+        return (self.parity_member(row) + 1 + data_index) % self.n_members
+
+    def locate(self, lba: int) -> Tuple[int, int, int]:
+        """Map a logical sector to ``(row, member, member_lba)``."""
+        if lba < 0 or lba >= self.logical_capacity_sectors:
+            raise DiskModelError(
+                f"logical LBA {lba!r} outside capacity {self.logical_capacity_sectors}"
+            )
+        chunk = lba // self.chunk_sectors
+        offset = lba % self.chunk_sectors
+        row = chunk // (self.n_members - 1)
+        data_index = chunk % (self.n_members - 1)
+        member = self.data_member(row, data_index)
+        return row, member, row * self.chunk_sectors + offset
+
+    # ------------------------------------------------------------------
+    # Trace projection
+    # ------------------------------------------------------------------
+
+    def split_trace(self, trace: RequestTrace) -> List[RequestTrace]:
+        """Project a logical trace onto the members, parity I/O included.
+
+        All sub-requests of one logical request share its arrival time.
+        Partial-row writes use read-modify-write (old data + old parity
+        reads, new data + new parity writes over the written span of the
+        chunk); rows written completely use parity reconstruction (data
+        + parity writes only).
+        """
+        buckets = [
+            {"times": [], "lbas": [], "nsectors": [], "is_write": []}
+            for _ in range(self.n_members)
+        ]
+
+        def emit(member: int, time: float, lba: int, n: int, write: bool) -> None:
+            b = buckets[member]
+            b["times"].append(time)
+            b["lbas"].append(lba)
+            b["nsectors"].append(n)
+            b["is_write"].append(write)
+
+        data_per_row = (self.n_members - 1) * self.chunk_sectors
+        for i in range(len(trace)):
+            time = float(trace.times[i])
+            lba = int(trace.lbas[i])
+            remaining = int(trace.nsectors[i])
+            write = bool(trace.is_write[i])
+            if lba + remaining > self.logical_capacity_sectors:
+                raise DiskModelError(
+                    f"request [{lba}, {lba + remaining}) exceeds usable capacity "
+                    f"{self.logical_capacity_sectors}"
+                )
+            # Chunk extents of this request, grouped by stripe row:
+            # row -> list of (member, member_lba, length, offset_in_chunk).
+            rows: Dict[int, List[Tuple[int, int, int, int]]] = {}
+            row_written: Dict[int, int] = {}
+            while remaining > 0:
+                in_chunk = min(remaining, self.chunk_sectors - (lba % self.chunk_sectors))
+                row, member, member_lba = self.locate(lba)
+                rows.setdefault(row, []).append(
+                    (member, member_lba, in_chunk, lba % self.chunk_sectors)
+                )
+                row_written[row] = row_written.get(row, 0) + in_chunk
+                lba += in_chunk
+                remaining -= in_chunk
+
+            for row, extents in rows.items():
+                if not write:
+                    for member, member_lba, n, _ in extents:
+                        emit(member, time, member_lba, n, False)
+                    continue
+                parity = self.parity_member(row)
+                parity_base = row * self.chunk_sectors
+                full_stripe = row_written[row] == data_per_row
+                if full_stripe:
+                    for member, member_lba, n, _ in extents:
+                        emit(member, time, member_lba, n, True)
+                    emit(parity, time, parity_base, self.chunk_sectors, True)
+                else:
+                    for member, member_lba, n, _ in extents:
+                        emit(member, time, member_lba, n, False)  # old data
+                        emit(member, time, member_lba, n, True)   # new data
+                    # Parity sectors touched = union of the written
+                    # per-chunk offset intervals (XOR is positional).
+                    intervals = sorted((e[3], e[3] + e[2]) for e in extents)
+                    merged = [list(intervals[0])]
+                    for lo, hi in intervals[1:]:
+                        if lo <= merged[-1][1]:
+                            merged[-1][1] = max(merged[-1][1], hi)
+                        else:
+                            merged.append([lo, hi])
+                    for lo, hi in merged:
+                        emit(parity, time, parity_base + lo, hi - lo, False)
+                        emit(parity, time, parity_base + lo, hi - lo, True)
+
+        return [
+            RequestTrace(
+                times=b["times"], lbas=b["lbas"], nsectors=b["nsectors"],
+                is_write=b["is_write"], span=trace.span,
+                label=f"{trace.label}@r5m{m}",
+            )
+            for m, b in enumerate(buckets)
+        ]
+
+
+def write_amplification(
+    logical: RequestTrace, member_traces: List[RequestTrace]
+) -> float:
+    """Disk-level written bytes divided by logically written bytes.
+
+    1.0 means parity-free; full-stripe writes approach
+    ``n / (n - 1)``; small partial writes approach 2.0 in written bytes
+    (new data + equal-size parity), with the induced reads on top of
+    that (not counted here — they show in the members' read traffic).
+    NaN when the logical trace wrote nothing.
+    """
+    logical_written = float(logical.writes().total_bytes)
+    if logical_written == 0:
+        return float("nan")
+    disk_written = sum(float(m.writes().total_bytes) for m in member_traces)
+    return disk_written / logical_written

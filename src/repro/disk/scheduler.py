@@ -1,0 +1,109 @@
+"""Request-queue scheduling disciplines.
+
+When requests queue at a busy drive, the order they are served in shapes
+service times (positioning distance) and hence utilization. Three
+classical disciplines are provided: FCFS (the measurement baseline), SSTF
+(greedy shortest seek), and SCAN (the elevator). The ablation bench A1
+compares them on the same trace.
+
+A scheduler is a picker: given the pending entries and the current head
+cylinder, return the index of the entry to serve next. Entries are
+``(cylinder, insertion_order)`` pairs plus an opaque payload managed by
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+from repro.errors import DiskModelError
+
+#: One queue entry as seen by a scheduler: (cylinder, arrival order).
+QueueEntry = Tuple[int, int]
+
+
+class Scheduler(Protocol):
+    """Protocol every scheduling discipline implements."""
+
+    name: str
+
+    def pick(self, queue: List[QueueEntry], head_cylinder: int) -> int:
+        """Index into ``queue`` of the entry to serve next."""
+        ...  # pragma: no cover - protocol body
+
+
+class FcfsScheduler:
+    """First-come first-served: arrival order, no reordering."""
+
+    name = "fcfs"
+
+    def pick(self, queue: List[QueueEntry], head_cylinder: int) -> int:
+        if not queue:
+            raise DiskModelError("cannot pick from an empty queue")
+        best = 0
+        for i in range(1, len(queue)):
+            if queue[i][1] < queue[best][1]:
+                best = i
+        return best
+
+
+class SstfScheduler:
+    """Shortest seek time first: the entry nearest the head wins; ties
+    break by arrival order so the discipline is deterministic."""
+
+    name = "sstf"
+
+    def pick(self, queue: List[QueueEntry], head_cylinder: int) -> int:
+        if not queue:
+            raise DiskModelError("cannot pick from an empty queue")
+        best = 0
+        best_key = (abs(queue[0][0] - head_cylinder), queue[0][1])
+        for i in range(1, len(queue)):
+            key = (abs(queue[i][0] - head_cylinder), queue[i][1])
+            if key < best_key:
+                best, best_key = i, key
+        return best
+
+
+class ScanScheduler:
+    """The elevator: sweep in one direction serving requests in cylinder
+    order, reverse at the last pending request in that direction."""
+
+    name = "scan"
+
+    def __init__(self) -> None:
+        self._direction = 1  # +1 toward higher cylinders
+
+    def pick(self, queue: List[QueueEntry], head_cylinder: int) -> int:
+        if not queue:
+            raise DiskModelError("cannot pick from an empty queue")
+        ahead = [
+            (cyl, order, i)
+            for i, (cyl, order) in enumerate(queue)
+            if (cyl - head_cylinder) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = [
+                (cyl, order, i)
+                for i, (cyl, order) in enumerate(queue)
+                if (cyl - head_cylinder) * self._direction >= 0
+            ]
+        # Nearest in the sweep direction; ties by arrival order.
+        ahead.sort(key=lambda e: (abs(e[0] - head_cylinder), e[1]))
+        return ahead[0][2]
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by name: ``'fcfs'``, ``'sstf'`` or ``'scan'``."""
+    factories = {
+        "fcfs": FcfsScheduler,
+        "sstf": SstfScheduler,
+        "scan": ScanScheduler,
+    }
+    try:
+        return factories[name.lower()]()
+    except KeyError:
+        raise DiskModelError(
+            f"unknown scheduler {name!r}; expected one of {sorted(factories)}"
+        ) from None

@@ -1,0 +1,223 @@
+"""Event-driven trace replay through the drive model.
+
+:class:`DiskSimulator` replays a :class:`~repro.traces.RequestTrace`
+against a :class:`~repro.disk.drive.DiskDrive` as a single-server queue
+with a pluggable scheduling discipline, producing per-request timings and
+the busy/idle timeline. This is the substitute for the measurement
+infrastructure the paper had on real drives: instead of observing busy
+and idle on hardware, we observe it on the model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.disk.drive import DiskDrive, DriveSpec
+from repro.disk.scheduler import Scheduler, make_scheduler
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import SimulationError
+from repro.stats.moments import describe, SampleDescription
+from repro.traces.millisecond import RequestTrace
+
+
+class SimulationResult:
+    """Per-request timings and derived views of one simulation run.
+
+    All arrays are aligned with the input trace's request order.
+    """
+
+    def __init__(
+        self,
+        trace: RequestTrace,
+        start_times: np.ndarray,
+        service_times: np.ndarray,
+        drive_name: str,
+        scheduler_name: str,
+    ) -> None:
+        self.trace = trace
+        self.start_times = start_times
+        self.service_times = service_times
+        self.drive_name = drive_name
+        self.scheduler_name = scheduler_name
+        self.finish_times = start_times + service_times
+        span = float(max(trace.span, self.finish_times.max())) if len(trace) else trace.span
+        self.timeline = BusyIdleTimeline(
+            list(zip(self.start_times, self.finish_times)), span=span
+        )
+
+    @property
+    def wait_times(self) -> np.ndarray:
+        """Queueing delay per request: service start minus arrival."""
+        return self.start_times - self.trace.times
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """End-to-end latency per request: completion minus arrival."""
+        return self.finish_times - self.trace.times
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the observation window."""
+        return self.timeline.utilization
+
+    def describe_response(self) -> SampleDescription:
+        """Headline statistics of the response-time distribution."""
+        return describe(self.response_times)
+
+    def describe_service(self) -> SampleDescription:
+        """Headline statistics of the service-time distribution."""
+        return describe(self.service_times)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(trace={self.trace.label!r}, n={len(self.trace)}, "
+            f"drive={self.drive_name!r}, scheduler={self.scheduler_name!r}, "
+            f"utilization={self.utilization:.4f})"
+        )
+
+
+class DiskSimulator:
+    """Replay traces through a drive with a chosen queueing discipline.
+
+    Parameters
+    ----------
+    drive:
+        A :class:`DriveSpec` (a fresh :class:`DiskDrive` is built per run,
+        keeping runs independent and reproducible) or a ready
+        :class:`DiskDrive` (reset before each run).
+    scheduler:
+        Discipline name (``'fcfs'``, ``'sstf'``, ``'scan'``) or a
+        scheduler instance. A fresh instance is made per run for named
+        disciplines so stateful schedulers (SCAN) do not leak state.
+    remap_lbas:
+        When true, request LBAs are folded into the drive's capacity with
+        a modulo, letting traces generated for a larger address space
+        replay on a smaller model. Off by default: out-of-range requests
+        raise instead.
+    seed:
+        Seed for the drive's rotational-latency RNG.
+    queue_depth:
+        How many queued requests the scheduler can see (NCQ/TCQ depth).
+        Only the ``queue_depth`` oldest pending requests are eligible at
+        each decision, so seek-aware disciplines degrade gracefully
+        toward FCFS as the window shrinks. ``None`` (default) = the
+        scheduler sees everything.
+    """
+
+    def __init__(
+        self,
+        drive: Union[DriveSpec, DiskDrive],
+        scheduler: Union[str, Scheduler] = "fcfs",
+        remap_lbas: bool = False,
+        seed: int = 0,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        if queue_depth is not None and queue_depth < 1:
+            raise SimulationError(
+                f"queue_depth must be >= 1, got {queue_depth!r}"
+            )
+        if isinstance(drive, DiskDrive):
+            self._spec: Optional[DriveSpec] = None
+            self._drive: Optional[DiskDrive] = drive
+        else:
+            self._spec = drive
+            self._drive = None
+        self._scheduler_arg = scheduler
+        self.remap_lbas = bool(remap_lbas)
+        self.seed = int(seed)
+        self.queue_depth = queue_depth
+
+    def _fresh_drive(self) -> DiskDrive:
+        if self._drive is not None:
+            self._drive.reset()
+            return self._drive
+        assert self._spec is not None
+        return DiskDrive(self._spec, seed=self.seed)
+
+    def _fresh_scheduler(self) -> Scheduler:
+        if isinstance(self._scheduler_arg, str):
+            return make_scheduler(self._scheduler_arg)
+        return self._scheduler_arg
+
+    def run(self, trace: RequestTrace) -> SimulationResult:
+        """Simulate one trace; returns the per-request timings.
+
+        The simulation is non-preemptive single-server: at each decision
+        point every request that has already arrived is eligible and the
+        scheduler picks among them.
+        """
+        drive = self._fresh_drive()
+        scheduler = self._fresh_scheduler()
+        n = len(trace)
+        capacity = drive.geometry.capacity_sectors
+
+        arrivals = trace.times
+        lbas = trace.lbas
+        if self.remap_lbas:
+            sizes = np.minimum(trace.nsectors, capacity)
+            lbas = lbas % np.maximum(capacity - sizes, 1)
+        else:
+            sizes = trace.nsectors
+            ends = lbas + sizes
+            if n and int(ends.max()) > capacity:
+                raise SimulationError(
+                    f"trace {trace.label!r} addresses beyond drive capacity "
+                    f"{capacity}; generate against this drive or pass remap_lbas=True"
+                )
+
+        start_times = np.zeros(n, dtype=np.float64)
+        service_times = np.zeros(n, dtype=np.float64)
+
+        # Queue entries are (cylinder, arrival_order); payload is the index.
+        queue: List[tuple] = []
+        payloads: List[int] = []
+        next_arrival = 0
+        clock = 0.0
+        completed = 0
+
+        def admit_until(t: float) -> int:
+            nonlocal next_arrival
+            while next_arrival < n and arrivals[next_arrival] <= t:
+                idx = next_arrival
+                queue.append((drive.cylinder_of(int(lbas[idx])), idx))
+                payloads.append(idx)
+                next_arrival += 1
+            return next_arrival
+
+        while completed < n:
+            if not queue:
+                # Idle: jump to the next arrival.
+                clock = max(clock, float(arrivals[next_arrival]))
+            admit_until(clock)
+            if not queue:
+                raise SimulationError("scheduler loop reached an empty queue")
+            if self.queue_depth is not None and len(queue) > self.queue_depth:
+                # NCQ-style visibility: only the oldest queue_depth
+                # requests (by arrival order) are dispatched to the drive.
+                order = sorted(range(len(queue)), key=lambda k: queue[k][1])
+                visible = order[: self.queue_depth]
+                window = [queue[k] for k in visible]
+                pick_in_window = scheduler.pick(window, drive.head_cylinder)
+                pick = visible[pick_in_window]
+            else:
+                pick = scheduler.pick(queue, drive.head_cylinder)
+            queue.pop(pick)
+            idx = payloads.pop(pick)
+            service = drive.service_time(
+                int(lbas[idx]), int(sizes[idx]), bool(trace.is_write[idx]), clock
+            )
+            start_times[idx] = clock
+            service_times[idx] = service
+            clock += service
+            completed += 1
+
+        drive_name = drive.spec.name
+        return SimulationResult(
+            trace=trace,
+            start_times=start_times,
+            service_times=service_times,
+            drive_name=drive_name,
+            scheduler_name=getattr(scheduler, "name", type(scheduler).__name__),
+        )

@@ -1,0 +1,176 @@
+"""The busy/idle timeline: the ground truth behind utilization and
+idleness analyses.
+
+A single-server disk alternates between busy intervals (servicing one
+request after another) and idle intervals. :class:`BusyIdleTimeline`
+stores the merged busy intervals over an observation window and derives
+everything the paper reports about them: overall and windowed
+utilization, busy-period lengths, and idle-interval lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class BusyIdleTimeline:
+    """Merged busy intervals over ``[0, span]``.
+
+    Parameters
+    ----------
+    intervals:
+        ``(start, end)`` pairs with ``0 <= start <= end``; they may abut
+        or overlap (they are merged) but are typically the back-to-back
+        service intervals a single-server simulation produces.
+    span:
+        Observation window length; must cover every interval.
+    """
+
+    def __init__(self, intervals: Sequence[Tuple[float, float]], span: float) -> None:
+        if span < 0:
+            raise SimulationError(f"span must be >= 0, got {span!r}")
+        self.span = float(span)
+        pairs = sorted((float(s), float(e)) for s, e in intervals)
+        merged_starts = []
+        merged_ends = []
+        for start, end in pairs:
+            if end < start:
+                raise SimulationError(f"interval end {end!r} precedes start {start!r}")
+            if start < 0 or end > self.span + 1e-9:
+                raise SimulationError(
+                    f"interval [{start}, {end}] outside window [0, {self.span}]"
+                )
+            if start == end:
+                continue  # zero-length intervals carry no busy time
+            if merged_ends and start <= merged_ends[-1]:
+                merged_ends[-1] = max(merged_ends[-1], end)
+            else:
+                merged_starts.append(start)
+                merged_ends.append(end)
+        self._starts = np.asarray(merged_starts, dtype=np.float64)
+        self._ends = np.minimum(np.asarray(merged_ends, dtype=np.float64), self.span)
+        self._starts.setflags(write=False)
+        self._ends.setflags(write=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Merged busy-interval start times (read-only, sorted)."""
+        return self._starts
+
+    @property
+    def ends(self) -> np.ndarray:
+        """Merged busy-interval end times (read-only, sorted)."""
+        return self._ends
+
+    @property
+    def n_busy_periods(self) -> int:
+        """Number of maximal busy periods."""
+        return int(self._starts.size)
+
+    def busy_periods(self) -> np.ndarray:
+        """Lengths of the maximal busy periods, seconds."""
+        return self._ends - self._starts
+
+    def idle_periods(self) -> np.ndarray:
+        """Lengths of the idle intervals, seconds, including the leading
+        interval before the first busy period and the trailing interval
+        after the last one (when non-empty)."""
+        if self.n_busy_periods == 0:
+            return np.array([self.span]) if self.span > 0 else np.zeros(0)
+        gaps = self._starts[1:] - self._ends[:-1]
+        pieces = [gaps]
+        if self._starts[0] > 0:
+            pieces.insert(0, np.array([self._starts[0]]))
+        if self._ends[-1] < self.span:
+            pieces.append(np.array([self.span - self._ends[-1]]))
+        idle = np.concatenate(pieces) if pieces else np.zeros(0)
+        return idle[idle > 0]
+
+    def idle_intervals(self) -> np.ndarray:
+        """The idle intervals as an ``(n, 2)`` array of ``(start, end)``
+        pairs in time order, including the leading and trailing intervals
+        (positions, where :meth:`idle_periods` gives only lengths)."""
+        if self.n_busy_periods == 0:
+            if self.span > 0:
+                return np.array([[0.0, self.span]])
+            return np.zeros((0, 2))
+        pairs = []
+        if self._starts[0] > 0:
+            pairs.append((0.0, float(self._starts[0])))
+        for i in range(self.n_busy_periods - 1):
+            gap_start = float(self._ends[i])
+            gap_end = float(self._starts[i + 1])
+            if gap_end > gap_start:
+                pairs.append((gap_start, gap_end))
+        if self._ends[-1] < self.span:
+            pairs.append((float(self._ends[-1]), self.span))
+        return np.array(pairs) if pairs else np.zeros((0, 2))
+
+    @property
+    def total_busy(self) -> float:
+        """Total busy time, seconds."""
+        return float(np.sum(self._ends - self._starts))
+
+    @property
+    def total_idle(self) -> float:
+        """Total idle time, seconds."""
+        return self.span - self.total_busy
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the window (NaN for a zero-length window)."""
+        if self.span == 0:
+            return float("nan")
+        return self.total_busy / self.span
+
+    # ------------------------------------------------------------------
+
+    def busy_time_before(self, t: np.ndarray) -> np.ndarray:
+        """Cumulative busy time in ``[0, t]`` for each ``t`` (vectorized).
+
+        This is the integral of the busy indicator, computed in
+        O((n + m) log n) from the merged intervals.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        if self.n_busy_periods == 0:
+            return np.zeros_like(t)
+        lengths = self._ends - self._starts
+        cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+        complete = np.searchsorted(self._ends, t, side="right")
+        result = cumulative[complete]
+        partial_index = np.minimum(complete, self.n_busy_periods - 1)
+        in_partial = (complete < self.n_busy_periods) & (
+            t > self._starts[partial_index]
+        )
+        return result + np.where(in_partial, t - self._starts[partial_index], 0.0)
+
+    def utilization_series(self, scale: float) -> np.ndarray:
+        """Busy fraction per ``scale``-second window across the span.
+
+        The final window may be truncated by the span's end; its
+        utilization is normalized by its true (shorter) length.
+        """
+        if scale <= 0:
+            raise SimulationError(f"scale must be > 0, got {scale!r}")
+        if self.span == 0:
+            return np.zeros(0)
+        nbins = int(np.ceil(self.span / scale))
+        edges = np.minimum(np.arange(nbins + 1) * scale, self.span)
+        busy_at_edges = self.busy_time_before(edges)
+        widths = np.diff(edges)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            series = np.diff(busy_at_edges) / widths
+        return np.clip(np.nan_to_num(series, nan=0.0), 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"BusyIdleTimeline(span={self.span:.3f}s, "
+            f"busy_periods={self.n_busy_periods}, "
+            f"utilization={self.utilization:.4f})"
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch everything the library signals
+with a single ``except ReproError`` clause while still letting genuine
+programming errors (``TypeError`` from misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A trace container was constructed from, or asked to hold, invalid data."""
+
+
+class TraceValidationError(TraceError):
+    """A trace failed an explicit invariant check (see :mod:`repro.traces.validate`)."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file on disk does not conform to the expected serialization format."""
+
+
+class DiskModelError(ReproError):
+    """The disk model was configured inconsistently or asked to service an
+    impossible request (e.g. an LBA beyond the end of the drive)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""
+
+
+class SynthesisError(ReproError):
+    """A synthetic workload generator received unusable parameters."""
+
+
+class AnalysisError(ReproError):
+    """A characterization routine received data it cannot analyze
+    (e.g. an empty trace where at least one request is required)."""
+
+
+class StatsError(ReproError):
+    """A statistical estimator received a sample it cannot operate on."""
+
+
+class ProfileError(SynthesisError):
+    """An unknown or malformed workload profile was requested."""
+
+
+class CliError(ReproError):
+    """Invalid command-line usage detected after argument parsing."""

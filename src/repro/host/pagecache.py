@@ -1,0 +1,208 @@
+"""A host page-cache model: application traffic in, disk traffic out.
+
+The model captures the three behaviors that reshape workloads between
+the application and the disk:
+
+* **read absorption** — reads of cached pages never reach the disk, so
+  the disk-level read share drops far below the application-level one;
+* **write buffering** — writes dirty pages in memory and complete
+  immediately; the disk sees them later;
+* **periodic flushing** — dirty pages are written back in batches every
+  ``flush_interval`` seconds (the pdflush/writeback daemon), which is
+  where the disk-level *write bursts* come from.
+
+Eviction is LRU; evicting a dirty page forces an immediate writeback.
+Contiguous pages in one flush or miss are coalesced into single disk
+requests, mirroring request merging in the block layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.traces.millisecond import RequestTrace
+
+
+@dataclass(frozen=True)
+class PageCacheStats:
+    """Accounting of one filtering pass.
+
+    Attributes
+    ----------
+    app_requests, disk_requests:
+        Request counts on each side of the cache.
+    read_hit_ratio:
+        Fraction of application-read *pages* served from memory.
+    app_write_fraction, disk_write_fraction:
+        Write share of requests on each side — the paper-relevant shift.
+    flush_batches:
+        Number of periodic flush episodes that wrote anything.
+    evicted_dirty_pages:
+        Dirty pages written back due to capacity pressure.
+    """
+
+    app_requests: int
+    disk_requests: int
+    read_hit_ratio: float
+    app_write_fraction: float
+    disk_write_fraction: float
+    flush_batches: int
+    evicted_dirty_pages: int
+
+
+class PageCache:
+    """An LRU page cache with write-back and periodic flushing.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Cache size in pages.
+    page_sectors:
+        Page size in sectors (8 = 4 KiB pages).
+    flush_interval:
+        Seconds between dirty-page writeback sweeps.
+    final_sync:
+        Whether to flush all remaining dirty pages at the end of the
+        trace (like unmounting); keeps byte accounting closed.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int = 65_536,
+        page_sectors: int = 8,
+        flush_interval: float = 30.0,
+        final_sync: bool = True,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise SimulationError(f"capacity_pages must be > 0, got {capacity_pages!r}")
+        if page_sectors <= 0:
+            raise SimulationError(f"page_sectors must be > 0, got {page_sectors!r}")
+        if flush_interval <= 0:
+            raise SimulationError(
+                f"flush_interval must be > 0, got {flush_interval!r}"
+            )
+        self.capacity_pages = int(capacity_pages)
+        self.page_sectors = int(page_sectors)
+        self.flush_interval = float(flush_interval)
+        self.final_sync = bool(final_sync)
+
+    # ------------------------------------------------------------------
+
+    def _pages_of(self, lba: int, nsectors: int) -> range:
+        first = lba // self.page_sectors
+        last = (lba + nsectors - 1) // self.page_sectors
+        return range(first, last + 1)
+
+    @staticmethod
+    def _coalesce(pages: List[int]) -> List[Tuple[int, int]]:
+        """Group sorted page ids into (first_page, n_pages) runs."""
+        runs: List[Tuple[int, int]] = []
+        for page in sorted(pages):
+            if runs and page == runs[-1][0] + runs[-1][1]:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((page, 1))
+        return runs
+
+    def filter_trace(self, app_trace: RequestTrace) -> Tuple[RequestTrace, PageCacheStats]:
+        """Push an application-level trace through the cache.
+
+        Returns the disk-level trace (same clock and span) plus the
+        filtering statistics. Deterministic: the cache starts cold.
+        """
+        cache: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
+        out_times: List[float] = []
+        out_lbas: List[int] = []
+        out_nsectors: List[int] = []
+        out_write: List[bool] = []
+
+        read_pages = 0
+        read_hits = 0
+        flush_batches = 0
+        evicted_dirty = 0
+        next_flush = self.flush_interval
+
+        def emit(time: float, first_page: int, n_pages: int, is_write: bool) -> None:
+            out_times.append(time)
+            out_lbas.append(first_page * self.page_sectors)
+            out_nsectors.append(n_pages * self.page_sectors)
+            out_write.append(is_write)
+
+        def flush_dirty(time: float) -> None:
+            nonlocal flush_batches
+            dirty = [page for page, flag in cache.items() if flag]
+            if not dirty:
+                return
+            flush_batches += 1
+            for first, count in self._coalesce(dirty):
+                emit(time, first, count, True)
+            for page in dirty:
+                cache[page] = False
+
+        def insert(page: int, dirty: bool, time: float) -> None:
+            nonlocal evicted_dirty
+            if page in cache:
+                cache[page] = cache[page] or dirty
+                cache.move_to_end(page)
+                return
+            while len(cache) >= self.capacity_pages:
+                victim, was_dirty = cache.popitem(last=False)
+                if was_dirty:
+                    evicted_dirty += 1
+                    emit(time, victim, 1, True)
+            cache[page] = dirty
+
+        for i in range(len(app_trace)):
+            time = float(app_trace.times[i])
+            while time >= next_flush:
+                flush_dirty(next_flush)
+                next_flush += self.flush_interval
+
+            pages = self._pages_of(int(app_trace.lbas[i]), int(app_trace.nsectors[i]))
+            if app_trace.is_write[i]:
+                for page in pages:
+                    insert(page, dirty=True, time=time)
+            else:
+                missing = []
+                for page in pages:
+                    read_pages += 1
+                    if page in cache:
+                        read_hits += 1
+                        cache.move_to_end(page)
+                    else:
+                        missing.append(page)
+                for first, count in self._coalesce(missing):
+                    emit(time, first, count, False)
+                for page in missing:
+                    insert(page, dirty=False, time=time)
+
+        # Boundaries elapse even when no request arrives to witness them.
+        while next_flush <= app_trace.span:
+            flush_dirty(next_flush)
+            next_flush += self.flush_interval
+        if self.final_sync:
+            flush_dirty(app_trace.span)
+
+        disk_trace = RequestTrace(
+            times=out_times, lbas=out_lbas, nsectors=out_nsectors,
+            is_write=out_write, span=app_trace.span,
+            label=f"{app_trace.label}@disk",
+        )
+        n_app = len(app_trace)
+        stats = PageCacheStats(
+            app_requests=n_app,
+            disk_requests=len(disk_trace),
+            read_hit_ratio=read_hits / read_pages if read_pages else float("nan"),
+            app_write_fraction=(
+                float(app_trace.is_write.mean()) if n_app else float("nan")
+            ),
+            disk_write_fraction=(
+                float(disk_trace.is_write.mean()) if len(disk_trace) else float("nan")
+            ),
+            flush_batches=flush_batches,
+            evicted_dirty_pages=evicted_dirty,
+        )
+        return disk_trace, stats

@@ -1,0 +1,84 @@
+"""Statistics substrate: the estimators the characterization is built on.
+
+Everything here is implemented from first principles on numpy so the
+analysis layer has no dependency beyond it: empirical distributions,
+moments (batch and streaming), autocorrelation, the index of dispersion
+for counts, Hurst-parameter estimators, heavy-tail diagnostics,
+maximum-likelihood distribution fits, and inequality measures (Lorenz
+curve, Gini coefficient) for the cross-family variability analyses.
+"""
+
+from repro.stats.ecdf import Ecdf
+from repro.stats.histogram import Histogram, log_bin_edges
+from repro.stats.moments import (
+    StreamingMoments,
+    coefficient_of_variation,
+    describe,
+    SampleDescription,
+)
+from repro.stats.autocorr import autocorrelation, integrated_autocorrelation_time
+from repro.stats.dispersion import index_of_dispersion, idc_curve
+from repro.stats.hurst import (
+    hurst_aggregate_variance,
+    hurst_rescaled_range,
+    variance_time_curve,
+)
+from repro.stats.tail import hill_estimator, tail_heaviness_ratio
+from repro.stats.fitting import (
+    ExponentialFit,
+    LognormalFit,
+    ParetoFit,
+    fit_exponential,
+    fit_lognormal,
+    fit_pareto,
+    best_fit,
+)
+from repro.stats.inequality import gini_coefficient, lorenz_curve, top_share
+from repro.stats.queueing import Mg1Prediction, burstiness_penalty, mg1_predict, mg1_predict_from_samples, mg1_vacation_penalty, mg1_with_vacations
+from repro.stats.periodicity import PeriodEstimate, dominant_period, remove_seasonal, seasonal_strength
+from repro.stats.bootstrap import BootstrapInterval, block_bootstrap_ci, bootstrap_ci
+from repro.stats.crosscorr import cross_correlation, peak_lag
+
+__all__ = [
+    "Ecdf",
+    "Histogram",
+    "log_bin_edges",
+    "StreamingMoments",
+    "coefficient_of_variation",
+    "describe",
+    "SampleDescription",
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "index_of_dispersion",
+    "idc_curve",
+    "hurst_aggregate_variance",
+    "hurst_rescaled_range",
+    "variance_time_curve",
+    "hill_estimator",
+    "tail_heaviness_ratio",
+    "ExponentialFit",
+    "LognormalFit",
+    "ParetoFit",
+    "fit_exponential",
+    "fit_lognormal",
+    "fit_pareto",
+    "best_fit",
+    "gini_coefficient",
+    "lorenz_curve",
+    "top_share",
+    "Mg1Prediction",
+    "mg1_predict",
+    "mg1_predict_from_samples",
+    "burstiness_penalty",
+    "mg1_vacation_penalty",
+    "mg1_with_vacations",
+    "PeriodEstimate",
+    "dominant_period",
+    "seasonal_strength",
+    "remove_seasonal",
+    "BootstrapInterval",
+    "bootstrap_ci",
+    "block_bootstrap_ci",
+    "cross_correlation",
+    "peak_lag",
+]

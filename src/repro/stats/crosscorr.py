@@ -1,0 +1,68 @@
+"""Cross-correlation between two count series.
+
+Used to study how read and write traffic couple over time: at lag 0 a
+positive value means they surge together (shared cause: the application),
+while a peak at a positive lag means one stream *follows* the other
+(e.g. write-back destage trailing foreground writes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+def cross_correlation(
+    a: Sequence[float], b: Sequence[float], max_lag: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample cross-correlation of two equal-length series.
+
+    Returns ``(lags, ccf)`` for lags ``-max_lag .. +max_lag``; at lag k,
+    the value correlates ``a[t]`` with ``b[t + k]``, so a peak at
+    positive k means *b lags a*. The biased estimator (normalizing by n
+    and the full-series standard deviations) is used, keeping values in
+    [-1, 1]. A constant series yields NaN at every lag.
+    """
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise StatsError(
+            f"series shapes differ or not 1-D: {x.shape} vs {y.shape}"
+        )
+    n = x.size
+    if n < 2:
+        raise StatsError("cross-correlation needs at least 2 observations")
+    if max_lag < 0:
+        raise StatsError(f"max_lag must be >= 0, got {max_lag!r}")
+    max_lag = min(max_lag, n - 1)
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = n * x.std(ddof=0) * y.std(ddof=0)
+    lags = np.arange(-max_lag, max_lag + 1)
+    ccf = np.empty(lags.size)
+    if denom == 0:
+        ccf[:] = np.nan
+        return lags, ccf
+    for i, k in enumerate(lags):
+        if k >= 0:
+            ccf[i] = float(np.dot(xc[: n - k], yc[k:])) / denom
+        else:
+            ccf[i] = float(np.dot(xc[-k:], yc[: n + k])) / denom
+    return lags, ccf
+
+
+def peak_lag(a: Sequence[float], b: Sequence[float], max_lag: int) -> Tuple[int, float]:
+    """The lag with the strongest (absolute) cross-correlation.
+
+    Returns ``(lag, value)``; positive lag means ``b`` follows ``a``.
+    """
+    lags, ccf = cross_correlation(a, b, max_lag)
+    finite = np.isfinite(ccf)
+    if not finite.any():
+        raise StatsError("cross-correlation is undefined (constant series)")
+    masked = np.where(finite, np.abs(ccf), -np.inf)
+    best = int(np.argmax(masked))
+    return int(lags[best]), float(ccf[best])

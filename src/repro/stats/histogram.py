@@ -1,0 +1,90 @@
+"""Histograms with linear or logarithmic binning.
+
+Idle-interval and request-size distributions span five or more orders of
+magnitude, so logarithmic bins are the default tool; :func:`log_bin_edges`
+builds them and :class:`Histogram` wraps numpy's counting with density and
+mass views.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+def log_bin_edges(lo: float, hi: float, bins_per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced bin edges covering ``[lo, hi]``.
+
+    ``lo`` must be positive; the returned edges start at ``lo`` and end
+    at or just past ``hi`` with ``bins_per_decade`` bins per factor of 10.
+    """
+    if lo <= 0:
+        raise StatsError(f"log bins need lo > 0, got {lo!r}")
+    if hi <= lo:
+        raise StatsError(f"need hi > lo, got lo={lo!r}, hi={hi!r}")
+    if bins_per_decade <= 0:
+        raise StatsError(f"bins_per_decade must be > 0, got {bins_per_decade!r}")
+    decades = np.log10(hi / lo)
+    nbins = max(1, int(np.ceil(decades * bins_per_decade)))
+    return lo * np.logspace(0, decades, nbins + 1, base=10.0)
+
+
+class Histogram:
+    """Counts of a sample over explicit bin edges.
+
+    Values outside the edges are counted in :attr:`underflow` and
+    :attr:`overflow` instead of being silently dropped, so totals always
+    reconcile with the input sample size.
+    """
+
+    def __init__(self, sample: Sequence[float], edges: Sequence[float]) -> None:
+        values = np.asarray(sample, dtype=np.float64)
+        values = values[~np.isnan(values)]
+        self._edges = np.asarray(edges, dtype=np.float64)
+        if self._edges.ndim != 1 or self._edges.size < 2:
+            raise StatsError("need at least two bin edges")
+        if np.any(np.diff(self._edges) <= 0):
+            raise StatsError("bin edges must be strictly increasing")
+        self.underflow = int(np.sum(values < self._edges[0]))
+        self.overflow = int(np.sum(values >= self._edges[-1]))
+        inside = values[(values >= self._edges[0]) & (values < self._edges[-1])]
+        self._counts, _ = np.histogram(inside, bins=self._edges)
+        self._n = int(values.size)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Bin edges (length ``nbins + 1``)."""
+        return self._edges
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Raw per-bin counts."""
+        return self._counts
+
+    @property
+    def n(self) -> int:
+        """Total sample size (inside + underflow + overflow)."""
+        return self._n
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Geometric bin centers (appropriate for log bins)."""
+        return np.sqrt(self._edges[:-1] * np.maximum(self._edges[1:], 1e-300))
+
+    def mass(self) -> np.ndarray:
+        """Per-bin probability mass (sums to the in-range fraction)."""
+        if self._n == 0:
+            return np.zeros_like(self._counts, dtype=np.float64)
+        return self._counts / self._n
+
+    def density(self) -> np.ndarray:
+        """Per-bin probability density (mass / bin width)."""
+        widths = np.diff(self._edges)
+        return self.mass() / widths
+
+    def mode_bin(self) -> int:
+        """Index of the most populated bin."""
+        return int(np.argmax(self._counts))

@@ -1,0 +1,65 @@
+"""Inequality measures for cross-drive variability.
+
+"There is variability across drives of the same family" becomes
+quantitative through the Lorenz curve of per-drive lifetime traffic and
+its Gini coefficient: a Gini near 0 would mean every drive carries the
+same load, values above ~0.5 mean a minority of drives carries the bulk
+of the family's traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+def _clean_nonnegative(sample: Sequence[float]) -> np.ndarray:
+    values = np.asarray(sample, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise StatsError("cannot compute inequality of an empty sample")
+    if np.any(values < 0):
+        raise StatsError("inequality measures require non-negative values")
+    return values
+
+
+def lorenz_curve(sample: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """The Lorenz curve of a non-negative sample.
+
+    Returns ``(population_share, value_share)``, each of length
+    ``n + 1`` starting at (0, 0) and ending at (1, 1): after sorting
+    ascending, ``value_share[k]`` is the fraction of the total carried by
+    the ``k`` least-loaded drives.
+    """
+    values = np.sort(_clean_nonnegative(sample))
+    total = values.sum()
+    if total == 0:
+        raise StatsError("Lorenz curve is undefined for an all-zero sample")
+    cum = np.concatenate([[0.0], np.cumsum(values)]) / total
+    pop = np.arange(values.size + 1) / values.size
+    return pop, cum
+
+
+def gini_coefficient(sample: Sequence[float]) -> float:
+    """Gini coefficient in [0, 1) computed from the Lorenz curve by the
+    trapezoid rule. 0 means perfect equality."""
+    pop, cum = lorenz_curve(sample)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2 rename
+    area_under = float(trapezoid(cum, pop))
+    return 1.0 - 2.0 * area_under
+
+
+def top_share(sample: Sequence[float], top_fraction: float = 0.1) -> float:
+    """Fraction of the total carried by the top ``top_fraction`` of the
+    population — e.g. "the busiest 10 % of drives move X % of the bytes"."""
+    if not 0.0 < top_fraction < 1.0:
+        raise StatsError(f"top_fraction must be in (0, 1), got {top_fraction!r}")
+    values = _clean_nonnegative(sample)
+    total = values.sum()
+    if total == 0:
+        return float("nan")
+    k = max(1, int(round(top_fraction * values.size)))
+    return float(np.sort(values)[-k:].sum() / total)

@@ -1,0 +1,158 @@
+"""Sample moments: batch description and streaming (Welford) accumulation.
+
+:class:`StreamingMoments` exists because the simulator can emit millions
+of per-request timings; analyses that only need moments should not have to
+buffer them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+@dataclass(frozen=True)
+class SampleDescription:
+    """The headline statistics of a one-dimensional sample."""
+
+    n: int
+    mean: float
+    std: float
+    cv: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def describe(sample: Sequence[float]) -> SampleDescription:
+    """Compute the standard description of a sample (NaNs dropped)."""
+    values = np.asarray(sample, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise StatsError("cannot describe an empty sample")
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    q = np.quantile(values, [0.25, 0.5, 0.75, 0.95, 0.99])
+    return SampleDescription(
+        n=int(values.size),
+        mean=mean,
+        std=std,
+        cv=std / mean if mean != 0 else float("nan"),
+        minimum=float(values.min()),
+        p25=float(q[0]),
+        median=float(q[1]),
+        p75=float(q[2]),
+        p95=float(q[3]),
+        p99=float(q[4]),
+        maximum=float(values.max()),
+    )
+
+
+def coefficient_of_variation(sample: Sequence[float]) -> float:
+    """Sample standard deviation divided by the mean.
+
+    CV = 1 characterizes the exponential distribution; disk-level
+    interarrival times show CV well above 1 (burstiness). NaN when the
+    mean is 0.
+    """
+    values = np.asarray(sample, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size < 2:
+        raise StatsError("coefficient of variation needs at least 2 values")
+    mean = values.mean()
+    if mean == 0:
+        return float("nan")
+    return float(values.std(ddof=1) / mean)
+
+
+class StreamingMoments:
+    """Welford's online algorithm for count, mean and variance.
+
+    Numerically stable for long streams; supports merging two
+    accumulators (parallel analysis shards) via :meth:`merge`.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Fold a batch of observations."""
+        for v in np.asarray(values, dtype=np.float64):
+            self.add(float(v))
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """A new accumulator equivalent to having seen both streams."""
+        merged = StreamingMoments()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    @property
+    def n(self) -> int:
+        """Number of observations seen."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Running mean (NaN before the first observation)."""
+        return self._mean if self._n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below 2 observations)."""
+        if self._n < 2:
+            return float("nan")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return float(np.sqrt(var)) if var == var else float("nan")
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation of the stream so far."""
+        if self._n < 2 or self.mean == 0:
+            return float("nan")
+        return self.std / self.mean
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (NaN before the first)."""
+        return self._min if self._n else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (NaN before the first)."""
+        return self._max if self._n else float("nan")

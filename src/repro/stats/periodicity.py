@@ -1,0 +1,127 @@
+"""Periodicity detection for counter series.
+
+Hour traces carry daily and weekly cycles; rather than assuming them,
+the analysis can *detect* them. Two detectors are provided: a
+periodogram peak (FFT) and a seasonal-strength measure that quantifies
+how much variance a candidate period explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """A detected period in a uniformly sampled series.
+
+    Attributes
+    ----------
+    period:
+        The detected period in samples.
+    power_fraction:
+        The periodogram mass at the detected frequency, as a fraction of
+        total (non-DC) mass — a crude confidence measure.
+    """
+
+    period: float
+    power_fraction: float
+
+
+def dominant_period(
+    series: Sequence[float], min_period: int = 2, max_period: Optional[int] = None
+) -> PeriodEstimate:
+    """The strongest periodic component of a series, via the periodogram.
+
+    The mean is removed; the frequency with maximal power whose period
+    lies in ``[min_period, max_period]`` wins. ``max_period`` defaults
+    to half the series length.
+
+    Raises :class:`StatsError` for series too short to host a period or
+    with zero variance.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    n = values.size
+    if max_period is None:
+        max_period = n // 2
+    if min_period < 2:
+        raise StatsError(f"min_period must be >= 2, got {min_period!r}")
+    if max_period < min_period or n < 2 * min_period:
+        raise StatsError(
+            f"series of {n} samples cannot host periods in "
+            f"[{min_period}, {max_period}]"
+        )
+    centered = values - values.mean()
+    if np.allclose(centered, 0.0):
+        raise StatsError("series has zero variance; no period to detect")
+    spectrum = np.abs(np.fft.rfft(centered)) ** 2
+    frequencies = np.fft.rfftfreq(n)  # cycles per sample
+    with np.errstate(divide="ignore"):
+        periods = np.where(frequencies > 0, 1.0 / frequencies, np.inf)
+    eligible = (periods >= min_period) & (periods <= max_period)
+    if not np.any(eligible):
+        raise StatsError("no FFT bin falls in the requested period range")
+    masked = np.where(eligible, spectrum, 0.0)
+    best = int(np.argmax(masked))
+    total = spectrum[1:].sum()
+    return PeriodEstimate(
+        period=float(periods[best]),
+        power_fraction=float(spectrum[best] / total) if total > 0 else 0.0,
+    )
+
+
+def remove_seasonal(series: Sequence[float], period: int) -> np.ndarray:
+    """Subtract the per-phase mean cycle, leaving the residual series.
+
+    The residual keeps the series' overall mean (the cycle is removed
+    around it), so rate-based statistics (IDC) remain meaningful. Used
+    to ask what burstiness remains once the diurnal cycle is explained
+    away — if the residual is still overdispersed, the burstiness is
+    intrinsic, not an artifact of the daily rhythm.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if np.any(np.isnan(values)):
+        raise StatsError("remove_seasonal requires a NaN-free series")
+    if period < 2:
+        raise StatsError(f"period must be >= 2, got {period!r}")
+    if values.size < 2 * period:
+        raise StatsError(
+            f"need at least two full periods ({2 * period} samples), "
+            f"got {values.size}"
+        )
+    phases = np.arange(values.size) % period
+    phase_means = np.array(
+        [values[phases == p].mean() for p in range(period)]
+    )
+    return values - phase_means[phases] + values.mean()
+
+
+def seasonal_strength(series: Sequence[float], period: int) -> float:
+    """How much of the series' variance a fixed ``period`` explains.
+
+    The series is folded at the period; the variance of the per-phase
+    means divided by the total variance is the strength, in [0, 1].
+    0 means the candidate period explains nothing, values near 1 mean
+    the series is almost a pure cycle.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if period < 2:
+        raise StatsError(f"period must be >= 2, got {period!r}")
+    if values.size < 2 * period:
+        raise StatsError(
+            f"need at least two full periods ({2 * period} samples), "
+            f"got {values.size}"
+        )
+    total_var = values.var()
+    if total_var == 0:
+        return 0.0
+    usable = values[: (values.size // period) * period].reshape(-1, period)
+    phase_means = usable.mean(axis=0)
+    return float(min(1.0, phase_means.var() / total_var))

@@ -1,0 +1,159 @@
+"""Analytic queueing baselines: M/G/1 formulas.
+
+A disk served FCFS is, under Poisson arrivals, an M/G/1 queue — the
+classical sanity check for any disk simulator. The Pollaczek-Khinchine
+formula predicts mean waiting time from just three numbers (arrival
+rate, mean and variance of service time), so the simulator can be
+validated end-to-end against theory, and measured workloads can be
+compared against their memoryless counterfactual (bursty arrivals wait
+*longer* than P-K predicts — another face of the paper's burstiness
+finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+@dataclass(frozen=True)
+class Mg1Prediction:
+    """Analytic M/G/1 quantities for given arrival/service parameters.
+
+    Attributes
+    ----------
+    utilization:
+        Offered load ``rho = lambda * E[S]``.
+    mean_wait:
+        Mean time in queue (Pollaczek-Khinchine).
+    mean_response:
+        Mean time in system (wait + service).
+    mean_queue_length:
+        Mean number waiting (Little's law on the wait).
+    """
+
+    utilization: float
+    mean_wait: float
+    mean_response: float
+    mean_queue_length: float
+
+
+def mg1_predict(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> Mg1Prediction:
+    """Pollaczek-Khinchine prediction for an M/G/1 queue.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda`` (requests/second).
+    service_mean:
+        Mean service time ``E[S]`` in seconds.
+    service_scv:
+        Squared coefficient of variation of service time,
+        ``Var[S] / E[S]^2`` (1 for exponential service, 0 for constant).
+
+    Raises
+    ------
+    StatsError
+        For non-positive inputs or an unstable queue (``rho >= 1``).
+    """
+    if arrival_rate <= 0:
+        raise StatsError(f"arrival_rate must be > 0, got {arrival_rate!r}")
+    if service_mean <= 0:
+        raise StatsError(f"service_mean must be > 0, got {service_mean!r}")
+    if service_scv < 0:
+        raise StatsError(f"service_scv must be >= 0, got {service_scv!r}")
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        raise StatsError(
+            f"queue unstable: offered load rho = {rho:.3f} >= 1"
+        )
+    mean_wait = rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+    return Mg1Prediction(
+        utilization=rho,
+        mean_wait=mean_wait,
+        mean_response=mean_wait + service_mean,
+        mean_queue_length=arrival_rate * mean_wait,
+    )
+
+
+def mg1_predict_from_samples(
+    arrival_rate: float, service_samples
+) -> Mg1Prediction:
+    """P-K prediction with the service moments estimated from a sample
+    of observed service times (e.g. a simulation's output)."""
+    samples = np.asarray(service_samples, dtype=np.float64)
+    samples = samples[~np.isnan(samples)]
+    if samples.size < 2:
+        raise StatsError("need at least 2 service-time samples")
+    mean = float(samples.mean())
+    if mean <= 0:
+        raise StatsError("service samples must have a positive mean")
+    scv = float(samples.var(ddof=1) / mean ** 2)
+    return mg1_predict(arrival_rate, mean, scv)
+
+
+def mg1_vacation_penalty(vacation_mean: float, vacation_scv: float) -> float:
+    """Extra mean wait imposed on foreground requests by server vacations.
+
+    In an M/G/1 queue whose server takes vacations whenever it idles
+    (the model of a disk running background chunks in idle time), the
+    decomposition result adds ``E[V^2] / (2 E[V])`` to every customer's
+    mean wait, where V is the vacation length. Expressed through the
+    squared coefficient of variation: ``E[V] * (1 + scv) / 2``.
+
+    Small, fixed-size background chunks therefore bound the foreground
+    penalty at about half a chunk — the analytic justification for the
+    chunking policy in :mod:`repro.core.background`.
+    """
+    if vacation_mean <= 0:
+        raise StatsError(f"vacation_mean must be > 0, got {vacation_mean!r}")
+    if vacation_scv < 0:
+        raise StatsError(f"vacation_scv must be >= 0, got {vacation_scv!r}")
+    return vacation_mean * (1.0 + vacation_scv) / 2.0
+
+
+def mg1_with_vacations(
+    arrival_rate: float,
+    service_mean: float,
+    service_scv: float,
+    vacation_mean: float,
+    vacation_scv: float = 0.0,
+) -> Mg1Prediction:
+    """P-K prediction plus the vacation decomposition term.
+
+    Deterministic vacations (``vacation_scv = 0``) model fixed-size
+    background chunks.
+    """
+    base = mg1_predict(arrival_rate, service_mean, service_scv)
+    extra = mg1_vacation_penalty(vacation_mean, vacation_scv)
+    mean_wait = base.mean_wait + extra
+    return Mg1Prediction(
+        utilization=base.utilization,
+        mean_wait=mean_wait,
+        mean_response=mean_wait + service_mean,
+        mean_queue_length=arrival_rate * mean_wait,
+    )
+
+
+def burstiness_penalty(
+    measured_mean_wait: float, prediction: Mg1Prediction
+) -> float:
+    """Ratio of a measured mean wait to the memoryless (P-K) prediction.
+
+    ≈ 1 for genuinely Poisson arrivals; substantially above 1 when
+    arrivals are bursty — queueing delay concentrates inside bursts, so
+    the same offered load hurts more. NaN when the prediction is 0
+    (degenerate no-wait regime).
+    """
+    if measured_mean_wait < 0:
+        raise StatsError(
+            f"measured_mean_wait must be >= 0, got {measured_mean_wait!r}"
+        )
+    if prediction.mean_wait <= 0:
+        return float("nan")
+    return measured_mean_wait / prediction.mean_wait

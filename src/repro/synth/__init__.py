@@ -1,0 +1,70 @@
+"""Workload synthesis: statistically faithful substitutes for the paper's
+proprietary trace sets.
+
+The paper's Millisecond, Hour and Lifetime traces came from instrumented
+production drives and were never released. This subpackage generates
+synthetic equivalents whose *statistical structure* matches what the
+paper (and the authors' related published work) reports:
+
+* arrival processes from memoryless (Poisson) to bursty-at-all-scales
+  (heavy-tailed ON/OFF, MMPP, b-model multiplicative cascade, and
+  fractional-Gaussian-noise rate modulation) — :mod:`repro.synth.arrivals`
+  and :mod:`repro.synth.selfsimilar`;
+* disk-realistic spatial (LBA), size and read/write-mix processes —
+  :mod:`repro.synth.spatial`, :mod:`repro.synth.sizes`,
+  :mod:`repro.synth.mix`;
+* named enterprise workload profiles gluing those together —
+  :mod:`repro.synth.workload` and :mod:`repro.synth.profiles`;
+* hour-counter and lifetime/family generators for the two coarser
+  granularities — :mod:`repro.synth.hourly` and :mod:`repro.synth.family`.
+"""
+
+from repro.synth.arrivals import (
+    bmodel_arrivals,
+    mmpp_arrivals,
+    onoff_arrivals,
+    pareto_sample,
+    poisson_arrivals,
+)
+from repro.synth.selfsimilar import arrivals_from_counts, fgn_counts, superposed_onoff_arrivals
+from repro.synth.spatial import SequentialRuns, UniformSpatial, ZipfHotspots
+from repro.synth.sizes import FixedSizes, LognormalSizes, MixtureSizes
+from repro.synth.mix import BernoulliMix, MarkovMix
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+from repro.synth.profiles import available_profiles, get_profile
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.family import FamilyModel
+from repro.synth.calibrate import TraceFingerprint, calibrate_profile, calibration_report, fingerprint
+from repro.synth.diurnal import DiurnalDay, default_day_curve, hourly_from_trace
+
+__all__ = [
+    "poisson_arrivals",
+    "onoff_arrivals",
+    "mmpp_arrivals",
+    "bmodel_arrivals",
+    "pareto_sample",
+    "fgn_counts",
+    "arrivals_from_counts",
+    "superposed_onoff_arrivals",
+    "UniformSpatial",
+    "SequentialRuns",
+    "ZipfHotspots",
+    "FixedSizes",
+    "MixtureSizes",
+    "LognormalSizes",
+    "BernoulliMix",
+    "MarkovMix",
+    "ArrivalSpec",
+    "WorkloadProfile",
+    "available_profiles",
+    "get_profile",
+    "HourlyWorkloadModel",
+    "FamilyModel",
+    "TraceFingerprint",
+    "fingerprint",
+    "calibrate_profile",
+    "calibration_report",
+    "DiurnalDay",
+    "default_day_curve",
+    "hourly_from_trace",
+]

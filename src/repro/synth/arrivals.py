@@ -1,0 +1,199 @@
+"""Arrival-process generators.
+
+Each generator returns a sorted array of arrival times in ``[0, span)``.
+The menu spans the burstiness spectrum the paper's analyses distinguish:
+
+* :func:`poisson_arrivals` — the memoryless baseline (IDC = 1 at every
+  scale);
+* :func:`mmpp_arrivals` — Markov-modulated Poisson: bursty at the scale
+  of the modulating chain, Poisson beyond it;
+* :func:`onoff_arrivals` — ON/OFF with (optionally heavy-tailed) period
+  lengths: bursty over a wide scale range, long-range dependent when the
+  periods are Pareto with 1 < alpha < 2;
+* :func:`bmodel_arrivals` — the b-model multiplicative cascade of Wang
+  et al.: burstiness at *every* dyadic scale by construction, the
+  canonical generator for "bursty across all time scales".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SynthesisError
+
+
+def _check_span_rate(span: float, rate: float) -> None:
+    if span <= 0:
+        raise SynthesisError(f"span must be > 0, got {span!r}")
+    if rate <= 0:
+        raise SynthesisError(f"rate must be > 0, got {rate!r}")
+
+
+def pareto_sample(
+    rng: np.random.Generator, alpha: float, xm: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` Pareto(``alpha``, scale ``xm``) variates by inverse
+    transform: heavy-tailed for small ``alpha`` (infinite variance below
+    2, infinite mean at or below 1)."""
+    if alpha <= 0:
+        raise SynthesisError(f"Pareto alpha must be > 0, got {alpha!r}")
+    if xm <= 0:
+        raise SynthesisError(f"Pareto scale must be > 0, got {xm!r}")
+    u = rng.uniform(size=size)
+    return xm / np.power(1.0 - u, 1.0 / alpha)
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate: float, span: float
+) -> np.ndarray:
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+    _check_span_rate(span, rate)
+    # Draw ~expected + slack gaps at once, extend in the rare shortfall.
+    times = []
+    clock = 0.0
+    batch = max(16, int(rate * span * 1.2) + 8)
+    while clock < span:
+        gaps = rng.exponential(1.0 / rate, size=batch)
+        arrivals = clock + np.cumsum(gaps)
+        times.append(arrivals)
+        clock = float(arrivals[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < span]
+
+
+def onoff_arrivals(
+    rng: np.random.Generator,
+    rate_on: float,
+    span: float,
+    mean_on: float,
+    mean_off: float,
+    on_alpha: float = 1.5,
+    off_alpha: float = 1.5,
+) -> np.ndarray:
+    """ON/OFF arrivals: Poisson at ``rate_on`` during ON periods, silent
+    during OFF periods.
+
+    Period lengths are Pareto with the given tail indices and the given
+    means (``alpha`` must exceed 1 so the mean exists). Tail indices
+    below 2 give the infinite-variance periods that produce long-range
+    dependence in the count process.
+    """
+    _check_span_rate(span, rate_on)
+    for name, alpha in (("on_alpha", on_alpha), ("off_alpha", off_alpha)):
+        if alpha <= 1.0:
+            raise SynthesisError(f"{name} must be > 1 so the mean exists, got {alpha!r}")
+    for name, mean in (("mean_on", mean_on), ("mean_off", mean_off)):
+        if mean <= 0:
+            raise SynthesisError(f"{name} must be > 0, got {mean!r}")
+    # Pareto mean is alpha*xm/(alpha-1); solve for the scale.
+    xm_on = mean_on * (on_alpha - 1.0) / on_alpha
+    xm_off = mean_off * (off_alpha - 1.0) / off_alpha
+
+    times = []
+    clock = 0.0
+    # Start in a random phase so ensembles don't synchronize at t=0.
+    in_on = bool(rng.uniform() < mean_on / (mean_on + mean_off))
+    while clock < span:
+        if in_on:
+            duration = float(pareto_sample(rng, on_alpha, xm_on, 1)[0])
+            end = min(clock + duration, span)
+            expected = rate_on * (end - clock)
+            count = rng.poisson(expected)
+            if count:
+                times.append(rng.uniform(clock, end, size=count))
+            clock += duration
+        else:
+            clock += float(pareto_sample(rng, off_alpha, xm_off, 1)[0])
+        in_on = not in_on
+    if not times:
+        return np.zeros(0)
+    result = np.sort(np.concatenate(times))
+    return result[result < span]
+
+
+def mmpp_arrivals(
+    rng: np.random.Generator,
+    rates: Sequence[float],
+    mean_holding: Sequence[float],
+    span: float,
+) -> np.ndarray:
+    """Markov-modulated Poisson arrivals.
+
+    The modulating chain cycles through its states with exponential
+    holding times of the given means (a cyclic chain keeps the interface
+    small while covering the common 2- and 3-state fits used for disk
+    traffic). ``rates`` may include 0 for silent states.
+    """
+    if span <= 0:
+        raise SynthesisError(f"span must be > 0, got {span!r}")
+    rates = list(rates)
+    holdings = list(mean_holding)
+    if len(rates) != len(holdings) or not rates:
+        raise SynthesisError("rates and mean_holding must be equal-length, non-empty")
+    if all(r <= 0 for r in rates):
+        raise SynthesisError("at least one MMPP state needs a positive rate")
+    if any(h <= 0 for h in holdings):
+        raise SynthesisError("holding-time means must be > 0")
+
+    times = []
+    clock = 0.0
+    state = int(rng.integers(len(rates)))
+    while clock < span:
+        duration = float(rng.exponential(holdings[state]))
+        end = min(clock + duration, span)
+        rate = rates[state]
+        if rate > 0:
+            count = rng.poisson(rate * (end - clock))
+            if count:
+                times.append(rng.uniform(clock, end, size=count))
+        clock += duration
+        state = (state + 1) % len(rates)
+    if not times:
+        return np.zeros(0)
+    result = np.sort(np.concatenate(times))
+    return result[result < span]
+
+
+def bmodel_arrivals(
+    rng: np.random.Generator,
+    n_requests: int,
+    span: float,
+    bias: float = 0.7,
+    min_bin: float = 1e-3,
+) -> np.ndarray:
+    """b-model (biased multiplicative cascade) arrivals.
+
+    The span is split in half recursively; at each split a fraction
+    ``bias`` of the events goes to one randomly chosen half and the rest
+    to the other, until bins shrink to ``min_bin`` seconds. Events are
+    placed uniformly inside their final bin. ``bias = 0.5`` degenerates
+    to (approximately) uniform; values toward 1 concentrate traffic into
+    ever-burstier clumps *at every scale* — the signature the paper
+    observes in disk-level workloads.
+    """
+    if n_requests < 0:
+        raise SynthesisError(f"n_requests must be >= 0, got {n_requests!r}")
+    if span <= 0:
+        raise SynthesisError(f"span must be > 0, got {span!r}")
+    if not 0.5 <= bias < 1.0:
+        raise SynthesisError(f"bias must be in [0.5, 1), got {bias!r}")
+    if min_bin <= 0 or min_bin > span:
+        raise SynthesisError(f"min_bin must be in (0, span], got {min_bin!r}")
+    if n_requests == 0:
+        return np.zeros(0)
+
+    counts = np.array([n_requests], dtype=np.int64)
+    width = span
+    while width / 2.0 >= min_bin:
+        left = rng.binomial(1, 0.5, size=counts.size).astype(bool)
+        share = np.where(left, bias, 1.0 - bias)
+        left_counts = rng.binomial(counts, share)
+        counts = np.column_stack([left_counts, counts - left_counts]).reshape(-1)
+        width /= 2.0
+    nbins = counts.size
+    bin_index = np.repeat(np.arange(nbins), counts)
+    offsets = rng.uniform(size=bin_index.size)
+    times = (bin_index + offsets) * (span / nbins)
+    return np.sort(times[times < span])

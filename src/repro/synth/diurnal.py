@@ -1,0 +1,100 @@
+"""Day-long millisecond traces with diurnal rate modulation.
+
+The bridge between the Millisecond and Hour granularities: one
+request-level trace whose rate follows an hour-of-day curve. Aggregating
+its byte counts into hourly bins yields exactly the kind of series the
+Hour traces record — generated from the bottom up rather than sampled
+from a counter model — which is what the deep cross-scale experiment
+(F15) compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.synth.workload import WorkloadProfile
+from repro.traces.hourly import HourlyTrace
+from repro.traces.millisecond import RequestTrace
+from repro.units import HOURS_PER_DAY, SECONDS_PER_HOUR
+
+
+def default_day_curve(day_night_ratio: float = 4.0) -> np.ndarray:
+    """A smooth 24-value relative-rate curve peaking mid-afternoon with
+    mean 1.0 (the same shape the hour-counter generator uses)."""
+    if day_night_ratio <= 0:
+        raise SynthesisError(f"day_night_ratio must be > 0, got {day_night_ratio!r}")
+    hours = np.arange(HOURS_PER_DAY)
+    phase = 2.0 * np.pi * (hours - 14) / HOURS_PER_DAY
+    swing = (day_night_ratio - 1.0) / (day_night_ratio + 1.0)
+    curve = 1.0 + swing * np.cos(phase)
+    return curve / curve.mean()
+
+
+@dataclass(frozen=True)
+class DiurnalDay:
+    """Recipe for a day-long millisecond trace.
+
+    Attributes
+    ----------
+    profile:
+        The base workload; its ``rate`` is the *daily mean* rate.
+    curve:
+        24 relative rate multipliers (normalized to mean 1 internally).
+    """
+
+    profile: WorkloadProfile
+    curve: Sequence[float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        curve = self.curve if self.curve is not None else default_day_curve()
+        curve = np.asarray(curve, dtype=np.float64)
+        if curve.shape != (HOURS_PER_DAY,):
+            raise SynthesisError(
+                f"curve must have 24 entries, got shape {curve.shape}"
+            )
+        if np.any(curve < 0) or curve.sum() == 0:
+            raise SynthesisError("curve must be non-negative with a positive sum")
+        object.__setattr__(self, "curve", curve / curve.mean())
+
+    def synthesize(self, capacity_sectors: int, seed: int = 0) -> RequestTrace:
+        """One 24-hour trace: each hour generated at its modulated rate
+        and concatenated on a single clock. Deterministic in ``seed``."""
+        segments = []
+        for hour in range(HOURS_PER_DAY):
+            rate = self.profile.rate * float(self.curve[hour])
+            if rate <= 0:
+                segments.append(
+                    RequestTrace.empty(span=SECONDS_PER_HOUR, label=self.profile.name)
+                )
+                continue
+            hour_profile = replace(self.profile, rate=rate)
+            segments.append(
+                hour_profile.synthesize(
+                    span=SECONDS_PER_HOUR,
+                    capacity_sectors=capacity_sectors,
+                    seed=seed * HOURS_PER_DAY + hour,
+                )
+            )
+        day = segments[0]
+        for segment in segments[1:]:
+            day = day.concat(segment)
+        return RequestTrace(
+            day.times, day.lbas, day.nsectors, day.is_write,
+            span=day.span, label=f"{self.profile.name}@day",
+        )
+
+
+def hourly_from_trace(trace: RequestTrace, drive_id: str = "derived") -> HourlyTrace:
+    """Aggregate a millisecond trace into per-hour read/write counters —
+    the exact operation a drive's hourly logging performs."""
+    if trace.span <= 0:
+        raise SynthesisError("trace span must be positive")
+    read_bytes = trace.reads().byte_series(SECONDS_PER_HOUR)
+    write_bytes = trace.writes().byte_series(SECONDS_PER_HOUR)
+    return HourlyTrace(
+        drive_id=drive_id, read_bytes=read_bytes, write_bytes=write_bytes
+    )

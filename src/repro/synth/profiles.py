@@ -1,0 +1,149 @@
+"""Named enterprise workload profiles.
+
+These presets stand in for the paper's traced production servers. Rates,
+mixes and localities follow the published characterizations of
+disk-level enterprise traffic (the paper's own related work): moderate
+request rates, write-dominated disk-level mixes (file-system caches
+absorb most reads before they reach the disk), strong locality, and
+bursty arrivals — plus a ``backup`` profile that drives the drive near
+its bandwidth for long stretches, matching the saturated sub-population
+the Lifetime traces expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ProfileError
+from repro.synth.mix import BernoulliMix, MarkovMix
+from repro.synth.sizes import FixedSizes, MixtureSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+from repro.units import bytes_to_sectors
+
+
+def _build_profiles() -> Dict[str, WorkloadProfile]:
+    profiles = {}
+
+    profiles["web"] = WorkloadProfile(
+        name="web",
+        rate=25.0,
+        arrival=ArrivalSpec("onoff", {"mean_on": 0.5, "mean_off": 2.0, "on_alpha": 1.4, "off_alpha": 1.4}),
+        spatial="zipf",
+        spatial_params={"n_zones": 64, "exponent": 1.0},
+        sizes=MixtureSizes.typical_enterprise(),
+        mix=MarkovMix(write_fraction=0.55, mean_run_length=6.0),
+        description="web server: bursty ON/OFF arrivals, hot content zones",
+    )
+
+    profiles["email"] = WorkloadProfile(
+        name="email",
+        rate=40.0,
+        arrival=ArrivalSpec("mmpp", {"rate_ratios": (0.3, 3.5), "mean_holding": (3.0, 0.6)}),
+        spatial="zipf",
+        spatial_params={"n_zones": 128, "exponent": 0.9},
+        sizes=MixtureSizes(
+            sizes_sectors=[bytes_to_sectors(4 * 1024), bytes_to_sectors(16 * 1024), bytes_to_sectors(64 * 1024)],
+            weights=[0.55, 0.30, 0.15],
+        ),
+        mix=MarkovMix(write_fraction=0.70, mean_run_length=10.0),
+        description="e-mail server: MMPP arrivals, write-heavy message store",
+    )
+
+    profiles["devel"] = WorkloadProfile(
+        name="devel",
+        rate=15.0,
+        arrival=ArrivalSpec("bmodel", {"bias": 0.72, "min_bin": 1e-2}),
+        spatial="sequential",
+        spatial_params={"mean_run_length": 6.0},
+        sizes=MixtureSizes.typical_enterprise(),
+        mix=MarkovMix(write_fraction=0.60, mean_run_length=8.0),
+        description="software development: cascade-bursty compile/edit cycles",
+    )
+
+    profiles["database"] = WorkloadProfile(
+        name="database",
+        rate=60.0,
+        arrival=ArrivalSpec("mmpp", {"rate_ratios": (0.5, 2.5), "mean_holding": (1.0, 0.4)}),
+        spatial="zipf",
+        spatial_params={"n_zones": 256, "exponent": 1.2},
+        sizes=MixtureSizes(
+            sizes_sectors=[bytes_to_sectors(4 * 1024), bytes_to_sectors(8 * 1024)],
+            weights=[0.6, 0.4],
+        ),
+        mix=MarkovMix(write_fraction=0.65, mean_run_length=12.0),
+        description="OLTP database: small pages, hot tables and log, write-heavy",
+    )
+
+    profiles["fileserver"] = WorkloadProfile(
+        name="fileserver",
+        rate=20.0,
+        arrival=ArrivalSpec("superposed", {"n_sources": 12, "alpha": 1.5}),
+        spatial="sequential",
+        spatial_params={"mean_run_length": 16.0},
+        sizes=MixtureSizes(
+            sizes_sectors=[bytes_to_sectors(8 * 1024), bytes_to_sectors(64 * 1024), bytes_to_sectors(256 * 1024)],
+            weights=[0.35, 0.45, 0.20],
+        ),
+        mix=BernoulliMix(write_fraction=0.45),
+        description="file server: many clients, long sequential runs, larger I/O",
+    )
+
+    profiles["backup"] = WorkloadProfile(
+        name="backup",
+        rate=280.0,
+        arrival=ArrivalSpec("onoff", {"mean_on": 30.0, "mean_off": 5.0, "on_alpha": 2.5, "off_alpha": 2.5}),
+        spatial="sequential",
+        spatial_params={"mean_run_length": 64.0},
+        sizes=FixedSizes(bytes_to_sectors(256 * 1024)),
+        mix=BernoulliMix(write_fraction=0.05),
+        description="backup window: streaming sequential reads near full bandwidth",
+    )
+
+    profiles["vod"] = WorkloadProfile(
+        name="vod",
+        rate=45.0,
+        arrival=ArrivalSpec("superposed", {"n_sources": 24, "alpha": 1.6, "mean_on": 5.0, "mean_off": 10.0}),
+        spatial="sequential",
+        spatial_params={"mean_run_length": 32.0},
+        sizes=MixtureSizes(
+            sizes_sectors=[bytes_to_sectors(64 * 1024), bytes_to_sectors(256 * 1024)],
+            weights=[0.4, 0.6],
+        ),
+        mix=BernoulliMix(write_fraction=0.08),
+        description="video-on-demand: many concurrent sequential read streams",
+    )
+
+    profiles["hpc-scratch"] = WorkloadProfile(
+        name="hpc-scratch",
+        rate=35.0,
+        arrival=ArrivalSpec("onoff", {"mean_on": 10.0, "mean_off": 60.0, "on_alpha": 1.8, "off_alpha": 1.8}),
+        spatial="sequential",
+        spatial_params={"mean_run_length": 48.0},
+        sizes=MixtureSizes(
+            sizes_sectors=[bytes_to_sectors(256 * 1024), bytes_to_sectors(1024 * 1024)],
+            weights=[0.5, 0.5],
+        ),
+        mix=MarkovMix(write_fraction=0.85, mean_run_length=32.0),
+        description="HPC scratch: checkpoint write bursts separated by long compute",
+    )
+
+    return profiles
+
+
+_PROFILES = _build_profiles()
+
+
+def available_profiles() -> Dict[str, WorkloadProfile]:
+    """All named profiles, keyed by name (a fresh dict each call)."""
+    return dict(_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by name; raises :class:`ProfileError` with the
+    valid names when unknown."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ProfileError(
+            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,103 @@
+"""Request-size models.
+
+Disk-level request sizes cluster on a few powers of two (the file system
+and page cache issue 4-64 KiB I/Os) with an occasional large streaming
+transfer; :class:`MixtureSizes` captures that, :class:`FixedSizes` and
+:class:`LognormalSizes` provide the simple and the smooth alternatives.
+
+A size model is a callable: given a count, return per-request lengths in
+sectors (always >= 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.units import bytes_to_sectors
+
+
+class FixedSizes:
+    """Every request has the same length."""
+
+    def __init__(self, nsectors: int) -> None:
+        if nsectors <= 0:
+            raise SynthesisError(f"nsectors must be > 0, got {nsectors!r}")
+        self.nsectors = int(nsectors)
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Lengths in sectors for ``n`` requests."""
+        return np.full(n, self.nsectors, dtype=np.int64)
+
+
+class MixtureSizes:
+    """A discrete mixture over common transfer sizes.
+
+    Parameters
+    ----------
+    sizes_sectors:
+        Candidate lengths in sectors.
+    weights:
+        Relative probabilities (normalized internally).
+    """
+
+    def __init__(self, sizes_sectors: Sequence[int], weights: Sequence[float]) -> None:
+        self.sizes = np.asarray(sizes_sectors, dtype=np.int64)
+        raw = np.asarray(weights, dtype=np.float64)
+        if self.sizes.size == 0 or self.sizes.size != raw.size:
+            raise SynthesisError("sizes and weights must be equal-length, non-empty")
+        if np.any(self.sizes <= 0):
+            raise SynthesisError("sizes must be positive sector counts")
+        if np.any(raw < 0) or raw.sum() <= 0:
+            raise SynthesisError("weights must be non-negative with a positive sum")
+        self.weights = raw / raw.sum()
+
+    @classmethod
+    def typical_enterprise(cls) -> "MixtureSizes":
+        """The canonical enterprise mix: mostly 4-8 KiB pages, some 64 KiB
+        readahead, rare 256 KiB streaming chunks."""
+        return cls(
+            sizes_sectors=[
+                bytes_to_sectors(4 * 1024),
+                bytes_to_sectors(8 * 1024),
+                bytes_to_sectors(64 * 1024),
+                bytes_to_sectors(256 * 1024),
+            ],
+            weights=[0.50, 0.25, 0.20, 0.05],
+        )
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Lengths in sectors for ``n`` requests."""
+        return rng.choice(self.sizes, size=n, p=self.weights).astype(np.int64)
+
+    @property
+    def mean_sectors(self) -> float:
+        """Expected request length in sectors."""
+        return float(np.dot(self.sizes, self.weights))
+
+
+class LognormalSizes:
+    """Lognormal lengths, truncated below at one sector and above at an
+    optional cap (keeps simulated transfers within command limits)."""
+
+    def __init__(
+        self, median_sectors: float, sigma: float = 1.0, cap_sectors: int = 1 << 14
+    ) -> None:
+        if median_sectors < 1:
+            raise SynthesisError(
+                f"median_sectors must be >= 1, got {median_sectors!r}"
+            )
+        if sigma <= 0:
+            raise SynthesisError(f"sigma must be > 0, got {sigma!r}")
+        if cap_sectors < 1:
+            raise SynthesisError(f"cap_sectors must be >= 1, got {cap_sectors!r}")
+        self.mu = float(np.log(median_sectors))
+        self.sigma = float(sigma)
+        self.cap_sectors = int(cap_sectors)
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Lengths in sectors for ``n`` requests."""
+        raw = rng.lognormal(self.mu, self.sigma, size=n)
+        return np.clip(np.round(raw), 1, self.cap_sectors).astype(np.int64)

@@ -1,0 +1,167 @@
+"""Workload profiles: the glue that turns component models into traces.
+
+A :class:`WorkloadProfile` names a complete millisecond-trace recipe —
+arrival process, spatial model, size model, read/write mix, target rate —
+and synthesizes a :class:`~repro.traces.RequestTrace` against a concrete
+drive capacity. Profiles are plain data, so experiments can tweak one
+dimension (``replace(profile, rate=...)``) while holding the rest fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.synth.arrivals import (
+    bmodel_arrivals,
+    mmpp_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+from repro.synth.mix import BernoulliMix
+from repro.synth.selfsimilar import (
+    arrivals_from_counts,
+    fgn_counts,
+    superposed_onoff_arrivals,
+)
+from repro.synth.sizes import MixtureSizes
+from repro.synth.spatial import SequentialRuns, UniformSpatial, ZipfHotspots
+from repro.traces.millisecond import RequestTrace
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Which arrival process to use and its shape parameters.
+
+    ``model`` is one of ``'poisson'``, ``'onoff'``, ``'mmpp'``,
+    ``'bmodel'``, ``'superposed'`` or ``'fgn'``; ``params`` holds that
+    model's keyword arguments (everything except the RNG, the rate and
+    the span, which the profile supplies).
+    """
+
+    model: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    _MODELS = ("poisson", "onoff", "mmpp", "bmodel", "superposed", "fgn")
+
+    def __post_init__(self) -> None:
+        if self.model not in self._MODELS:
+            raise SynthesisError(
+                f"unknown arrival model {self.model!r}; expected one of {self._MODELS}"
+            )
+
+    def generate(
+        self, rng: np.random.Generator, rate: float, span: float
+    ) -> np.ndarray:
+        """Arrival times in ``[0, span)`` targeting ``rate`` requests/s."""
+        p = dict(self.params)
+        if self.model == "poisson":
+            return poisson_arrivals(rng, rate, span)
+        if self.model == "onoff":
+            mean_on = p.pop("mean_on", 0.5)
+            mean_off = p.pop("mean_off", 2.0)
+            duty = mean_on / (mean_on + mean_off)
+            return onoff_arrivals(
+                rng, rate_on=rate / duty, span=span,
+                mean_on=mean_on, mean_off=mean_off, **p,
+            )
+        if self.model == "mmpp":
+            ratios = p.pop("rate_ratios", (0.2, 3.0))
+            holdings = p.pop("mean_holding", (2.0, 0.5))
+            weights = np.asarray(holdings, dtype=np.float64)
+            levels = np.asarray(ratios, dtype=np.float64)
+            achieved = float(np.dot(levels, weights) / weights.sum())
+            rates = [rate * r / achieved for r in levels]
+            return mmpp_arrivals(rng, rates=rates, mean_holding=list(holdings), span=span)
+        if self.model == "bmodel":
+            n = int(rng.poisson(rate * span))
+            return bmodel_arrivals(rng, n_requests=n, span=span, **p)
+        if self.model == "superposed":
+            return superposed_onoff_arrivals(rng, total_rate=rate, span=span, **p)
+        # fgn: counts at a base scale, events placed inside bins.
+        scale = p.pop("scale", 0.1)
+        hurst = p.pop("hurst", 0.8)
+        cv = p.pop("cv", 0.6)
+        nbins = max(1, int(np.ceil(span / scale)))
+        counts = fgn_counts(rng, nbins=nbins, hurst=hurst, mean=rate * scale, cv=cv)
+        times = arrivals_from_counts(rng, counts, scale)
+        return times[times < span]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A complete millisecond-trace recipe for one enterprise workload.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``'web'``).
+    rate:
+        Target mean arrival rate, requests/second.
+    arrival:
+        The arrival-process recipe.
+    spatial:
+        ``'uniform'``, ``'sequential'`` or ``'zipf'``.
+    spatial_params:
+        Keyword arguments of the chosen spatial model (capacity excluded).
+    sizes:
+        A size model (``generate(rng, n) -> sectors``).
+    mix:
+        A read/write mix model (``generate(rng, n) -> is_write``).
+    description:
+        One line for reports.
+    """
+
+    name: str
+    rate: float
+    arrival: ArrivalSpec
+    spatial: str = "zipf"
+    spatial_params: Dict[str, Any] = field(default_factory=dict)
+    sizes: Any = field(default_factory=MixtureSizes.typical_enterprise)
+    mix: Any = field(default_factory=lambda: BernoulliMix(0.6))
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise SynthesisError(f"rate must be > 0, got {self.rate!r}")
+        if self.spatial not in ("uniform", "sequential", "zipf"):
+            raise SynthesisError(
+                f"unknown spatial model {self.spatial!r}; "
+                "expected 'uniform', 'sequential' or 'zipf'"
+            )
+
+    def with_rate(self, rate: float) -> "WorkloadProfile":
+        """A copy of this profile at a different target rate."""
+        return replace(self, rate=rate)
+
+    def _spatial_model(self, capacity_sectors: int):
+        if self.spatial == "uniform":
+            return UniformSpatial(capacity_sectors)
+        if self.spatial == "sequential":
+            return SequentialRuns(capacity_sectors, **self.spatial_params)
+        return ZipfHotspots(capacity_sectors, **self.spatial_params)
+
+    def synthesize(
+        self, span: float, capacity_sectors: int, seed: int = 0
+    ) -> RequestTrace:
+        """Generate a millisecond trace of ``span`` seconds against a
+        drive of ``capacity_sectors``. Deterministic in ``seed``."""
+        if span <= 0:
+            raise SynthesisError(f"span must be > 0, got {span!r}")
+        rng = np.random.default_rng(seed)
+        times = self.arrival.generate(rng, self.rate, span)
+        n = times.size
+        sizes = self.sizes.generate(rng, n)
+        lbas = self._spatial_model(capacity_sectors).generate(rng, sizes)
+        is_write = self.mix.generate(rng, n)
+        return RequestTrace(
+            times=times,
+            lbas=lbas,
+            nsectors=sizes,
+            is_write=is_write,
+            span=span,
+            label=self.name,
+        )

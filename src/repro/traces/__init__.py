@@ -1,0 +1,73 @@
+"""Trace containers for the three granularities studied by the paper.
+
+The paper characterizes three data sets that differ in the granularity of
+the recorded information:
+
+* **Millisecond traces** — per-request records (arrival time, LBA, length,
+  read/write flag) captured at the disk interface. Modeled by
+  :class:`~repro.traces.millisecond.RequestTrace`.
+* **Hour traces** — per-hour read/write counters logged by each drive over
+  weeks. Modeled by :class:`~repro.traces.hourly.HourlyTrace` and grouped
+  into :class:`~repro.traces.hourly.HourlyDataset`.
+* **Lifetime traces** — cumulative counters over each drive's deployment
+  across an entire drive family. Modeled by
+  :class:`~repro.traces.lifetime.LifetimeRecord` and
+  :class:`~repro.traces.lifetime.DriveFamilyDataset`.
+
+All containers are numpy-backed column stores with value semantics:
+construction validates, and analysis code can rely on the documented
+invariants (sorted times, non-negative counters, ...).
+"""
+
+from repro.traces.request import DiskRequest
+from repro.traces.millisecond import RequestTrace
+from repro.traces.hourly import HourlyTrace, HourlyDataset
+from repro.traces.lifetime import LifetimeRecord, DriveFamilyDataset
+from repro.traces.window import TimeWindow, bin_counts, bin_sums, sliding_windows
+from repro.traces.io import (
+    read_hourly_dataset,
+    read_lifetime_dataset,
+    read_request_trace,
+    write_hourly_dataset,
+    write_lifetime_dataset,
+    write_request_trace,
+)
+from repro.traces.ops import jitter, superpose, thin, time_scale, truncate
+from repro.traces.collector import CounterLogger, RequestCollector
+from repro.traces.formats import read_msr_trace, read_spc_trace
+from repro.traces.validate import (
+    validate_family,
+    validate_hourly,
+    validate_request_trace,
+)
+
+__all__ = [
+    "DiskRequest",
+    "RequestTrace",
+    "HourlyTrace",
+    "HourlyDataset",
+    "LifetimeRecord",
+    "DriveFamilyDataset",
+    "TimeWindow",
+    "bin_counts",
+    "bin_sums",
+    "sliding_windows",
+    "read_request_trace",
+    "write_request_trace",
+    "read_hourly_dataset",
+    "write_hourly_dataset",
+    "read_lifetime_dataset",
+    "write_lifetime_dataset",
+    "validate_request_trace",
+    "validate_hourly",
+    "validate_family",
+    "thin",
+    "time_scale",
+    "jitter",
+    "superpose",
+    "truncate",
+    "RequestCollector",
+    "CounterLogger",
+    "read_spc_trace",
+    "read_msr_trace",
+]

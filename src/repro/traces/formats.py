@@ -1,0 +1,163 @@
+"""Importers for public disk-trace formats.
+
+Users who hold real traces shouldn't have to convert them by hand. Two
+widely used formats are supported:
+
+* **SPC (Storage Performance Council)** — the format of the UMass trace
+  repository (Financial1/2, WebSearch1-3): comma-separated
+  ``ASU,LBA,size_bytes,opcode,timestamp`` with ``R``/``W`` opcodes and
+  timestamps in seconds.
+* **MSR Cambridge** — the SNIA-published block traces: comma-separated
+  ``timestamp,hostname,disknum,type,offset_bytes,size_bytes,latency``
+  with Windows 100-ns-tick timestamps and ``Read``/``Write`` types.
+
+Both importers stream line by line (traces run to millions of rows),
+normalize timestamps to start at 0, convert byte offsets/sizes to
+512-byte sectors, and return a standard
+:class:`~repro.traces.RequestTrace`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.millisecond import RequestTrace
+from repro.units import bytes_to_sectors
+
+PathLike = Union[str, Path]
+
+#: Windows FILETIME ticks per second (MSR Cambridge timestamps).
+_FILETIME_TICKS_PER_SECOND = 10_000_000.0
+
+
+def read_spc_trace(
+    path: PathLike,
+    asu: Optional[int] = None,
+    label: Optional[str] = None,
+    max_requests: Optional[int] = None,
+) -> RequestTrace:
+    """Read an SPC-format trace (``ASU,LBA,size_bytes,opcode,timestamp``).
+
+    Parameters
+    ----------
+    path:
+        The trace file.
+    asu:
+        Keep only this application-specific unit (``None`` = all; LBAs
+        of different ASUs share one address space in that case, as in
+        the common single-device analyses of these traces).
+    label:
+        Trace label (defaults to the file stem).
+    max_requests:
+        Stop after this many accepted records (for sampling huge files).
+    """
+    path = Path(path)
+    times: List[float] = []
+    lbas: List[int] = []
+    nsectors: List[int] = []
+    is_write: List[bool] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) < 5:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected 5 SPC fields, got {len(parts)}"
+                )
+            try:
+                record_asu = int(parts[0])
+                lba = int(parts[1])
+                size_bytes = int(parts[2])
+                opcode = parts[3].strip().lower()
+                timestamp = float(parts[4])
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: malformed SPC row") from exc
+            if asu is not None and record_asu != asu:
+                continue
+            if opcode not in ("r", "w"):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: SPC opcode must be R or W, got {parts[3]!r}"
+                )
+            if size_bytes <= 0 or lba < 0 or timestamp < 0:
+                raise TraceFormatError(f"{path}:{lineno}: non-physical SPC record")
+            times.append(timestamp)
+            lbas.append(lba)
+            nsectors.append(max(1, bytes_to_sectors(size_bytes)))
+            is_write.append(opcode == "w")
+            if max_requests is not None and len(times) >= max_requests:
+                break
+    if not times:
+        raise TraceFormatError(f"{path}: no records matched (asu={asu!r})")
+    start = min(times)
+    return RequestTrace(
+        times=[t - start for t in times],
+        lbas=lbas,
+        nsectors=nsectors,
+        is_write=is_write,
+        label=label or path.stem,
+    )
+
+
+def read_msr_trace(
+    path: PathLike,
+    disknum: Optional[int] = None,
+    label: Optional[str] = None,
+    max_requests: Optional[int] = None,
+) -> RequestTrace:
+    """Read an MSR Cambridge trace
+    (``timestamp,hostname,disknum,type,offset,size,latency``).
+
+    ``disknum`` restricts to one disk of the volume (``None`` = all).
+    Timestamps are Windows FILETIME ticks; offsets and sizes bytes.
+    """
+    path = Path(path)
+    times: List[float] = []
+    lbas: List[int] = []
+    nsectors: List[int] = []
+    is_write: List[bool] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) < 7:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected 7 MSR fields, got {len(parts)}"
+                )
+            try:
+                ticks = float(parts[0])
+                record_disk = int(parts[2])
+                op = parts[3].strip().lower()
+                offset = int(parts[4])
+                size_bytes = int(parts[5])
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: malformed MSR row") from exc
+            if disknum is not None and record_disk != disknum:
+                continue
+            if op not in ("read", "write"):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: MSR type must be Read or Write, got {parts[3]!r}"
+                )
+            if size_bytes <= 0 or offset < 0 or ticks < 0:
+                raise TraceFormatError(f"{path}:{lineno}: non-physical MSR record")
+            times.append(ticks / _FILETIME_TICKS_PER_SECOND)
+            lbas.append(offset // 512)
+            nsectors.append(max(1, bytes_to_sectors(size_bytes)))
+            is_write.append(op == "write")
+            if max_requests is not None and len(times) >= max_requests:
+                break
+    if not times:
+        raise TraceFormatError(f"{path}: no records matched (disknum={disknum!r})")
+    start = min(times)
+    return RequestTrace(
+        times=[t - start for t in times],
+        lbas=lbas,
+        nsectors=nsectors,
+        is_write=is_write,
+        label=label or path.stem,
+    )

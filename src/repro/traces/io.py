@@ -1,0 +1,185 @@
+"""Persistence for the three trace granularities.
+
+Formats are deliberately simple and line-oriented so traces survive `grep`
+and version control:
+
+* Millisecond traces — CSV with header ``time,lba,nsectors,op`` where
+  ``op`` is ``R`` or ``W``; a leading comment line carries the span and
+  label (``# span=<seconds> label=<text>``).
+* Hour traces — JSON Lines, one drive per line.
+* Lifetime traces — CSV with header
+  ``drive_id,power_on_hours,bytes_read,bytes_written,model``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
+from repro.traces.millisecond import RequestTrace
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Millisecond traces
+# ----------------------------------------------------------------------
+
+def write_request_trace(trace: RequestTrace, path: PathLike) -> None:
+    """Write a millisecond trace as CSV (see module docstring for format)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# span={trace.span!r} label={trace.label}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["time", "lba", "nsectors", "op"])
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    repr(float(trace.times[i])),
+                    int(trace.lbas[i]),
+                    int(trace.nsectors[i]),
+                    "W" if trace.is_write[i] else "R",
+                ]
+            )
+
+
+def read_request_trace(path: PathLike) -> RequestTrace:
+    """Read a millisecond trace written by :func:`write_request_trace`."""
+    path = Path(path)
+    span = None
+    label = path.stem
+    times: List[float] = []
+    lbas: List[int] = []
+    nsectors: List[int] = []
+    is_write: List[bool] = []
+    with path.open() as fh:
+        first = fh.readline()
+        if first.startswith("#"):
+            for token in first[1:].split():
+                if token.startswith("span="):
+                    span = float(token[len("span="):])
+                elif token.startswith("label="):
+                    label = token[len("label="):]
+            header_line = fh.readline()
+        else:
+            header_line = first
+        header = [c.strip() for c in header_line.strip().split(",")]
+        if header != ["time", "lba", "nsectors", "op"]:
+            raise TraceFormatError(f"{path}: unexpected header {header!r}")
+        for lineno, row in enumerate(csv.reader(fh), start=3):
+            if not row:
+                continue
+            try:
+                times.append(float(row[0]))
+                lbas.append(int(row[1]))
+                nsectors.append(int(row[2]))
+                op = row[3].strip().upper()
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: malformed row {row!r}") from exc
+            if op not in ("R", "W"):
+                raise TraceFormatError(f"{path}:{lineno}: op must be R or W, got {op!r}")
+            is_write.append(op == "W")
+    return RequestTrace(times, lbas, nsectors, is_write, span=span, label=label)
+
+
+# ----------------------------------------------------------------------
+# Hour traces
+# ----------------------------------------------------------------------
+
+def write_hourly_dataset(dataset: HourlyDataset, path: PathLike) -> None:
+    """Write an hourly dataset as JSON Lines, one drive per line."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for trace in dataset:
+            record = {
+                "drive_id": trace.drive_id,
+                "start_hour": trace.start_hour,
+                "read_bytes": [float(v) for v in trace.read_bytes],
+                "write_bytes": [float(v) for v in trace.write_bytes],
+            }
+            fh.write(json.dumps(record) + "\n")
+
+
+def read_hourly_dataset(path: PathLike) -> HourlyDataset:
+    """Read an hourly dataset written by :func:`write_hourly_dataset`."""
+    path = Path(path)
+    traces: List[HourlyTrace] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                traces.append(
+                    HourlyTrace(
+                        drive_id=record["drive_id"],
+                        read_bytes=record["read_bytes"],
+                        write_bytes=record["write_bytes"],
+                        start_hour=int(record.get("start_hour", 0)),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: malformed record") from exc
+    return HourlyDataset(traces)
+
+
+# ----------------------------------------------------------------------
+# Lifetime traces
+# ----------------------------------------------------------------------
+
+_LIFETIME_HEADER = ["drive_id", "power_on_hours", "bytes_read", "bytes_written", "model"]
+
+
+def write_lifetime_dataset(dataset: DriveFamilyDataset, path: PathLike) -> None:
+    """Write a drive-family dataset as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# family={dataset.family}\n")
+        writer = csv.writer(fh)
+        writer.writerow(_LIFETIME_HEADER)
+        for r in dataset:
+            writer.writerow(
+                [r.drive_id, repr(r.power_on_hours), repr(r.bytes_read),
+                 repr(r.bytes_written), r.model]
+            )
+
+
+def read_lifetime_dataset(path: PathLike) -> DriveFamilyDataset:
+    """Read a drive-family dataset written by :func:`write_lifetime_dataset`."""
+    path = Path(path)
+    family = path.stem
+    records: List[LifetimeRecord] = []
+    with path.open() as fh:
+        first = fh.readline()
+        if first.startswith("#"):
+            for token in first[1:].split():
+                if token.startswith("family="):
+                    family = token[len("family="):]
+            header_line = fh.readline()
+        else:
+            header_line = first
+        header = [c.strip() for c in header_line.strip().split(",")]
+        if header != _LIFETIME_HEADER:
+            raise TraceFormatError(f"{path}: unexpected header {header!r}")
+        for lineno, row in enumerate(csv.reader(fh), start=3):
+            if not row:
+                continue
+            try:
+                records.append(
+                    LifetimeRecord(
+                        drive_id=row[0],
+                        power_on_hours=float(row[1]),
+                        bytes_read=float(row[2]),
+                        bytes_written=float(row[3]),
+                        model=row[4],
+                    )
+                )
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: malformed row {row!r}") from exc
+    return DriveFamilyDataset(records, family=family)

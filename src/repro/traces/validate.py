@@ -1,0 +1,112 @@
+"""Explicit invariant checks for trace containers.
+
+Constructors already reject structurally invalid data; these validators
+add the *semantic* checks an analyst wants before trusting a data set —
+plausible ranges, capacity bounds, monotonic clocks — and report every
+violation at once instead of failing on the first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TraceValidationError
+from repro.traces.hourly import HourlyDataset
+from repro.traces.lifetime import DriveFamilyDataset
+from repro.traces.millisecond import RequestTrace
+from repro.units import SECONDS_PER_HOUR
+
+
+def _raise_if(problems: List[str], subject: str) -> None:
+    if problems:
+        detail = "; ".join(problems)
+        raise TraceValidationError(f"{subject}: {detail}")
+
+
+def validate_request_trace(
+    trace: RequestTrace,
+    capacity_sectors: Optional[int] = None,
+    max_request_sectors: int = 1 << 16,
+) -> None:
+    """Check a millisecond trace against semantic invariants.
+
+    Raises :class:`TraceValidationError` listing *all* violations if:
+
+    * any request extends past ``capacity_sectors`` (when given),
+    * any request exceeds ``max_request_sectors`` (default 64 Ki sectors,
+      i.e. 32 MiB — far above any real disk command),
+    * the arrival clock is not non-decreasing (cannot normally happen, it
+      guards against externally-constructed subclasses),
+    * the span does not cover the last arrival.
+    """
+    problems: List[str] = []
+    if len(trace):
+        if np.any(np.diff(trace.times) < 0):
+            problems.append("arrival times are not non-decreasing")
+        if trace.times[-1] > trace.span:
+            problems.append(
+                f"span {trace.span} ends before last arrival {trace.times[-1]}"
+            )
+        if capacity_sectors is not None:
+            ends = trace.lbas + trace.nsectors
+            overflow = int(np.sum(ends > capacity_sectors))
+            if overflow:
+                problems.append(
+                    f"{overflow} requests extend past capacity {capacity_sectors}"
+                )
+        oversize = int(np.sum(trace.nsectors > max_request_sectors))
+        if oversize:
+            problems.append(
+                f"{oversize} requests exceed {max_request_sectors} sectors"
+            )
+    _raise_if(problems, f"trace {trace.label!r}")
+
+
+def validate_hourly(
+    dataset: HourlyDataset, max_bandwidth: Optional[float] = None
+) -> None:
+    """Check an hourly dataset for physically impossible counters.
+
+    With ``max_bandwidth`` (bytes/second) given, any hour whose traffic
+    exceeds what the interface could move in 3600 s is flagged.
+    """
+    problems: List[str] = []
+    for trace in dataset:
+        if max_bandwidth is not None:
+            ceiling = max_bandwidth * SECONDS_PER_HOUR
+            impossible = int(np.sum(trace.total_bytes > ceiling))
+            if impossible:
+                problems.append(
+                    f"drive {trace.drive_id}: {impossible} hours exceed the "
+                    f"bandwidth ceiling"
+                )
+    _raise_if(problems, "hourly dataset")
+
+
+def validate_family(
+    dataset: DriveFamilyDataset,
+    max_bandwidth: Optional[float] = None,
+    max_power_on_hours: float = 10 * 365.25 * 24,
+) -> None:
+    """Check a lifetime dataset for implausible records.
+
+    Flags drives powered on longer than ``max_power_on_hours`` (default
+    ten years) and, when ``max_bandwidth`` is given, drives whose lifetime
+    traffic implies sustained throughput above the interface limit.
+    """
+    problems: List[str] = []
+    for record in dataset:
+        if record.power_on_hours > max_power_on_hours:
+            problems.append(
+                f"drive {record.drive_id}: power-on hours "
+                f"{record.power_on_hours:.0f} exceed {max_power_on_hours:.0f}"
+            )
+        if max_bandwidth is not None and record.mean_throughput > max_bandwidth:
+            problems.append(
+                f"drive {record.drive_id}: lifetime mean throughput "
+                f"{record.mean_throughput:.3g} B/s exceeds bandwidth "
+                f"{max_bandwidth:.3g} B/s"
+            )
+    _raise_if(problems, f"family {dataset.family!r}")

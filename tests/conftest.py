@@ -1,0 +1,63 @@
+"""Shared fixtures: a fast small drive, canonical traces, RNGs.
+
+Tests favor a deliberately small drive model so full simulations finish
+in milliseconds; the presets are exercised separately in the drive tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disk.cache import CacheConfig
+from repro.disk.drive import DiskDrive, DriveSpec
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+from repro.units import ms
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> DriveSpec:
+    """A small, fast drive spec (~256 MiB) for simulation tests."""
+    return DriveSpec(
+        name="tiny",
+        rpm=10_000,
+        heads=2,
+        cylinders=2_000,
+        nzones=4,
+        outer_spt=300,
+        inner_spt=200,
+        single_cylinder_seek=ms(0.5),
+        full_stroke_seek=ms(5.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_spec_nocache(tiny_spec) -> DriveSpec:
+    """The tiny drive with caching disabled (pure mechanical timing)."""
+    return tiny_spec.with_cache(CacheConfig.disabled())
+
+
+@pytest.fixture
+def tiny_drive(tiny_spec) -> DiskDrive:
+    """A fresh tiny drive instance."""
+    return DiskDrive(tiny_spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def web_trace(tiny_spec):
+    """30 s of the web profile sized for the tiny drive."""
+    profile = get_profile("web")
+    return profile.synthesize(span=30.0, capacity_sectors=tiny_spec.capacity_sectors, seed=11)
+
+
+@pytest.fixture(scope="session")
+def web_result(tiny_spec, web_trace):
+    """The web trace replayed through the tiny drive (FCFS)."""
+    return DiskSimulator(tiny_spec, scheduler="fcfs", seed=3).run(web_trace)

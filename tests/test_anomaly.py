@@ -1,0 +1,107 @@
+"""Fleet anomaly detection over hour traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    inject_regime_change,
+    population_anomalies,
+    self_anomalies,
+)
+from repro.errors import AnalysisError
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def quiet_fleet():
+    # Low-noise fleet: anomalies stand out cleanly.
+    model = HourlyWorkloadModel(
+        bandwidth=80 * MIB, burst_sigma=0.1, saturated_fraction=0.0,
+        load_sigma=0.5,
+    )
+    return model.generate(n_drives=40, weeks=8, seed=31)
+
+
+class TestInjection:
+    def test_scales_from_start_hour(self):
+        trace = HourlyTrace("d", np.ones(10), np.ones(10))
+        changed = inject_regime_change(trace, start_hour=6, multiplier=3.0)
+        assert changed.total_bytes[:6].tolist() == [2.0] * 6
+        assert changed.total_bytes[6:].tolist() == [6.0] * 4
+
+    def test_validation(self):
+        trace = HourlyTrace("d", np.ones(10), np.ones(10))
+        with pytest.raises(AnalysisError):
+            inject_regime_change(trace, start_hour=10, multiplier=2.0)
+        with pytest.raises(AnalysisError):
+            inject_regime_change(trace, start_hour=0, multiplier=-1.0)
+
+
+class TestSelfAnomalies:
+    def test_clean_fleet_mostly_quiet(self, quiet_fleet):
+        flagged = self_anomalies(quiet_fleet, recent_hours=168, threshold=3.5)
+        assert len(flagged) <= 2  # a little noise is tolerable
+
+    def test_surge_detected(self, quiet_fleet):
+        traces = list(quiet_fleet)
+        surge_start = traces[0].hours - 168
+        traces[0] = inject_regime_change(traces[0], surge_start, 8.0)
+        flagged = self_anomalies(HourlyDataset(traces), recent_hours=168)
+        ids = [a.drive_id for a in flagged]
+        assert traces[0].drive_id in ids
+        top = flagged[0]
+        assert top.kind == "self"
+        assert top.z_score > 0
+        assert "surged" in top.detail
+
+    def test_collapse_detected(self, quiet_fleet):
+        traces = list(quiet_fleet)
+        start = traces[3].hours - 168
+        traces[3] = inject_regime_change(traces[3], start, 0.01)
+        flagged = self_anomalies(HourlyDataset(traces), recent_hours=168)
+        match = [a for a in flagged if a.drive_id == traces[3].drive_id]
+        assert match
+        assert match[0].z_score < 0
+
+    def test_short_history_skipped(self):
+        short = HourlyDataset([HourlyTrace("d", np.ones(100), np.zeros(100))])
+        assert self_anomalies(short, recent_hours=168) == []
+
+    def test_validation(self, quiet_fleet):
+        with pytest.raises(AnalysisError):
+            self_anomalies(quiet_fleet, recent_hours=0)
+        with pytest.raises(AnalysisError):
+            self_anomalies(quiet_fleet, threshold=0.0)
+
+    def test_sorted_by_severity(self, quiet_fleet):
+        traces = list(quiet_fleet)
+        traces[0] = inject_regime_change(traces[0], traces[0].hours - 168, 20.0)
+        traces[1] = inject_regime_change(traces[1], traces[1].hours - 168, 4.0)
+        flagged = self_anomalies(HourlyDataset(traces), recent_hours=168)
+        scores = [abs(a.z_score) for a in flagged]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestPopulationAnomalies:
+    def test_homogeneous_fleet_quiet(self, quiet_fleet):
+        flagged = population_anomalies(quiet_fleet, threshold=3.5)
+        assert len(flagged) <= 2
+
+    def test_outlier_detected(self, quiet_fleet):
+        traces = list(quiet_fleet)
+        traces[5] = inject_regime_change(traces[5], 0, 300.0)
+        flagged = population_anomalies(HourlyDataset(traces))
+        ids = [a.drive_id for a in flagged]
+        assert traces[5].drive_id in ids
+        assert flagged[0].kind == "population"
+
+    def test_needs_four_drives(self):
+        tiny = HourlyDataset([HourlyTrace(f"d{i}", np.ones(10), np.ones(10)) for i in range(3)])
+        with pytest.raises(AnalysisError):
+            population_anomalies(tiny)
+
+    def test_validation(self, quiet_fleet):
+        with pytest.raises(AnalysisError):
+            population_anomalies(quiet_fleet, threshold=-1.0)

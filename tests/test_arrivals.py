@@ -1,0 +1,152 @@
+"""Arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.stats.dispersion import idc_curve
+from repro.synth.arrivals import (
+    bmodel_arrivals,
+    mmpp_arrivals,
+    onoff_arrivals,
+    pareto_sample,
+    poisson_arrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(60)
+
+
+class TestParetoSample:
+    def test_respects_scale(self, rng):
+        sample = pareto_sample(rng, alpha=2.0, xm=3.0, size=1000)
+        assert sample.min() >= 3.0
+
+    def test_mean_matches_theory(self, rng):
+        sample = pareto_sample(rng, alpha=3.0, xm=1.0, size=200000)
+        assert sample.mean() == pytest.approx(1.5, rel=0.03)
+
+    def test_bad_params_rejected(self, rng):
+        with pytest.raises(SynthesisError):
+            pareto_sample(rng, alpha=0.0, xm=1.0, size=1)
+        with pytest.raises(SynthesisError):
+            pareto_sample(rng, alpha=1.0, xm=0.0, size=1)
+
+
+class TestPoisson:
+    def test_rate_achieved(self, rng):
+        times = poisson_arrivals(rng, rate=100.0, span=200.0)
+        assert times.size == pytest.approx(20000, rel=0.05)
+
+    def test_sorted_within_span(self, rng):
+        times = poisson_arrivals(rng, rate=50.0, span=10.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() < 10.0
+
+    def test_exponential_gaps(self, rng):
+        times = poisson_arrivals(rng, rate=100.0, span=500.0)
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_bad_params_rejected(self, rng):
+        with pytest.raises(SynthesisError):
+            poisson_arrivals(rng, rate=0.0, span=1.0)
+        with pytest.raises(SynthesisError):
+            poisson_arrivals(rng, rate=1.0, span=0.0)
+
+
+class TestOnOff:
+    def test_rate_on_respected_during_on(self, rng):
+        times = onoff_arrivals(
+            rng, rate_on=100.0, span=2000.0, mean_on=1.0, mean_off=1.0,
+            on_alpha=3.0, off_alpha=3.0,
+        )
+        # Duty cycle 0.5: overall rate ~50/s (heavy tails make this noisy).
+        overall = times.size / 2000.0
+        assert 25.0 < overall < 85.0
+
+    def test_burstier_than_poisson(self, rng):
+        times = onoff_arrivals(
+            rng, rate_on=200.0, span=1000.0, mean_on=0.5, mean_off=2.0,
+            on_alpha=1.5, off_alpha=1.5,
+        )
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() > 1.5
+
+    def test_alpha_must_exceed_one(self, rng):
+        with pytest.raises(SynthesisError):
+            onoff_arrivals(rng, 10.0, 10.0, mean_on=1.0, mean_off=1.0, on_alpha=1.0)
+
+    def test_means_must_be_positive(self, rng):
+        with pytest.raises(SynthesisError):
+            onoff_arrivals(rng, 10.0, 10.0, mean_on=0.0, mean_off=1.0)
+
+    def test_sorted_within_span(self, rng):
+        times = onoff_arrivals(rng, 50.0, 100.0, mean_on=1.0, mean_off=3.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == 0 or (times.min() >= 0 and times.max() < 100.0)
+
+
+class TestMmpp:
+    def test_rate_mixture(self, rng):
+        # Equal holding in a 0/100 two-state chain: overall ~50/s.
+        times = mmpp_arrivals(rng, rates=[0.0, 100.0], mean_holding=[1.0, 1.0], span=2000.0)
+        assert times.size / 2000.0 == pytest.approx(50.0, rel=0.1)
+
+    def test_silent_state_produces_gaps(self, rng):
+        times = mmpp_arrivals(rng, rates=[0.0, 500.0], mean_holding=[2.0, 0.5], span=500.0)
+        gaps = np.diff(times)
+        assert gaps.max() > 1.0  # long silences from the 0-rate state
+
+    def test_input_validation(self, rng):
+        with pytest.raises(SynthesisError):
+            mmpp_arrivals(rng, rates=[], mean_holding=[], span=1.0)
+        with pytest.raises(SynthesisError):
+            mmpp_arrivals(rng, rates=[1.0], mean_holding=[1.0, 2.0], span=1.0)
+        with pytest.raises(SynthesisError):
+            mmpp_arrivals(rng, rates=[0.0, 0.0], mean_holding=[1.0, 1.0], span=1.0)
+        with pytest.raises(SynthesisError):
+            mmpp_arrivals(rng, rates=[1.0], mean_holding=[0.0], span=1.0)
+        with pytest.raises(SynthesisError):
+            mmpp_arrivals(rng, rates=[1.0], mean_holding=[1.0], span=0.0)
+
+
+class TestBModel:
+    def test_event_count_conserved(self, rng):
+        times = bmodel_arrivals(rng, n_requests=5000, span=100.0, bias=0.7, min_bin=0.01)
+        assert times.size == 5000
+
+    def test_zero_requests(self, rng):
+        assert bmodel_arrivals(rng, 0, span=10.0).size == 0
+
+    def test_sorted_within_span(self, rng):
+        times = bmodel_arrivals(rng, 1000, span=50.0, bias=0.8)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() < 50.0
+
+    def test_idc_grows_with_scale(self, rng):
+        times = bmodel_arrivals(rng, 50_000, span=500.0, bias=0.75, min_bin=1e-2)
+        _, idc = idc_curve(times, 500.0, 0.01, [1, 16, 256])
+        assert idc[-1] > 5 * idc[0]
+
+    def test_half_bias_close_to_poisson(self, rng):
+        times = bmodel_arrivals(rng, 50_000, span=500.0, bias=0.5, min_bin=1e-2)
+        _, idc = idc_curve(times, 500.0, 0.01, [1, 16, 256])
+        assert idc[-1] < 3.0
+
+    def test_bias_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            bmodel_arrivals(rng, 10, 1.0, bias=0.4)
+        with pytest.raises(SynthesisError):
+            bmodel_arrivals(rng, 10, 1.0, bias=1.0)
+
+    def test_other_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            bmodel_arrivals(rng, -1, 1.0)
+        with pytest.raises(SynthesisError):
+            bmodel_arrivals(rng, 1, 0.0)
+        with pytest.raises(SynthesisError):
+            bmodel_arrivals(rng, 1, 1.0, min_bin=2.0)

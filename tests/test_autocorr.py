@@ -1,0 +1,75 @@
+"""Autocorrelation and integrated autocorrelation time."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.autocorr import autocorrelation, integrated_autocorrelation_time
+
+
+def test_lag_zero_is_one():
+    acf = autocorrelation([1.0, 2.0, 3.0, 2.0], max_lag=2)
+    assert acf[0] == 1.0
+
+
+def test_white_noise_decorrelates():
+    rng = np.random.default_rng(5)
+    acf = autocorrelation(rng.standard_normal(20000), max_lag=5)
+    assert np.all(np.abs(acf[1:]) < 0.05)
+
+
+def test_ar1_matches_theory():
+    rng = np.random.default_rng(6)
+    phi = 0.8
+    x = np.zeros(50000)
+    for i in range(1, x.size):
+        x[i] = phi * x[i - 1] + rng.standard_normal()
+    acf = autocorrelation(x, max_lag=3)
+    assert acf[1] == pytest.approx(phi, abs=0.03)
+    assert acf[2] == pytest.approx(phi ** 2, abs=0.04)
+
+
+def test_alternating_series_negative_lag1():
+    acf = autocorrelation([1.0, -1.0] * 100, max_lag=1)
+    assert acf[1] == pytest.approx(-1.0, abs=0.02)
+
+
+def test_constant_series_nan_at_positive_lags():
+    acf = autocorrelation([3.0] * 50, max_lag=3)
+    assert acf[0] == 1.0
+    assert np.isnan(acf[1:]).all()
+
+
+def test_max_lag_clamped_to_series():
+    acf = autocorrelation([1.0, 2.0, 3.0], max_lag=10)
+    assert acf.size == 3  # lags 0..2
+
+
+def test_too_short_rejected():
+    with pytest.raises(StatsError):
+        autocorrelation([1.0], max_lag=1)
+
+
+def test_negative_lag_rejected():
+    with pytest.raises(StatsError):
+        autocorrelation([1.0, 2.0], max_lag=-1)
+
+
+class TestIntegratedTime:
+    def test_white_noise_near_one(self):
+        rng = np.random.default_rng(7)
+        tau = integrated_autocorrelation_time(rng.standard_normal(20000))
+        assert tau == pytest.approx(1.0, abs=0.3)
+
+    def test_correlated_series_larger(self):
+        rng = np.random.default_rng(8)
+        phi = 0.9
+        x = np.zeros(30000)
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + rng.standard_normal()
+        tau = integrated_autocorrelation_time(x)
+        # theory: (1 + phi) / (1 - phi) = 19
+        assert tau > 8.0
+
+    def test_constant_series_is_one(self):
+        assert integrated_autocorrelation_time([1.0] * 100) == 1.0

@@ -1,0 +1,128 @@
+"""Background-task execution in idle time."""
+
+import pytest
+
+from repro.core.background import (
+    BackgroundTask,
+    chunk_size_sweep,
+    run_in_idle,
+)
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def timeline():
+    # Idle intervals: [0,5], [10,12], [20,60] within a 60 s window.
+    return BusyIdleTimeline([(5.0, 10.0), (12.0, 20.0)], span=60.0)
+
+
+class TestIdleIntervals:
+    def test_positions(self, timeline):
+        intervals = timeline.idle_intervals()
+        assert intervals.tolist() == [[0.0, 5.0], [10.0, 12.0], [20.0, 60.0]]
+
+    def test_lengths_match_idle_periods(self, timeline):
+        intervals = timeline.idle_intervals()
+        lengths = sorted((intervals[:, 1] - intervals[:, 0]).tolist())
+        assert lengths == sorted(timeline.idle_periods().tolist())
+
+    def test_all_idle(self):
+        t = BusyIdleTimeline([], span=7.0)
+        assert t.idle_intervals().tolist() == [[0.0, 7.0]]
+
+    def test_fully_busy(self):
+        t = BusyIdleTimeline([(0.0, 4.0)], span=4.0)
+        assert t.idle_intervals().size == 0
+
+
+class TestTaskValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(AnalysisError):
+            BackgroundTask("t", total_work=0.0, chunk_seconds=1.0)
+        with pytest.raises(AnalysisError):
+            BackgroundTask("t", total_work=1.0, chunk_seconds=0.0)
+        with pytest.raises(AnalysisError):
+            BackgroundTask("t", total_work=1.0, chunk_seconds=1.0, setup_seconds=-1.0)
+
+
+class TestRunInIdle:
+    def test_completes_small_job(self, timeline):
+        task = BackgroundTask("scan", total_work=3.0, chunk_seconds=1.0)
+        report = run_in_idle(timeline, task)
+        assert report.completion_fraction == 1.0
+        assert report.completed_work == pytest.approx(3.0)
+        # Finishes inside the first 5 s idle interval.
+        assert report.completion_time == pytest.approx(3.0)
+        assert report.resumptions == 1
+
+    def test_spans_multiple_intervals(self, timeline):
+        task = BackgroundTask("scan", total_work=10.0, chunk_seconds=1.0)
+        report = run_in_idle(timeline, task)
+        assert report.completion_fraction == 1.0
+        # 5 s in interval 1, 2 s in interval 2, 3 s into interval 3.
+        assert report.resumptions == 3
+        assert report.completion_time == pytest.approx(23.0)
+
+    def test_incomplete_job(self, timeline):
+        task = BackgroundTask("huge", total_work=100.0, chunk_seconds=1.0)
+        report = run_in_idle(timeline, task)
+        assert report.completion_time is None
+        # All 47 idle seconds harvested with 1 s chunks and no setup.
+        assert report.completed_work == pytest.approx(47.0)
+        assert report.completion_fraction == pytest.approx(0.47)
+
+    def test_setup_cost_charged_per_resumption(self, timeline):
+        task = BackgroundTask("scan", total_work=40.0, chunk_seconds=1.0, setup_seconds=1.0)
+        report = run_in_idle(timeline, task)
+        # Intervals fit 4, 1 and 39 chunks after setup.
+        assert report.completed_work == pytest.approx(40.0)
+        assert report.resumptions == 3
+        assert report.setup_overhead == pytest.approx(3.0)
+
+    def test_chunks_too_large_for_short_intervals(self, timeline):
+        task = BackgroundTask("big-chunks", total_work=50.0, chunk_seconds=10.0)
+        report = run_in_idle(timeline, task)
+        # Only the 40 s interval fits 10 s chunks.
+        assert report.resumptions == 1
+        assert report.completed_work == pytest.approx(40.0)
+
+    def test_chunk_never_overruns_interval(self, timeline):
+        task = BackgroundTask("t", total_work=100.0, chunk_seconds=3.0)
+        report = run_in_idle(timeline, task)
+        # 5 s fits one 3 s chunk, 2 s fits none, 40 s fits 13.
+        assert report.completed_work == pytest.approx((1 + 0 + 13) * 3.0)
+
+    def test_saturated_timeline_no_progress(self):
+        t = BusyIdleTimeline([(0.0, 10.0)], span=10.0)
+        report = run_in_idle(t, BackgroundTask("t", 5.0, 1.0))
+        assert report.completed_work == 0.0
+        assert report.completion_time is None
+
+    def test_idle_used_fraction(self, timeline):
+        task = BackgroundTask("t", total_work=10.0, chunk_seconds=1.0)
+        report = run_in_idle(timeline, task)
+        assert report.idle_time_used_fraction == pytest.approx(10.0 / 47.0)
+
+
+class TestChunkSweep:
+    def test_granularity_tradeoff(self, timeline):
+        reports = chunk_size_sweep(
+            timeline, total_work=100.0, chunk_sizes=[0.5, 5.0, 30.0],
+            setup_seconds=0.5,
+        )
+        assert set(reports) == {0.5, 5.0, 30.0}
+        # Small chunks harvest the most idle time...
+        assert reports[0.5].completed_work >= reports[5.0].completed_work
+        # ...huge chunks only fit the single long interval.
+        assert reports[30.0].resumptions == 1
+
+    def test_real_workload_scan(self, web_result):
+        # A 5-second scan job on the web trace's idle structure.
+        report = run_in_idle(
+            web_result.timeline,
+            BackgroundTask("scan", total_work=5.0, chunk_seconds=0.05,
+                           setup_seconds=0.005),
+        )
+        assert report.completion_fraction == 1.0
+        assert report.completion_time is not None

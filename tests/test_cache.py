@@ -1,0 +1,119 @@
+"""On-board cache model: read-ahead and write-back behavior."""
+
+import pytest
+
+from repro.disk.cache import CacheConfig, DiskCache
+from repro.errors import DiskModelError
+from repro.units import MIB
+
+
+def make_cache(**kwargs):
+    defaults = dict(
+        read_ahead=True,
+        write_back=True,
+        write_buffer_bytes=1 * MIB,
+        read_ahead_sectors=64,
+        segment_count=4,
+        drain_rate=1 * MIB,  # 1 MiB/s
+    )
+    defaults.update(kwargs)
+    return DiskCache(CacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_disabled_factory(self):
+        config = CacheConfig.disabled()
+        assert not config.read_ahead
+        assert not config.write_back
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"write_buffer_bytes": -1},
+            {"hit_overhead": -0.1},
+            {"read_ahead_sectors": -1},
+            {"segment_count": 0},
+            {"drain_rate": 0.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(DiskModelError):
+            CacheConfig(**kwargs)
+
+
+class TestReadAhead:
+    def test_miss_then_hit_within_prefetch(self):
+        cache = make_cache()
+        assert not cache.read_hit(100, 8)
+        cache.note_read(100, 8)
+        # Next sequential read falls inside [100, 100+8+64).
+        assert cache.read_hit(108, 8)
+        assert cache.read_hit(108, 64)
+
+    def test_partial_coverage_is_miss(self):
+        cache = make_cache()
+        cache.note_read(100, 8)
+        assert not cache.read_hit(108, 65)  # extends one sector past prefetch
+
+    def test_random_read_misses(self):
+        cache = make_cache()
+        cache.note_read(100, 8)
+        assert not cache.read_hit(10_000, 8)
+
+    def test_segment_eviction_lru(self):
+        cache = make_cache(segment_count=2)
+        cache.note_read(0, 8)
+        cache.note_read(1000, 8)
+        cache.note_read(2000, 8)  # evicts extent at 0
+        assert not cache.read_hit(0, 8)
+        assert cache.read_hit(1000, 8)
+        assert cache.read_hit(2000, 8)
+
+    def test_disabled_never_hits(self):
+        cache = make_cache(read_ahead=False)
+        cache.note_read(100, 8)
+        assert not cache.read_hit(100, 8)
+
+    def test_reset_forgets_segments(self):
+        cache = make_cache()
+        cache.note_read(100, 8)
+        cache.reset()
+        assert not cache.read_hit(100, 8)
+
+
+class TestWriteBack:
+    def test_absorbs_until_full(self):
+        cache = make_cache()
+        assert cache.absorb_write(MIB // 2, now=0.0)
+        assert cache.absorb_write(MIB // 2, now=0.0)
+        assert not cache.absorb_write(1, now=0.0)  # full
+
+    def test_drains_over_time(self):
+        cache = make_cache()  # drain 1 MiB/s
+        assert cache.absorb_write(MIB, now=0.0)
+        assert not cache.absorb_write(MIB, now=0.0)
+        # After 1 second the buffer has fully drained.
+        assert cache.absorb_write(MIB, now=1.0)
+
+    def test_partial_drain(self):
+        cache = make_cache()
+        assert cache.absorb_write(MIB, now=0.0)
+        assert cache.absorb_write(MIB // 2, now=0.5)
+        assert not cache.absorb_write(MIB // 2 + 1024, now=0.5)
+
+    def test_disabled_never_absorbs(self):
+        cache = make_cache(write_back=False)
+        assert not cache.absorb_write(1, now=0.0)
+
+    def test_clock_must_not_go_backwards(self):
+        cache = make_cache()
+        cache.absorb_write(100, now=5.0)
+        with pytest.raises(DiskModelError):
+            cache.absorb_write(100, now=4.0)
+
+    def test_reset_clears_dirty(self):
+        cache = make_cache()
+        cache.absorb_write(MIB, now=0.0)
+        cache.reset()
+        assert cache.dirty_bytes == 0.0
+        assert cache.absorb_write(MIB, now=0.0)

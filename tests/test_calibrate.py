@@ -1,0 +1,124 @@
+"""Trace fingerprinting and profile calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, SynthesisError
+from repro.synth.calibrate import (
+    calibrate_profile,
+    calibration_report,
+    fingerprint,
+)
+from repro.synth.mix import MarkovMix
+from repro.synth.profiles import get_profile
+from repro.synth.sizes import LognormalSizes, MixtureSizes
+from repro.traces.millisecond import RequestTrace
+
+CAPACITY = 50_000_000
+
+
+@pytest.fixture(scope="module")
+def web_like():
+    return get_profile("web").synthesize(span=300.0, capacity_sectors=CAPACITY, seed=55)
+
+
+@pytest.fixture(scope="module")
+def backup_like():
+    return get_profile("backup").synthesize(span=60.0, capacity_sectors=CAPACITY, seed=55)
+
+
+class TestFingerprint:
+    def test_fields_populated(self, web_like):
+        fp = fingerprint(web_like)
+        assert fp.request_rate == pytest.approx(web_like.request_rate)
+        assert 0.0 <= fp.write_fraction <= 1.0
+        assert fp.mean_sectors > 0
+        assert fp.interarrival_cv > 1.0  # web is bursty
+
+    def test_sequential_trace_detected(self, backup_like):
+        fp = fingerprint(backup_like)
+        assert fp.sequentiality > 0.9
+
+    def test_mix_run_length_detects_runs(self):
+        rng = np.random.default_rng(160)
+        n = 4000
+        flags = MarkovMix(0.5, mean_run_length=16.0).generate(rng, n)
+        trace = RequestTrace(
+            times=np.sort(rng.uniform(0, 100, n)),
+            lbas=rng.integers(0, CAPACITY - 64, n),
+            nsectors=np.full(n, 8), is_write=flags, span=100.0,
+        )
+        fp = fingerprint(trace)
+        assert fp.mix_run_length > 6.0
+
+    def test_too_small_rejected(self):
+        t = RequestTrace([0.0], [0], [8], [False], span=1.0)
+        with pytest.raises(AnalysisError):
+            fingerprint(t)
+
+
+class TestCalibrateProfile:
+    def test_rate_and_mix_match(self, web_like):
+        profile = calibrate_profile(web_like)
+        clone = profile.synthesize(300.0, CAPACITY, seed=1)
+        assert clone.request_rate == pytest.approx(web_like.request_rate, rel=0.25)
+        assert clone.write_fraction == pytest.approx(web_like.write_fraction, abs=0.08)
+
+    def test_bursty_input_yields_bursty_model(self, web_like):
+        profile = calibrate_profile(web_like)
+        assert profile.arrival.model in ("bmodel", "mmpp")
+
+    def test_poisson_input_yields_poisson(self):
+        rng = np.random.default_rng(161)
+        n = 6000
+        times = np.sort(rng.uniform(0, 200, n))
+        trace = RequestTrace(
+            times=times, lbas=rng.integers(0, CAPACITY - 64, n),
+            nsectors=np.full(n, 8), is_write=rng.uniform(size=n) < 0.5,
+            span=200.0,
+        )
+        profile = calibrate_profile(trace)
+        assert profile.arrival.model == "poisson"
+
+    def test_sequential_input_yields_sequential_spatial(self, backup_like):
+        profile = calibrate_profile(backup_like)
+        assert profile.spatial == "sequential"
+        clone = profile.synthesize(30.0, CAPACITY, seed=2)
+        assert clone.sequentiality() > 0.8
+
+    def test_size_model_choice(self, web_like):
+        profile = calibrate_profile(web_like)
+        # The web profile uses a 4-point mixture -> few distinct sizes.
+        assert isinstance(profile.sizes, MixtureSizes)
+
+    def test_continuous_sizes_get_lognormal(self):
+        rng = np.random.default_rng(162)
+        n = 3000
+        sizes = np.clip(rng.lognormal(3.0, 0.8, n).astype(np.int64), 1, 4096)
+        trace = RequestTrace(
+            times=np.sort(rng.uniform(0, 100, n)),
+            lbas=rng.integers(0, CAPACITY - 5000, n),
+            nsectors=sizes, is_write=rng.uniform(size=n) < 0.5, span=100.0,
+        )
+        profile = calibrate_profile(trace)
+        assert isinstance(profile.sizes, LognormalSizes)
+
+    def test_label_and_description(self, web_like):
+        profile = calibrate_profile(web_like, name="fit")
+        assert profile.name == "fit"
+        assert "web" in profile.description
+
+
+class TestCalibrationReport:
+    def test_errors_small_for_self_calibration(self, web_like):
+        profile = calibrate_profile(web_like)
+        report = calibration_report(web_like, profile, CAPACITY, seed=3)
+        assert report["request_rate"] < 0.3
+        assert report["write_fraction"] < 0.1
+        assert report["mean_sectors"] < 0.3
+        assert report["sequentiality"] < 0.15
+
+    def test_bad_capacity_rejected(self, web_like):
+        profile = calibrate_profile(web_like)
+        with pytest.raises(SynthesisError):
+            calibration_report(web_like, profile, 0)

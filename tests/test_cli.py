@@ -1,0 +1,97 @@
+"""The repro-workloads command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_profiles_lists_all(capsys):
+    code, out, _ = run(capsys, "profiles")
+    assert code == 0
+    for name in ("web", "email", "database", "backup"):
+        assert name in out
+
+
+def test_study_reports_sections(capsys):
+    code, out, _ = run(capsys, "study", "--profile", "web", "--span", "20")
+    assert code == 0
+    for heading in ("Workload", "Utilization", "Idleness", "Read/write dynamics"):
+        assert heading in out
+
+
+def test_study_unknown_profile_fails_cleanly(capsys):
+    code, out, err = run(capsys, "study", "--profile", "nope", "--span", "5")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_synth_and_analyze_ms_roundtrip(tmp_path, capsys):
+    trace_path = tmp_path / "t.csv"
+    code, out, _ = run(
+        capsys, "synth-ms", "--profile", "database", "--span", "15",
+        "-o", str(trace_path),
+    )
+    assert code == 0
+    assert trace_path.exists()
+    assert "wrote" in out
+
+    code, out, _ = run(capsys, "analyze-ms", str(trace_path))
+    assert code == 0
+    assert "database" in out
+    assert "Utilization" in out
+
+
+def test_analyze_ms_with_scheduler(tmp_path, capsys):
+    trace_path = tmp_path / "t.csv"
+    run(capsys, "synth-ms", "--profile", "web", "--span", "10", "-o", str(trace_path))
+    code, out, _ = run(capsys, "analyze-ms", str(trace_path), "--scheduler", "sstf")
+    assert code == 0
+
+
+def test_synth_and_analyze_hourly(tmp_path, capsys):
+    path = tmp_path / "h.jsonl"
+    code, out, _ = run(
+        capsys, "synth-hourly", "--drives", "8", "--weeks", "1", "-o", str(path)
+    )
+    assert code == 0
+    assert "8 drives" in out
+
+    code, out, _ = run(capsys, "analyze-hourly", str(path))
+    assert code == 0
+    assert "Hour-scale analysis" in out
+    assert "diurnal" in out
+
+
+def test_synth_and_analyze_family(tmp_path, capsys):
+    path = tmp_path / "f.csv"
+    code, out, _ = run(capsys, "synth-family", "--drives", "200", "-o", str(path))
+    assert code == 0
+
+    code, out, _ = run(capsys, "analyze-family", str(path))
+    assert code == 0
+    assert "Family analysis" in out
+    assert "Gini" in out
+
+
+def test_drive_choice_respected(capsys):
+    code, out, _ = run(
+        capsys, "study", "--profile", "web", "--span", "10", "--drive", "enterprise-15k"
+    )
+    assert code == 0
+    assert "enterprise-15k" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_drive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["study", "--profile", "web", "--drive", "floppy"])

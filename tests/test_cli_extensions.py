@@ -1,0 +1,80 @@
+"""The calibrate and power CLI subcommands."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def trace_file(tmp_path, capsys):
+    path = tmp_path / "t.csv"
+    code = main(["synth-ms", "--profile", "database", "--span", "60", "-o", str(path)])
+    capsys.readouterr()
+    assert code == 0
+    return path
+
+
+def test_calibrate_reports_fit(trace_file, capsys):
+    code = main(["calibrate", str(trace_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Fingerprint & fit" in out
+    assert "Calibration report" in out
+    assert "fitted arrival model" in out
+
+
+def test_power_reports_sweep(trace_file, capsys):
+    code = main(["power", str(trace_file), "--timeouts", "2", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Spin-down sweep" in out
+    assert "energy_savings" in out
+    # inf row (never spin down) always present
+    assert "inf" in out
+
+
+def test_power_default_timeouts(trace_file, capsys):
+    code = main(["power", str(trace_file)])
+    assert code == 0
+    assert "break-even" in capsys.readouterr().out
+
+
+def test_calibrate_missing_file_fails_cleanly(capsys):
+    with pytest.raises((SystemExit, OSError)):
+        main(["calibrate", "/nonexistent/trace.csv"])
+
+
+def test_fleet_detects_injected_anomaly(tmp_path, capsys):
+    import numpy as np
+
+    from repro.core.anomaly import inject_regime_change
+    from repro.synth.hourly import HourlyWorkloadModel
+    from repro.traces.hourly import HourlyDataset
+    from repro.traces.io import write_hourly_dataset
+    from repro.units import MIB
+
+    model = HourlyWorkloadModel(bandwidth=80 * MIB, burst_sigma=0.2, saturated_fraction=0.0)
+    fleet = list(model.generate(n_drives=20, weeks=6, seed=3))
+    fleet[4] = inject_regime_change(fleet[4], fleet[4].hours - 168, 10.0)
+    path = tmp_path / "fleet.jsonl"
+    write_hourly_dataset(HourlyDataset(fleet), path)
+
+    code = main(["fleet", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert fleet[4].drive_id in out
+    assert "surged" in out
+
+
+def test_fleet_quiet_dataset(tmp_path, capsys):
+    from repro.synth.hourly import HourlyWorkloadModel
+    from repro.traces.io import write_hourly_dataset
+    from repro.units import MIB
+
+    model = HourlyWorkloadModel(bandwidth=80 * MIB, burst_sigma=0.05, saturated_fraction=0.0)
+    path = tmp_path / "fleet.jsonl"
+    write_hourly_dataset(model.generate(n_drives=10, weeks=6, seed=3), path)
+    code = main(["fleet", str(path), "--threshold", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no anomalies" in out

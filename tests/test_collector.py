@@ -1,0 +1,137 @@
+"""Online trace collection and counter logging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.collector import CounterLogger, RequestCollector
+from repro.traces.request import DiskRequest
+from repro.units import SECONDS_PER_HOUR
+
+
+def requests(n=10, gap=1.0, nbytes_each=4096):
+    return [
+        DiskRequest(time=i * gap, lba=i * 100, nsectors=nbytes_each // 512,
+                    is_write=(i % 2 == 0))
+        for i in range(n)
+    ]
+
+
+class TestRequestCollector:
+    def test_in_memory_roundtrip(self):
+        collector = RequestCollector(label="cap")
+        for r in requests(5):
+            collector.record(r)
+        trace = collector.trace()
+        assert len(trace) == 5
+        assert trace.label == "cap"
+        assert collector.count == 5
+
+    def test_time_ordering_enforced(self):
+        collector = RequestCollector()
+        collector.record(DiskRequest(2.0, 0, 1, False))
+        with pytest.raises(TraceError):
+            collector.record(DiskRequest(1.0, 0, 1, False))
+
+    def test_sharding(self, tmp_path):
+        collector = RequestCollector(label="s", shard_dir=tmp_path, shard_limit=3)
+        for r in requests(8):
+            collector.record(r)
+        # 8 records with limit 3: two auto-flushes, 2 left in buffer.
+        shards = list(tmp_path.glob("s.*.csv"))
+        assert len(shards) == 2
+        trace = collector.trace()
+        assert len(trace) == 8
+        assert np.all(np.diff(trace.times) >= 0)
+
+    def test_flush_requires_dir(self):
+        with pytest.raises(TraceError):
+            RequestCollector().flush()
+
+    def test_flush_empty_returns_none(self, tmp_path):
+        collector = RequestCollector(shard_dir=tmp_path)
+        assert collector.flush() is None
+
+    def test_record_trace(self, web_trace):
+        collector = RequestCollector()
+        collector.record_trace(web_trace)
+        assert collector.count == len(web_trace)
+        assert collector.trace(span=web_trace.span).span == web_trace.span
+
+    def test_empty_trace(self):
+        trace = RequestCollector().trace(span=5.0)
+        assert len(trace) == 0
+        assert trace.span == 5.0
+
+    def test_bad_shard_limit(self):
+        with pytest.raises(TraceError):
+            RequestCollector(shard_limit=0)
+
+
+class TestCounterLogger:
+    def test_period_accounting(self):
+        logger = CounterLogger(drive_id="d", period=10.0)
+        logger.observe(DiskRequest(1.0, 0, 8, False))    # 4096 read, period 0
+        logger.observe(DiskRequest(5.0, 0, 8, True))     # 4096 write, period 0
+        logger.observe(DiskRequest(25.0, 0, 16, True))   # 8192 write, period 2
+        hourly = logger.hourly_trace()
+        assert hourly.hours == 3
+        assert hourly.read_bytes.tolist() == [4096.0, 0.0, 0.0]
+        assert hourly.write_bytes.tolist() == [4096.0, 0.0, 8192.0]
+
+    def test_lifetime_totals(self):
+        logger = CounterLogger(period=10.0)
+        for r in requests(4, gap=5.0):
+            logger.observe(r)
+        record = logger.lifetime_record(model="m")
+        assert record.bytes_read + record.bytes_written == 4 * 4096
+        assert record.model == "m"
+        assert record.power_on_hours == pytest.approx(2 * 10.0 / SECONDS_PER_HOUR)
+
+    def test_observe_trace_extends_to_span(self, web_trace):
+        logger = CounterLogger(period=5.0)
+        logger.observe_trace(web_trace)
+        expected_periods = int(np.ceil(web_trace.span / 5.0))
+        assert logger.periods == expected_periods
+        assert logger.hourly_trace().total_bytes.sum() == pytest.approx(
+            float(web_trace.total_bytes)
+        )
+
+    def test_time_ordering_enforced(self):
+        logger = CounterLogger()
+        logger.observe(DiskRequest(5.0, 0, 1, False))
+        with pytest.raises(TraceError):
+            logger.observe(DiskRequest(4.0, 0, 1, False))
+
+    def test_empty_rejected(self):
+        logger = CounterLogger()
+        with pytest.raises(TraceError):
+            logger.hourly_trace()
+        with pytest.raises(TraceError):
+            logger.lifetime_record()
+
+    def test_bad_period(self):
+        with pytest.raises(TraceError):
+            CounterLogger(period=0.0)
+
+
+class TestThreeGranularityConsistency:
+    def test_collector_and_logger_agree(self, web_trace):
+        """The T4 property, from the logging side: one request stream
+        produces consistent Millisecond / Hour / Lifetime views."""
+        collector = RequestCollector(label="x")
+        logger = CounterLogger(drive_id="x", period=1.0)
+        for request in web_trace:
+            collector.record(request)
+            logger.observe(request)
+        logger.observe_trace(web_trace.slice_time(web_trace.span, web_trace.span))
+
+        ms_view = collector.trace(span=web_trace.span)
+        counter_view = logger.hourly_trace()
+        lifetime_view = logger.lifetime_record()
+
+        assert ms_view.total_bytes == pytest.approx(counter_view.total_bytes.sum())
+        assert lifetime_view.total_bytes == pytest.approx(float(ms_view.total_bytes))
+        assert lifetime_view.write_byte_fraction == pytest.approx(
+            ms_view.write_byte_fraction
+        )

@@ -1,0 +1,74 @@
+"""Cross-correlation of count series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.crosscorr import cross_correlation, peak_lag
+
+
+def test_self_correlation_peaks_at_zero():
+    rng = np.random.default_rng(180)
+    x = rng.standard_normal(5000)
+    lags, ccf = cross_correlation(x, x, max_lag=10)
+    assert ccf[lags == 0][0] == pytest.approx(1.0)
+    assert np.all(ccf <= 1.0 + 1e-12)
+
+
+def test_shifted_series_peaks_at_shift():
+    rng = np.random.default_rng(181)
+    x = rng.standard_normal(5000)
+    y = np.roll(x, 3)  # y[t] = x[t-3]: y follows x by 3
+    lag, value = peak_lag(x, y, max_lag=10)
+    assert lag == 3
+    assert value > 0.9
+
+
+def test_negative_lag_detected():
+    rng = np.random.default_rng(182)
+    y = rng.standard_normal(5000)
+    x = np.roll(y, 2)  # x follows y: peak at negative lag
+    lag, _ = peak_lag(x, y, max_lag=10)
+    assert lag == -2
+
+
+def test_independent_series_near_zero():
+    rng = np.random.default_rng(183)
+    lags, ccf = cross_correlation(
+        rng.standard_normal(20000), rng.standard_normal(20000), max_lag=5
+    )
+    assert np.all(np.abs(ccf) < 0.05)
+
+
+def test_anticorrelation():
+    rng = np.random.default_rng(184)
+    x = rng.standard_normal(2000)
+    lags, ccf = cross_correlation(x, -x, max_lag=2)
+    assert ccf[lags == 0][0] == pytest.approx(-1.0)
+
+
+def test_constant_series_nan():
+    lags, ccf = cross_correlation(np.ones(100), np.arange(100.0), max_lag=3)
+    assert np.isnan(ccf).all()
+    with pytest.raises(StatsError):
+        peak_lag(np.ones(100), np.ones(100), 3)
+
+
+def test_lags_symmetric_range():
+    lags, ccf = cross_correlation(np.arange(50.0), np.arange(50.0), max_lag=4)
+    assert lags.tolist() == list(range(-4, 5))
+    assert ccf.size == 9
+
+
+def test_max_lag_clamped():
+    lags, _ = cross_correlation(np.arange(5.0), np.arange(5.0), max_lag=100)
+    assert lags.max() == 4
+
+
+def test_validation():
+    with pytest.raises(StatsError):
+        cross_correlation([1.0], [1.0], 1)
+    with pytest.raises(StatsError):
+        cross_correlation([1.0, 2.0], [1.0, 2.0, 3.0], 1)
+    with pytest.raises(StatsError):
+        cross_correlation([1.0, 2.0], [1.0, 2.0], -1)

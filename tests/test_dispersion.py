@@ -1,0 +1,73 @@
+"""Index of dispersion for counts and the IDC curve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.dispersion import idc_curve, index_of_dispersion
+from repro.synth.arrivals import bmodel_arrivals, poisson_arrivals
+
+
+class TestIndexOfDispersion:
+    def test_poisson_counts_near_one(self):
+        rng = np.random.default_rng(9)
+        counts = rng.poisson(5.0, 50000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_counts_zero(self):
+        assert index_of_dispersion([4, 4, 4, 4]) == 0.0
+
+    def test_zero_mean_nan(self):
+        assert np.isnan(index_of_dispersion([0, 0, 0]))
+
+    def test_bursty_counts_large(self):
+        counts = [0] * 99 + [100]
+        assert index_of_dispersion(counts) > 50
+
+    def test_too_short_rejected(self):
+        with pytest.raises(StatsError):
+            index_of_dispersion([1])
+
+
+class TestIdcCurve:
+    def test_poisson_flat_near_one(self):
+        rng = np.random.default_rng(10)
+        times = poisson_arrivals(rng, rate=200.0, span=600.0)
+        scales, idc = idc_curve(times, 600.0, 0.01, [1, 4, 16, 64, 256])
+        assert np.all(np.abs(idc - 1.0) < 0.35)
+
+    def test_bmodel_grows_with_scale(self):
+        rng = np.random.default_rng(11)
+        times = bmodel_arrivals(rng, n_requests=60000, span=600.0, bias=0.75)
+        scales, idc = idc_curve(times, 600.0, 0.01, [1, 4, 16, 64, 256])
+        assert idc[-1] > 5.0 * idc[0]
+        assert idc[-1] > 10.0
+
+    def test_scales_ascending_and_match_factors(self):
+        rng = np.random.default_rng(12)
+        times = poisson_arrivals(rng, rate=100.0, span=100.0)
+        scales, idc = idc_curve(times, 100.0, 0.1, [1, 2, 4])
+        np.testing.assert_allclose(scales, [0.1, 0.2, 0.4])
+        assert idc.size == 3
+
+    def test_unusable_scales_dropped(self):
+        rng = np.random.default_rng(13)
+        times = poisson_arrivals(rng, rate=100.0, span=10.0)
+        scales, idc = idc_curve(times, 10.0, 0.1, [1, 1000])
+        assert scales.tolist() == [0.1]
+
+    def test_all_scales_unusable_rejected(self):
+        with pytest.raises(StatsError):
+            idc_curve(np.array([0.5]), 1.0, 0.5, [1000])
+
+    def test_bad_base_scale_rejected(self):
+        with pytest.raises(StatsError):
+            idc_curve(np.array([0.5]), 1.0, 0.0, [1])
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(StatsError):
+            idc_curve(np.array([0.5]), 1.0, 0.1, [])
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(StatsError):
+            idc_curve(np.linspace(0, 9.9, 100), 10.0, 0.1, [0])

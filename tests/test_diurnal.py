@@ -1,0 +1,100 @@
+"""Day-long diurnal millisecond traces and the hour-aggregation bridge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.diurnal import DiurnalDay, default_day_curve, hourly_from_trace
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+from repro.traces.millisecond import RequestTrace
+from repro.units import HOURS_PER_DAY, SECONDS_PER_HOUR
+
+CAPACITY = 10_000_000
+
+
+@pytest.fixture(scope="module")
+def base_profile():
+    return WorkloadProfile(
+        name="diurnal-test", rate=0.5, arrival=ArrivalSpec("poisson"),
+        spatial="uniform", sizes=FixedSizes(8), mix=BernoulliMix(0.6),
+    )
+
+
+class TestDayCurve:
+    def test_mean_one(self):
+        curve = default_day_curve(4.0)
+        assert curve.shape == (24,)
+        assert curve.mean() == pytest.approx(1.0)
+
+    def test_afternoon_peak(self):
+        curve = default_day_curve(4.0)
+        assert curve[14] == curve.max()
+        assert curve[2] == curve.min()
+
+    def test_ratio_controls_swing(self):
+        flat = default_day_curve(1.0)
+        steep = default_day_curve(8.0)
+        assert flat.std() < 0.01
+        assert steep.std() > flat.std()
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(SynthesisError):
+            default_day_curve(0.0)
+
+
+class TestDiurnalDay:
+    def test_spans_a_day(self, base_profile):
+        trace = DiurnalDay(base_profile).synthesize(CAPACITY, seed=1)
+        assert trace.span == pytest.approx(24 * SECONDS_PER_HOUR)
+        assert "day" in trace.label
+
+    def test_daily_mean_rate_preserved(self, base_profile):
+        trace = DiurnalDay(base_profile).synthesize(CAPACITY, seed=1)
+        assert trace.request_rate == pytest.approx(base_profile.rate, rel=0.15)
+
+    def test_afternoon_busier_than_night(self, base_profile):
+        trace = DiurnalDay(base_profile).synthesize(CAPACITY, seed=2)
+        hourly = trace.counts(SECONDS_PER_HOUR)
+        assert hourly.size == HOURS_PER_DAY
+        assert hourly[13:16].mean() > 1.5 * hourly[1:4].mean()
+
+    def test_custom_curve(self, base_profile):
+        curve = np.zeros(24)
+        curve[12] = 24.0  # all traffic at noon
+        trace = DiurnalDay(base_profile, curve=curve).synthesize(CAPACITY, seed=3)
+        hourly = trace.counts(SECONDS_PER_HOUR)
+        assert hourly[12] == len(trace)
+
+    def test_curve_validation(self, base_profile):
+        with pytest.raises(SynthesisError):
+            DiurnalDay(base_profile, curve=np.ones(23))
+        with pytest.raises(SynthesisError):
+            DiurnalDay(base_profile, curve=-np.ones(24))
+        with pytest.raises(SynthesisError):
+            DiurnalDay(base_profile, curve=np.zeros(24))
+
+    def test_deterministic(self, base_profile):
+        a = DiurnalDay(base_profile).synthesize(CAPACITY, seed=4)
+        b = DiurnalDay(base_profile).synthesize(CAPACITY, seed=4)
+        np.testing.assert_array_equal(a.times, b.times)
+
+
+class TestHourlyFromTrace:
+    def test_counters_conserve_bytes(self, base_profile):
+        trace = DiurnalDay(base_profile).synthesize(CAPACITY, seed=5)
+        hourly = hourly_from_trace(trace, drive_id="d")
+        assert hourly.hours == HOURS_PER_DAY
+        assert hourly.total_bytes.sum() == pytest.approx(trace.total_bytes)
+
+    def test_write_split_consistent(self, base_profile):
+        trace = DiurnalDay(base_profile).synthesize(CAPACITY, seed=6)
+        hourly = hourly_from_trace(trace)
+        assert hourly.write_byte_fraction == pytest.approx(
+            trace.write_byte_fraction, abs=1e-12
+        )
+
+    def test_rejects_zero_span(self):
+        with pytest.raises(SynthesisError):
+            hourly_from_trace(RequestTrace.empty(span=0.0))

@@ -1,0 +1,72 @@
+"""Full text dossiers."""
+
+import pytest
+
+from repro.core.dossier import (
+    render_family_report,
+    render_hour_report,
+    render_study_report,
+)
+from repro.core.hour_analysis import analyze_hour_scale
+from repro.core.lifetime_analysis import analyze_family
+from repro.core.timescales import run_millisecond_study
+from repro.synth.family import FamilyModel
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.synth.profiles import get_profile
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def study(tiny_spec):
+    return run_millisecond_study(get_profile("web"), tiny_spec, span=40.0, seed=2)
+
+
+class TestStudyReport:
+    def test_all_sections_present(self, study):
+        text = render_study_report(study, drive_name="tiny")
+        for heading in (
+            "Workload", "Utilization", "Idleness", "Busy periods",
+            "Burstiness", "Read/write dynamics",
+        ):
+            assert heading in text
+        assert "tiny" in text
+
+    def test_drive_name_optional(self, study):
+        text = render_study_report(study)
+        assert "Workload" in text
+
+    def test_optional_sections_skipped(self, tiny_spec):
+        # A sparse trace has no burstiness analysis.
+        sparse = get_profile("web").with_rate(0.5)
+        study = run_millisecond_study(sparse, tiny_spec, span=20.0, seed=3)
+        assert study.burstiness is None
+        text = render_study_report(study)
+        assert "Burstiness" not in text
+        assert "Utilization" in text
+
+    def test_key_numbers_rendered(self, study):
+        text = render_study_report(study)
+        assert "overall utilization" in text
+        assert "best-fit family" in text
+        assert "Hurst" in text
+
+
+class TestHourReport:
+    def test_renders(self):
+        model = HourlyWorkloadModel(bandwidth=80 * MIB)
+        dataset = model.generate(n_drives=10, weeks=1, seed=4)
+        analysis = analyze_hour_scale(dataset, bandwidth=80 * MIB)
+        text = render_hour_report(analysis, diurnal_ratio=3.5)
+        assert "Hour-scale analysis" in text
+        assert "saturated" in text
+        assert "3.5" in text
+
+
+class TestFamilyReport:
+    def test_renders(self):
+        family = FamilyModel(bandwidth=80 * MIB).generate(n_drives=100, seed=5)
+        analysis = analyze_family(family, bandwidth=80 * MIB)
+        text = render_family_report(analysis, family="enterprise-10k")
+        assert "Family analysis: enterprise-10k" in text
+        assert "Gini" in text
+        assert "busiest 10%" in text

@@ -1,0 +1,106 @@
+"""DriveSpec presets and the DiskDrive service-time model."""
+
+import pytest
+
+from repro.disk.cache import CacheConfig
+from repro.disk.drive import DiskDrive, DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
+from repro.errors import DiskModelError
+from repro.units import MIB, ms
+
+
+class TestDriveSpec:
+    @pytest.mark.parametrize("factory", [cheetah_10k, cheetah_15k, nearline_7200])
+    def test_presets_have_plausible_figures(self, factory):
+        spec = factory()
+        capacity_gb = spec.capacity_sectors * 512 / 1e9
+        bandwidth_mb = spec.sustained_bandwidth / MIB
+        assert 30 < capacity_gb < 500
+        assert 40 < bandwidth_mb < 200
+        assert 0 < spec.single_cylinder_seek < spec.full_stroke_seek < ms(25)
+
+    def test_faster_spindle_higher_bandwidth(self):
+        assert cheetah_15k().sustained_bandwidth > cheetah_10k().sustained_bandwidth
+
+    def test_with_cache_replaces_config(self):
+        spec = cheetah_10k().with_cache(CacheConfig.disabled())
+        assert not spec.cache.read_ahead
+        assert spec.name == cheetah_10k().name
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DiskModelError):
+            DriveSpec(
+                name="bad", rpm=0, heads=1, cylinders=10, nzones=1,
+                outer_spt=10, inner_spt=10,
+                single_cylinder_seek=ms(1), full_stroke_seek=ms(2),
+            )
+
+
+class TestDiskDrive:
+    def test_request_beyond_capacity_rejected(self, tiny_drive):
+        cap = tiny_drive.geometry.capacity_sectors
+        with pytest.raises(DiskModelError):
+            tiny_drive.service_time(cap - 4, 8, False, now=0.0)
+        with pytest.raises(DiskModelError):
+            tiny_drive.service_time(-1, 8, False, now=0.0)
+        with pytest.raises(DiskModelError):
+            tiny_drive.service_time(0, 0, False, now=0.0)
+
+    def test_media_read_includes_positioning(self, tiny_spec_nocache):
+        drive = DiskDrive(tiny_spec_nocache, seed=1)
+        service = drive.service_time(100_000, 8, False, now=0.0)
+        # At least the command overhead plus some transfer.
+        assert service > tiny_spec_nocache.command_overhead
+
+    def test_sequential_media_access_skips_positioning(self, tiny_spec_nocache):
+        drive = DiskDrive(tiny_spec_nocache, seed=1)
+        first = drive.service_time(1000, 8, False, now=0.0)
+        second = drive.service_time(1008, 8, False, now=first)
+        # Contiguous follow-up: no seek, no latency — just overhead+transfer.
+        assert second < first
+        assert second < tiny_spec_nocache.command_overhead + ms(1.0)
+
+    def test_read_hit_costs_hit_overhead(self, tiny_spec):
+        drive = DiskDrive(tiny_spec, seed=1)
+        drive.service_time(5000, 8, False, now=0.0)  # seeds the read-ahead
+        hit = drive.service_time(5008, 8, False, now=1.0)
+        assert hit == tiny_spec.cache.hit_overhead
+
+    def test_write_absorbed_by_cache(self, tiny_spec):
+        drive = DiskDrive(tiny_spec, seed=1)
+        service = drive.service_time(9000, 8, True, now=0.0)
+        assert service == tiny_spec.cache.hit_overhead
+
+    def test_write_through_when_cache_disabled(self, tiny_spec_nocache):
+        drive = DiskDrive(tiny_spec_nocache, seed=1)
+        service = drive.service_time(9000, 8, True, now=0.0)
+        assert service > tiny_spec_nocache.cache.hit_overhead
+
+    def test_head_moves_with_media_access(self, tiny_spec_nocache):
+        drive = DiskDrive(tiny_spec_nocache, seed=1)
+        assert drive.head_cylinder == 0
+        far_lba = tiny_spec_nocache.capacity_sectors - 100
+        drive.service_time(far_lba, 8, False, now=0.0)
+        assert drive.head_cylinder > 0
+
+    def test_reset_restores_initial_state(self, tiny_spec_nocache):
+        drive = DiskDrive(tiny_spec_nocache, seed=1)
+        a = drive.service_time(50_000, 8, False, now=0.0)
+        drive.reset()
+        assert drive.head_cylinder == 0
+        b = drive.service_time(50_000, 8, False, now=0.0)
+        assert a == b  # same RNG stream after reset
+
+    def test_deterministic_in_seed(self, tiny_spec_nocache):
+        d1 = DiskDrive(tiny_spec_nocache, seed=9)
+        d2 = DiskDrive(tiny_spec_nocache, seed=9)
+        lbas = [10_000, 200_000, 3_000, 150_000]
+        times1 = [d1.service_time(lba, 8, False, now=i) for i, lba in enumerate(lbas)]
+        times2 = [d2.service_time(lba, 8, False, now=i) for i, lba in enumerate(lbas)]
+        assert times1 == times2
+
+    def test_longer_transfer_takes_longer(self, tiny_spec_nocache):
+        small_drive = DiskDrive(tiny_spec_nocache, seed=4)
+        large_drive = DiskDrive(tiny_spec_nocache, seed=4)
+        small = small_drive.service_time(100_000, 8, False, now=0.0)
+        large = large_drive.service_time(100_000, 2048, False, now=0.0)
+        assert large > small

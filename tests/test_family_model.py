@@ -1,0 +1,94 @@
+"""Lifetime drive-family generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.family import FamilyModel
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def family():
+    return FamilyModel(bandwidth=80 * MIB).generate(n_drives=1000, seed=42)
+
+
+def test_size_and_ids(family):
+    assert len(family) == 1000
+    ids = [r.drive_id for r in family]
+    assert len(set(ids)) == 1000
+
+
+def test_deterministic_in_seed():
+    model = FamilyModel()
+    a = model.generate(50, seed=1)
+    b = model.generate(50, seed=1)
+    assert a.total_bytes().tolist() == b.total_bytes().tolist()
+
+
+def test_ages_within_range(family):
+    model = FamilyModel()
+    ages = family.power_on_hours()
+    assert ages.min() >= model.min_age_hours
+    assert ages.max() <= model.max_age_hours
+
+
+def test_median_utilization_moderate(family):
+    utils = family.mean_utilizations(80 * MIB)
+    median = np.median(utils)
+    assert 0.005 < median < 0.3  # "moderate utilization"
+
+
+def test_saturated_subpopulation_exists(family):
+    model = FamilyModel()
+    utils = family.mean_utilizations(80 * MIB)
+    heavy = np.mean(utils >= 0.75)
+    assert heavy == pytest.approx(model.saturated_fraction, abs=0.03)
+    assert heavy > 0.01
+
+
+def test_near_idle_subpopulation_exists(family):
+    utils = family.mean_utilizations(80 * MIB)
+    assert np.mean(utils < 0.005) > 0.05
+
+
+def test_utilization_never_exceeds_one(family):
+    assert family.mean_utilizations(80 * MIB).max() <= 1.0
+
+
+def test_load_spans_orders_of_magnitude(family):
+    throughputs = family.mean_throughputs()
+    assert throughputs.max() / throughputs.min() > 100
+
+
+def test_write_fraction_centered(family):
+    model = FamilyModel()
+    fractions = family.write_byte_fractions()
+    assert np.nanmean(fractions) == pytest.approx(model.write_fraction_mean, abs=0.05)
+
+
+def test_model_string_applied():
+    ds = FamilyModel().generate(5, seed=0, family="X15")
+    assert ds.family == "X15"
+    assert all(r.model == "X15" for r in ds)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bandwidth": 0.0},
+        {"median_util": 0.0},
+        {"idle_fraction": -0.1},
+        {"idle_fraction": 0.6, "saturated_fraction": 0.5},
+        {"min_age_hours": 0.0},
+        {"min_age_hours": 100.0, "max_age_hours": 50.0},
+    ],
+)
+def test_invalid_model_rejected(kwargs):
+    with pytest.raises(SynthesisError):
+        FamilyModel(**kwargs)
+
+
+def test_invalid_generate_args():
+    with pytest.raises(SynthesisError):
+        FamilyModel().generate(0)

@@ -1,0 +1,104 @@
+"""Maximum-likelihood distribution fits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.fitting import (
+    best_fit,
+    fit_exponential,
+    fit_lognormal,
+    fit_pareto,
+)
+from repro.synth.arrivals import pareto_sample
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(40)
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self, rng):
+        sample = rng.exponential(1.0 / 3.0, 50000)
+        fit = fit_exponential(sample)
+        assert fit.lam == pytest.approx(3.0, rel=0.03)
+        assert fit.mean == pytest.approx(1.0 / 3.0, rel=0.03)
+
+    def test_ks_small_on_own_family(self, rng):
+        sample = rng.exponential(2.0, 20000)
+        assert fit_exponential(sample).ks_distance < 0.02
+
+    def test_cdf_shape(self):
+        fit = fit_exponential([1.0, 1.0, 1.0, 1.0])
+        assert fit.cdf(np.array([0.0]))[0] == 0.0
+        assert fit.cdf(np.array([1e9]))[0] == pytest.approx(1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(StatsError):
+            fit_exponential([1.0, 0.0])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(StatsError):
+            fit_exponential([1.0])
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self, rng):
+        sample = rng.lognormal(1.5, 0.7, 50000)
+        fit = fit_lognormal(sample)
+        assert fit.mu == pytest.approx(1.5, abs=0.02)
+        assert fit.sigma == pytest.approx(0.7, abs=0.02)
+
+    def test_mean_formula(self, rng):
+        sample = rng.lognormal(0.0, 1.0, 100000)
+        fit = fit_lognormal(sample)
+        assert fit.mean == pytest.approx(np.exp(0.5), rel=0.05)
+
+    def test_ks_small_on_own_family(self, rng):
+        sample = rng.lognormal(0.0, 1.0, 20000)
+        assert fit_lognormal(sample).ks_distance < 0.02
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(StatsError):
+            fit_lognormal([2.0, 2.0, 2.0])
+
+
+class TestParetoFit:
+    def test_recovers_alpha(self, rng):
+        sample = pareto_sample(rng, alpha=2.5, xm=1.0, size=50000)
+        fit = fit_pareto(sample)
+        assert fit.alpha == pytest.approx(2.5, rel=0.05)
+        assert fit.xm == pytest.approx(1.0, rel=0.01)
+
+    def test_infinite_mean_below_one(self, rng):
+        sample = pareto_sample(rng, alpha=0.8, xm=1.0, size=5000)
+        fit = fit_pareto(sample)
+        assert fit.mean == float("inf")
+
+    def test_cdf_zero_below_xm(self, rng):
+        sample = pareto_sample(rng, alpha=2.0, xm=5.0, size=1000)
+        fit = fit_pareto(sample)
+        assert fit.cdf(np.array([1.0]))[0] == 0.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(StatsError):
+            fit_pareto([3.0, 3.0])
+
+
+class TestBestFit:
+    def test_picks_exponential_for_exponential(self, rng):
+        sample = rng.exponential(1.0, 20000)
+        assert best_fit(sample).name == "exponential"
+
+    def test_picks_pareto_for_pareto(self, rng):
+        sample = pareto_sample(rng, alpha=1.5, xm=1.0, size=20000)
+        assert best_fit(sample).name == "pareto"
+
+    def test_picks_lognormal_for_lognormal(self, rng):
+        sample = rng.lognormal(0.0, 1.5, 20000)
+        assert best_fit(sample).name == "lognormal"
+
+    def test_all_degenerate_rejected(self):
+        with pytest.raises(StatsError):
+            best_fit([1.0])

@@ -1,0 +1,129 @@
+"""Hourly traffic forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecast import (
+    flat_mean_forecast,
+    score_forecast,
+    seasonal_ewma_forecast,
+    seasonal_naive_forecast,
+)
+from repro.errors import AnalysisError
+
+
+def cyclical(n, period=24, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 100 + 50 * np.sin(2 * np.pi * t / period) + noise * rng.standard_normal(n)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_cycle(self):
+        history = np.arange(48, dtype=float)
+        forecast = seasonal_naive_forecast(history, horizon=24, period=24)
+        np.testing.assert_array_equal(forecast, history[24:])
+
+    def test_horizon_longer_than_period_tiles(self):
+        history = np.array([1.0, 2.0, 3.0])
+        forecast = seasonal_naive_forecast(history, horizon=7, period=3)
+        np.testing.assert_array_equal(forecast, [1, 2, 3, 1, 2, 3, 1])
+
+    def test_perfect_on_pure_cycle(self):
+        series = cyclical(24 * 10)
+        forecast = seasonal_naive_forecast(series[:-24], 24, 24)
+        score = score_forecast(forecast, series[-24:])
+        assert score.mape < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            seasonal_naive_forecast(np.ones(5), 1, 10)
+        with pytest.raises(AnalysisError):
+            seasonal_naive_forecast(np.ones(10), 0, 5)
+        with pytest.raises(AnalysisError):
+            seasonal_naive_forecast(np.ones(10), 1, 0)
+
+
+class TestSeasonalEwma:
+    def test_tracks_drift_better_than_naive(self):
+        # A cycle whose level doubles over time: EWMA adapts.
+        n = 24 * 20
+        trend = np.linspace(1.0, 2.0, n)
+        series = cyclical(n, noise=0.0) * trend
+        history, truth = series[:-24], series[-24:]
+        naive = score_forecast(seasonal_naive_forecast(history, 24, 24), truth)
+        ewma = score_forecast(seasonal_ewma_forecast(history, 24, 24, alpha=0.5), truth)
+        # Both decent; EWMA must not be wildly worse and the naive is
+        # biased low on an upward trend.
+        assert ewma.mape < 0.1
+        assert naive.bias < 0
+
+    def test_matches_naive_on_stationary_cycle(self):
+        series = cyclical(24 * 10)
+        history, truth = series[:-24], series[-24:]
+        ewma = seasonal_ewma_forecast(history, 24, 24, alpha=0.4)
+        assert score_forecast(ewma, truth).mape < 0.01
+
+    def test_phase_alignment(self):
+        # History length not a multiple of the period: phases must align.
+        series = cyclical(24 * 10 + 7)
+        history, truth = series[:-5], series[-5:]
+        forecast = seasonal_ewma_forecast(history, 5, 24, alpha=0.3)
+        assert score_forecast(forecast, truth).mape < 0.05
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            seasonal_ewma_forecast(np.ones(30), 5, 24, alpha=0.0)
+        with pytest.raises(AnalysisError):
+            seasonal_ewma_forecast(np.ones(5), 5, 24)
+
+
+class TestFlatMean:
+    def test_constant(self):
+        forecast = flat_mean_forecast(np.array([1.0, 3.0]), 4)
+        np.testing.assert_array_equal(forecast, [2.0] * 4)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            flat_mean_forecast(np.zeros(0), 1)
+        with pytest.raises(AnalysisError):
+            flat_mean_forecast(np.ones(3), 0)
+
+
+class TestScore:
+    def test_perfect_forecast(self):
+        truth = np.array([1.0, 2.0, 4.0])
+        score = score_forecast(truth.copy(), truth)
+        assert score.mape == 0.0
+        assert score.rmse == 0.0
+        assert score.bias == 0.0
+
+    def test_known_values(self):
+        score = score_forecast(np.array([2.0, 2.0]), np.array([1.0, 4.0]))
+        assert score.mape == pytest.approx((1.0 + 0.5) / 2)
+        assert score.rmse == pytest.approx(np.sqrt((1 + 4) / 2))
+        assert score.bias == pytest.approx((1.0 - 2.0) / 2)
+
+    def test_zero_truth_hours_skipped_in_mape(self):
+        score = score_forecast(np.array([1.0, 5.0]), np.array([0.0, 5.0]))
+        assert score.mape == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            score_forecast(np.ones(3), np.ones(4))
+
+
+class TestOnHourlyModel:
+    def test_cycle_is_predictable_burst_is_not(self):
+        from repro.synth.hourly import HourlyWorkloadModel
+
+        model = HourlyWorkloadModel(burst_sigma=0.4, saturated_fraction=0.0)
+        dataset = model.generate(n_drives=30, weeks=8, seed=41)
+        series = dataset.aggregate_series()
+        history, truth = series[:-168], series[-168:]
+        naive = score_forecast(seasonal_naive_forecast(history, 168, 168), truth)
+        flat = score_forecast(flat_mean_forecast(history, 168), truth)
+        # The cycle makes seasonal forecasting much better than flat...
+        assert naive.mape < 0.7 * flat.mape
+        # ...but the bursty residual keeps MAPE well above zero.
+        assert naive.mape > 0.02

@@ -1,0 +1,85 @@
+"""Histograms and log binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.histogram import Histogram, log_bin_edges
+
+
+class TestLogBinEdges:
+    def test_covers_range(self):
+        edges = log_bin_edges(0.001, 10.0)
+        assert edges[0] == pytest.approx(0.001)
+        assert edges[-1] >= 10.0
+
+    def test_bins_per_decade(self):
+        edges = log_bin_edges(1.0, 100.0, bins_per_decade=5)
+        assert edges.size == 11  # 2 decades x 5 bins + 1
+
+    def test_edges_strictly_increasing(self):
+        edges = log_bin_edges(0.01, 1e4, bins_per_decade=7)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_nonpositive_lo_rejected(self):
+        with pytest.raises(StatsError):
+            log_bin_edges(0.0, 1.0)
+
+    def test_hi_must_exceed_lo(self):
+        with pytest.raises(StatsError):
+            log_bin_edges(1.0, 1.0)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(StatsError):
+            log_bin_edges(1.0, 10.0, bins_per_decade=0)
+
+
+class TestHistogram:
+    def test_counts_and_totals(self):
+        h = Histogram([0.5, 1.5, 1.7, 2.5], edges=[0, 1, 2, 3])
+        assert h.counts.tolist() == [1, 2, 1]
+        assert h.n == 4
+        assert h.underflow == 0 and h.overflow == 0
+
+    def test_under_and_overflow_tracked(self):
+        h = Histogram([-1.0, 0.5, 5.0], edges=[0, 1])
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.counts.sum() + h.underflow + h.overflow == h.n
+
+    def test_value_at_last_edge_is_overflow(self):
+        h = Histogram([1.0], edges=[0, 1])
+        assert h.overflow == 1
+
+    def test_nan_dropped(self):
+        h = Histogram([0.5, float("nan")], edges=[0, 1])
+        assert h.n == 1
+
+    def test_mass_sums_to_in_range_fraction(self):
+        h = Histogram([-1.0, 0.5, 0.6, 5.0], edges=[0, 1])
+        assert h.mass().sum() == pytest.approx(0.5)
+
+    def test_density_integrates_to_mass(self):
+        h = Histogram([0.5, 1.5], edges=[0.0, 1.0, 3.0])
+        widths = np.diff(h.edges)
+        assert (h.density() * widths).sum() == pytest.approx(h.mass().sum())
+
+    def test_centers_geometric(self):
+        h = Histogram([], edges=[1.0, 100.0])
+        assert h.centers[0] == pytest.approx(10.0)
+
+    def test_mode_bin(self):
+        h = Histogram([0.1, 0.2, 1.5], edges=[0, 1, 2])
+        assert h.mode_bin() == 0
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(StatsError):
+            Histogram([1.0], edges=[0])
+        with pytest.raises(StatsError):
+            Histogram([1.0], edges=[0, 0])
+        with pytest.raises(StatsError):
+            Histogram([1.0], edges=[1, 0])
+
+    def test_empty_sample_mass_zero(self):
+        h = Histogram([], edges=[0, 1])
+        assert h.mass().tolist() == [0.0]

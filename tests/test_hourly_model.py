@@ -1,0 +1,114 @@
+"""Hour-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.hourly import HourlyWorkloadModel
+from repro.units import HOURS_PER_WEEK, MIB, SECONDS_PER_HOUR
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    model = HourlyWorkloadModel(bandwidth=80 * MIB, saturated_fraction=0.3)
+    return model.generate(n_drives=60, weeks=2, seed=5)
+
+
+def test_shape(dataset):
+    assert len(dataset) == 60
+    assert dataset.hours == 2 * HOURS_PER_WEEK
+
+
+def test_counters_nonnegative_and_capped(dataset):
+    cap = 80 * MIB * SECONDS_PER_HOUR
+    for trace in dataset:
+        assert trace.total_bytes.min() >= 0
+        assert trace.total_bytes.max() <= cap * 1.0000001
+
+
+def test_deterministic_in_seed():
+    model = HourlyWorkloadModel()
+    a = model.generate(5, 1, seed=9)
+    b = model.generate(5, 1, seed=9)
+    for ta, tb in zip(a, b):
+        np.testing.assert_array_equal(ta.read_bytes, tb.read_bytes)
+
+
+def test_different_seeds_differ():
+    model = HourlyWorkloadModel()
+    a = model.generate(5, 1, seed=1)
+    b = model.generate(5, 1, seed=2)
+    assert not np.array_equal(a[0].read_bytes, b[0].read_bytes)
+
+
+def test_drive_ids_unique(dataset):
+    ids = dataset.drives
+    assert len(set(ids)) == len(ids)
+
+
+def test_load_spread_across_drives(dataset):
+    means = dataset.mean_throughputs()
+    # lognormal spread: busiest drive far above the quietest.
+    assert means.max() / max(means.min(), 1.0) > 10
+
+
+def test_diurnal_cycle_present():
+    model = HourlyWorkloadModel(burst_sigma=0.1, saturated_fraction=0.0, day_night_ratio=5.0)
+    ds = model.generate(n_drives=40, weeks=4, seed=3)
+    from repro.core.hour_analysis import population_weekly_curve
+    curve = population_weekly_curve(ds)
+    # afternoon (hour 14) should be well above pre-dawn (hour 3), Monday.
+    assert curve[14] > 1.5 * curve[3]
+
+
+def test_weekend_quieter():
+    model = HourlyWorkloadModel(burst_sigma=0.1, saturated_fraction=0.0, weekend_factor=0.3)
+    ds = model.generate(n_drives=40, weeks=4, seed=4)
+    from repro.core.hour_analysis import population_weekly_curve
+    curve = population_weekly_curve(ds)
+    weekday = np.nanmean(curve[: 5 * 24])
+    weekend = np.nanmean(curve[5 * 24:])
+    assert weekend < 0.6 * weekday
+
+
+def test_saturated_episodes_generated():
+    model = HourlyWorkloadModel(saturated_fraction=1.0, episodes_per_week=3.0)
+    ds = model.generate(n_drives=30, weeks=2, seed=6)
+    stretches = ds.longest_saturated_stretches(model.bandwidth, threshold=0.9)
+    assert sum(1 for v in stretches.values() if v >= 1) > 15
+
+
+def test_no_saturation_when_disabled():
+    model = HourlyWorkloadModel(saturated_fraction=0.0, median_load=0.02, load_sigma=0.5, burst_sigma=0.3)
+    ds = model.generate(n_drives=30, weeks=1, seed=7)
+    assert ds.saturated_hour_fraction(model.bandwidth, threshold=0.9) < 0.01
+
+
+def test_write_fraction_personality():
+    model = HourlyWorkloadModel(write_fraction_mean=0.7, write_fraction_spread=0.1)
+    ds = model.generate(n_drives=50, weeks=1, seed=8)
+    fractions = np.array([t.write_byte_fraction for t in ds])
+    assert np.nanmean(fractions) == pytest.approx(0.7, abs=0.05)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bandwidth": 0.0},
+        {"median_load": 0.0},
+        {"median_load": 1.5},
+        {"saturated_fraction": -0.1},
+        {"episode_hours": 0.0},
+    ],
+)
+def test_invalid_model_rejected(kwargs):
+    with pytest.raises(SynthesisError):
+        HourlyWorkloadModel(**kwargs)
+
+
+def test_invalid_generate_args():
+    model = HourlyWorkloadModel()
+    with pytest.raises(SynthesisError):
+        model.generate(0, 1)
+    with pytest.raises(SynthesisError):
+        model.generate(1, 0)

@@ -1,0 +1,88 @@
+"""Hurst estimators: white noise vs. long-range-dependent inputs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.hurst import (
+    hurst_aggregate_variance,
+    hurst_rescaled_range,
+    variance_time_curve,
+)
+from repro.synth.selfsimilar import fractional_gaussian_noise
+
+
+@pytest.fixture(scope="module")
+def white_counts():
+    rng = np.random.default_rng(20)
+    return rng.poisson(10.0, 32768)
+
+
+@pytest.fixture(scope="module")
+def lrd_counts():
+    rng = np.random.default_rng(21)
+    noise = fractional_gaussian_noise(rng, 32768, hurst=0.85)
+    return np.maximum(0.0, 10.0 + 4.0 * noise)
+
+
+class TestVarianceTimeCurve:
+    def test_white_noise_slope_near_minus_one(self, white_counts):
+        factors, variances = variance_time_curve(white_counts, [1, 2, 4, 8, 16, 32, 64])
+        slope = np.polyfit(np.log(factors), np.log(variances), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.12)
+
+    def test_skips_short_factors(self):
+        rng = np.random.default_rng(22)
+        counts = rng.poisson(5.0, 64)
+        factors, _ = variance_time_curve(counts, [1, 2, 4, 1000])
+        assert 1000 not in factors
+
+    def test_too_short_rejected(self):
+        with pytest.raises(StatsError):
+            variance_time_curve([1.0, 2.0], [1, 2])
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(StatsError):
+            variance_time_curve(np.ones(100), [0, 1])
+
+    def test_single_usable_factor_rejected(self):
+        rng = np.random.default_rng(23)
+        with pytest.raises(StatsError):
+            variance_time_curve(rng.poisson(5, 16), [1, 500, 1000])
+
+
+class TestAggregateVariance:
+    def test_white_noise_near_half(self, white_counts):
+        h = hurst_aggregate_variance(white_counts)
+        assert h == pytest.approx(0.5, abs=0.07)
+
+    def test_lrd_input_detected(self, lrd_counts):
+        h = hurst_aggregate_variance(lrd_counts)
+        assert h == pytest.approx(0.85, abs=0.1)
+
+    def test_result_clipped_to_unit_interval(self, white_counts):
+        h = hurst_aggregate_variance(white_counts, factors=(1, 2, 4, 8))
+        assert 0.0 <= h <= 1.0
+
+    def test_constant_series_nan(self):
+        assert np.isnan(hurst_aggregate_variance(np.ones(1024)))
+
+
+class TestRescaledRange:
+    def test_white_noise_near_half(self, white_counts):
+        h = hurst_rescaled_range(white_counts)
+        # R/S is biased upward on short/medium series; allow slack.
+        assert 0.4 <= h <= 0.65
+
+    def test_lrd_input_higher_than_white(self, white_counts, lrd_counts):
+        h_white = hurst_rescaled_range(white_counts)
+        h_lrd = hurst_rescaled_range(lrd_counts)
+        assert h_lrd > h_white + 0.1
+        assert h_lrd > 0.7
+
+    def test_too_short_rejected(self):
+        with pytest.raises(StatsError):
+            hurst_rescaled_range(np.ones(10), min_chunk=8)
+
+    def test_result_in_unit_interval(self, lrd_counts):
+        assert 0.0 <= hurst_rescaled_range(lrd_counts) <= 1.0

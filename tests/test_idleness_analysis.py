@@ -1,0 +1,148 @@
+"""Idleness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.idleness import (
+    analyze_idleness,
+    idle_interval_ecdf,
+    idle_time_usability,
+    usable_idle_time,
+)
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def timeline():
+    # Idle intervals: 1, 2, 4, 8 seconds.
+    intervals = [(1.0, 2.0), (4.0, 5.0), (9.0, 10.0), (18.0, 19.0)]
+    return BusyIdleTimeline(intervals, span=19.0)
+
+
+def test_analysis_values(timeline):
+    a = analyze_idleness(timeline)
+    assert a.n_intervals == 4
+    assert a.idle_fraction == pytest.approx(15.0 / 19.0)
+    assert a.mean_interval == pytest.approx(15.0 / 4.0)
+    assert a.median_interval == pytest.approx(2.0)
+
+
+def test_top_decile_share(timeline):
+    a = analyze_idleness(timeline)
+    # Top 10% of 4 intervals = the single longest (8 of 15 total).
+    assert a.top_decile_time_share == pytest.approx(8.0 / 15.0)
+
+
+def test_best_fit_family_is_string(timeline):
+    a = analyze_idleness(timeline)
+    assert a.best_fit_family in {"exponential", "lognormal", "pareto", "degenerate"}
+
+
+def test_saturated_timeline_rejected():
+    t = BusyIdleTimeline([(0.0, 5.0)], span=5.0)
+    with pytest.raises(AnalysisError):
+        analyze_idleness(t)
+    with pytest.raises(AnalysisError):
+        idle_interval_ecdf(t)
+
+
+def test_ecdf_over_intervals(timeline):
+    e = idle_interval_ecdf(timeline)
+    assert e.n == 4
+    assert e(4.0) == pytest.approx(0.75)
+
+
+class TestUsability:
+    def test_monotone_decreasing(self, timeline):
+        durations, fractions = idle_time_usability(timeline, [0.5, 1.5, 3.0, 5.0, 10.0])
+        assert np.all(np.diff(fractions) <= 1e-12)
+
+    def test_values(self, timeline):
+        durations, fractions = idle_time_usability(timeline, [0.0, 3.0, 8.0, 9.0])
+        np.testing.assert_allclose(fractions, [1.0, 12.0 / 15.0, 8.0 / 15.0, 0.0])
+
+    def test_unsorted_input_sorted(self, timeline):
+        durations, _ = idle_time_usability(timeline, [5.0, 1.0])
+        assert durations.tolist() == [1.0, 5.0]
+
+    def test_empty_durations_rejected(self, timeline):
+        with pytest.raises(AnalysisError):
+            idle_time_usability(timeline, [])
+
+    def test_negative_duration_rejected(self, timeline):
+        with pytest.raises(AnalysisError):
+            idle_time_usability(timeline, [-1.0])
+
+    def test_saturated_timeline_zero(self):
+        t = BusyIdleTimeline([(0.0, 5.0)], span=5.0)
+        _, fractions = idle_time_usability(t, [1.0])
+        assert fractions.tolist() == [0.0]
+
+
+class TestUsableIdleTime:
+    def test_no_setup_cost_equals_total_idle(self, timeline):
+        assert usable_idle_time(timeline, 0.0) == pytest.approx(15.0)
+
+    def test_setup_cost_subtracted_per_interval(self, timeline):
+        # (1-1) + (2-1) + (4-1) + (8-1) = 11
+        assert usable_idle_time(timeline, 1.0) == pytest.approx(11.0)
+
+    def test_large_setup_cost_zero(self, timeline):
+        assert usable_idle_time(timeline, 100.0) == 0.0
+
+    def test_negative_cost_rejected(self, timeline):
+        with pytest.raises(AnalysisError):
+            usable_idle_time(timeline, -0.1)
+
+    def test_saturated_timeline_zero(self):
+        t = BusyIdleTimeline([(0.0, 5.0)], span=5.0)
+        assert usable_idle_time(t, 0.0) == 0.0
+
+
+def test_long_stretches_on_web_profile(web_result):
+    a = analyze_idleness(web_result.timeline)
+    # Heavy upper tail: most idle time in the longest tenth of intervals.
+    assert a.top_decile_time_share > 0.5
+    assert a.idle_fraction > 0.5
+
+
+class TestIdleSequence:
+    def test_poisson_idle_sequence_uncorrelated(self, tiny_spec):
+        from repro.core.idleness import idle_sequence_autocorrelation
+        from repro.synth.mix import BernoulliMix
+        from repro.synth.sizes import FixedSizes
+        from repro.synth.workload import ArrivalSpec, WorkloadProfile
+        from repro.disk.simulator import DiskSimulator
+
+        profile = WorkloadProfile(
+            name="p", rate=60.0, arrival=ArrivalSpec("poisson"),
+            spatial="uniform", sizes=FixedSizes(8), mix=BernoulliMix(0.5),
+        )
+        trace = profile.synthesize(120.0, tiny_spec.capacity_sectors, seed=8)
+        timeline = DiskSimulator(tiny_spec, seed=1).run(trace).timeline
+        acf = idle_sequence_autocorrelation(timeline, max_lag=5)
+        assert acf[0] == 1.0
+        assert abs(acf[1]) < 0.15
+
+    def test_bursty_idle_sequence_correlated(self, tiny_spec):
+        from repro.core.idleness import idle_sequence_autocorrelation
+        from repro.synth.profiles import get_profile
+        from repro.disk.simulator import DiskSimulator
+
+        # MMPP (email) modulates the rate slowly: successive idle gaps
+        # within one modulation state resemble each other.
+        trace = get_profile("email").synthesize(240.0, tiny_spec.capacity_sectors, seed=8)
+        timeline = DiskSimulator(tiny_spec, seed=1).run(trace).timeline
+        acf = idle_sequence_autocorrelation(timeline, max_lag=5)
+        assert acf[1] > 0.15
+
+    def test_too_few_intervals_rejected(self):
+        import pytest as _pytest
+        from repro.core.idleness import idle_sequence_autocorrelation
+        from repro.disk.timeline import BusyIdleTimeline
+        from repro.errors import AnalysisError
+
+        t = BusyIdleTimeline([(1.0, 2.0)], span=4.0)
+        with _pytest.raises(AnalysisError):
+            idle_sequence_autocorrelation(t)

@@ -1,0 +1,82 @@
+"""Lorenz curve, Gini coefficient and top-share."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.inequality import gini_coefficient, lorenz_curve, top_share
+
+
+class TestLorenzCurve:
+    def test_endpoints(self):
+        pop, cum = lorenz_curve([1.0, 2.0, 3.0])
+        assert pop[0] == 0.0 and cum[0] == 0.0
+        assert pop[-1] == 1.0 and cum[-1] == pytest.approx(1.0)
+
+    def test_monotone_and_convex_below_diagonal(self):
+        rng = np.random.default_rng(50)
+        pop, cum = lorenz_curve(rng.lognormal(0, 1.5, 1000))
+        assert np.all(np.diff(cum) >= 0)
+        assert np.all(cum <= pop + 1e-12)
+
+    def test_equal_sample_is_diagonal(self):
+        pop, cum = lorenz_curve([5.0] * 10)
+        np.testing.assert_allclose(cum, pop)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(StatsError):
+            lorenz_curve([0.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatsError):
+            lorenz_curve([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            lorenz_curve([])
+
+
+class TestGini:
+    def test_equality_is_zero(self):
+        assert gini_coefficient([3.0] * 100 ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_concentration_near_one(self):
+        sample = [0.0] * 999 + [1.0]
+        assert gini_coefficient(sample) > 0.99
+
+    def test_known_value_two_points(self):
+        # {1, 3}: Gini = 0.25
+        assert gini_coefficient([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(51)
+        sample = rng.lognormal(0, 1, 500)
+        assert gini_coefficient(sample) == pytest.approx(gini_coefficient(sample * 1000))
+
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(52)
+        g = gini_coefficient(rng.exponential(1.0, 1000))
+        assert 0.0 <= g < 1.0
+
+    def test_exponential_reference(self):
+        rng = np.random.default_rng(53)
+        # The exponential distribution has Gini = 0.5.
+        g = gini_coefficient(rng.exponential(1.0, 100000))
+        assert g == pytest.approx(0.5, abs=0.01)
+
+
+class TestTopShare:
+    def test_uniform_top_half(self):
+        assert top_share([1.0, 1.0, 1.0, 1.0], 0.5) == pytest.approx(0.5)
+
+    def test_concentrated(self):
+        assert top_share([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0], 0.1) == 1.0
+
+    def test_all_zero_nan(self):
+        assert np.isnan(top_share([0.0, 0.0], 0.5))
+
+    def test_fraction_bounds_checked(self):
+        with pytest.raises(StatsError):
+            top_share([1.0], 0.0)
+        with pytest.raises(StatsError):
+            top_share([1.0], 1.5)

@@ -1,0 +1,104 @@
+"""Latency characterization of simulation runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import analyze_latency, queue_depth_series, response_ecdf
+from repro.disk.simulator import DiskSimulator
+from repro.errors import AnalysisError
+from repro.synth.profiles import get_profile
+from repro.traces.millisecond import RequestTrace
+
+
+class TestAnalyzeLatency:
+    def test_descriptions_consistent(self, web_result):
+        a = analyze_latency(web_result)
+        assert a.response.mean == pytest.approx(
+            a.wait.mean + a.service.mean, rel=1e-9
+        )
+        assert a.response.n == len(web_result.trace)
+
+    def test_per_class_split(self, web_result):
+        a = analyze_latency(web_result)
+        assert a.read_response is not None
+        assert a.write_response is not None
+        n_reads = int((~web_result.trace.is_write).sum())
+        assert a.read_response.n == n_reads
+
+    def test_writes_faster_with_write_back_cache(self, web_result):
+        # The tiny drive has write-back on: absorbed writes are far
+        # cheaper than media reads.
+        a = analyze_latency(web_result)
+        assert a.write_response.median < a.read_response.median
+
+    def test_single_class_trace(self, tiny_spec):
+        trace = RequestTrace([0.0, 0.1], [100, 5000], [8, 8], [False, False], span=1.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        a = analyze_latency(result)
+        assert a.write_response is None
+        assert a.read_response.n == 2
+
+    def test_littles_law_mean_depth(self, web_result):
+        a = analyze_latency(web_result)
+        lam = web_result.trace.request_rate
+        w = a.response.mean
+        assert a.mean_queue_depth == pytest.approx(lam * w, rel=0.05)
+
+    def test_max_depth_at_least_one(self, web_result):
+        a = analyze_latency(web_result)
+        assert a.max_queue_depth >= 1
+
+    def test_empty_run_rejected(self, tiny_spec):
+        result = DiskSimulator(tiny_spec).run(RequestTrace.empty(span=1.0))
+        with pytest.raises(AnalysisError):
+            analyze_latency(result)
+        with pytest.raises(AnalysisError):
+            response_ecdf(result)
+
+
+class TestQueueDepthSeries:
+    def test_time_average_matches_littles_law(self, web_result):
+        series = queue_depth_series(web_result, scale=1.0)
+        a = analyze_latency(web_result)
+        # Weighted mean of the per-window means equals overall L.
+        span = web_result.timeline.span
+        edges = np.minimum(np.arange(series.size + 1) * 1.0, span)
+        widths = np.diff(edges)
+        overall = float((series * widths).sum() / span)
+        assert overall == pytest.approx(a.mean_queue_depth, rel=0.02)
+
+    def test_nonnegative(self, web_result):
+        assert queue_depth_series(web_result, 0.5).min() >= 0
+
+    def test_idle_windows_zero(self, tiny_spec):
+        trace = RequestTrace([5.0], [100], [8], [False], span=10.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        series = queue_depth_series(result, 1.0)
+        assert series[0] == 0.0
+        assert series[5] > 0.0
+
+    def test_empty_trace(self, tiny_spec):
+        result = DiskSimulator(tiny_spec).run(RequestTrace.empty(span=2.0))
+        assert queue_depth_series(result, 1.0).size == 0
+
+    def test_bad_scale_rejected(self, web_result):
+        with pytest.raises(AnalysisError):
+            queue_depth_series(web_result, 0.0)
+
+    def test_depth_grows_with_load(self, tiny_spec):
+        low = get_profile("database").with_rate(20.0).synthesize(
+            30.0, tiny_spec.capacity_sectors, seed=3
+        )
+        high = get_profile("database").with_rate(300.0).synthesize(
+            30.0, tiny_spec.capacity_sectors, seed=3
+        )
+        d_low = analyze_latency(DiskSimulator(tiny_spec, seed=1).run(low))
+        d_high = analyze_latency(DiskSimulator(tiny_spec, seed=1).run(high))
+        assert d_high.mean_queue_depth > d_low.mean_queue_depth
+        assert d_high.max_queue_depth >= d_low.max_queue_depth
+
+
+def test_response_ecdf(web_result):
+    e = response_ecdf(web_result)
+    assert e.n == len(web_result.trace)
+    assert e.quantile(0.5) <= e.quantile(0.99)

@@ -1,0 +1,82 @@
+"""Lifetime/family analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime_analysis import analyze_family, family_lorenz
+from repro.errors import AnalysisError
+from repro.synth.family import FamilyModel
+from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
+from repro.units import MIB, SECONDS_PER_HOUR
+
+
+@pytest.fixture(scope="module")
+def family():
+    return FamilyModel(bandwidth=80 * MIB).generate(n_drives=1500, seed=99)
+
+
+def test_analysis_shape(family):
+    a = analyze_family(family, bandwidth=80 * MIB)
+    assert a.n_drives == 1500
+    assert a.throughput_ecdf.n == 1500
+    assert 0.0 <= a.gini < 1.0
+    assert 0.0 < a.top_decile_share <= 1.0
+
+
+def test_moderate_median_heavy_tail(family):
+    a = analyze_family(family, bandwidth=80 * MIB)
+    assert a.median_utilization < 0.3           # moderate
+    assert a.p95_utilization > 3 * a.median_utilization  # heavy tail
+
+
+def test_heavy_fraction_matches_model(family):
+    model = FamilyModel()
+    a = analyze_family(family, bandwidth=80 * MIB, heavy_threshold=0.5)
+    assert a.heavy_fraction == pytest.approx(model.saturated_fraction, abs=0.03)
+
+
+def test_traffic_concentrated(family):
+    a = analyze_family(family, bandwidth=80 * MIB)
+    assert a.gini > 0.5
+    assert a.top_decile_share > 0.3
+
+
+def test_age_load_uncorrelated_by_construction(family):
+    a = analyze_family(family, bandwidth=80 * MIB)
+    assert abs(a.age_load_correlation) < 0.15
+
+
+def test_empty_family_rejected():
+    with pytest.raises(AnalysisError):
+        analyze_family(DriveFamilyDataset([]), bandwidth=1.0)
+    with pytest.raises(AnalysisError):
+        family_lorenz(DriveFamilyDataset([]))
+
+
+def test_bad_params_rejected(family):
+    with pytest.raises(AnalysisError):
+        analyze_family(family, bandwidth=0.0)
+    with pytest.raises(AnalysisError):
+        analyze_family(family, bandwidth=1.0, heavy_threshold=0.0)
+
+
+def test_lorenz_endpoints(family):
+    pop, cum = family_lorenz(family)
+    assert pop[0] == 0.0 and cum[0] == 0.0
+    assert pop[-1] == 1.0 and cum[-1] == pytest.approx(1.0)
+
+
+def test_exact_small_family():
+    # Two drives, equal ages: one moves 1 GB, the other 3 GB.
+    hours = 1000.0
+    ds = DriveFamilyDataset(
+        [
+            LifetimeRecord("a", hours, 0.5e9, 0.5e9),
+            LifetimeRecord("b", hours, 1.5e9, 1.5e9),
+        ]
+    )
+    bw = 1e9 / (hours * SECONDS_PER_HOUR)  # drive a runs at 100% of this
+    a = analyze_family(ds, bandwidth=bw, heavy_threshold=0.5)
+    assert a.heavy_fraction == 1.0
+    assert a.gini == pytest.approx(0.25)
+    assert a.write_fraction_ecdf.median == pytest.approx(0.5)

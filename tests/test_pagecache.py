@@ -1,0 +1,181 @@
+"""Host page-cache filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.host.pagecache import PageCache
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+from repro.traces.millisecond import RequestTrace
+
+PAGE = 8  # sectors per page in these tests
+
+
+def make_trace(records, span=100.0):
+    times, lbas, sizes, writes = zip(*records)
+    return RequestTrace(list(times), list(lbas), list(sizes), list(writes), span=span)
+
+
+class TestReadPath:
+    def test_cold_miss_then_hit(self):
+        cache = PageCache(capacity_pages=16, page_sectors=PAGE, flush_interval=1000.0)
+        trace = make_trace([
+            (1.0, 0, PAGE, False),   # miss -> disk read
+            (2.0, 0, PAGE, False),   # hit -> absorbed
+        ])
+        disk, stats = cache.filter_trace(trace)
+        reads = disk.reads()
+        assert len(reads) == 1
+        assert stats.read_hit_ratio == pytest.approx(0.5)
+
+    def test_missing_pages_coalesced(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE, flush_interval=1000.0)
+        # A 4-page read, page 1 already cached by an earlier 1-page read.
+        trace = make_trace([
+            (1.0, PAGE, PAGE, False),
+            (2.0, 0, 4 * PAGE, False),
+        ])
+        disk, _ = cache.filter_trace(trace)
+        reads = disk.reads()
+        # Misses are pages 0 and 2..3 -> two coalesced disk reads.
+        assert len(reads) == 3  # initial miss + two runs
+        sizes = sorted(reads.nsectors.tolist())
+        assert sizes == [PAGE, PAGE, 2 * PAGE]
+
+    def test_pure_read_workload_mostly_absorbed(self):
+        cache = PageCache(capacity_pages=1024, page_sectors=PAGE, flush_interval=1e9)
+        rng = np.random.default_rng(210)
+        n = 2000
+        # Hot set of 100 pages: most reads hit after warmup.
+        pages = rng.integers(0, 100, n)
+        trace = RequestTrace(
+            np.sort(rng.uniform(0, 50, n)), pages * PAGE,
+            np.full(n, PAGE), np.zeros(n, dtype=bool), span=50.0,
+        )
+        disk, stats = cache.filter_trace(trace)
+        assert stats.read_hit_ratio > 0.9
+        assert len(disk) < 0.2 * len(trace)
+
+
+class TestWritePath:
+    def test_writes_deferred_to_flush(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE, flush_interval=10.0)
+        trace = make_trace([
+            (1.0, 0, PAGE, True),
+            (2.0, 5 * PAGE, PAGE, True),
+        ], span=25.0)
+        disk, stats = cache.filter_trace(trace)
+        writes = disk.writes()
+        assert len(writes) == 2
+        # Both written at the first flush boundary after the writes.
+        assert set(writes.times.tolist()) == {10.0}
+        assert stats.flush_batches == 1
+
+    def test_contiguous_dirty_pages_coalesced(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE, flush_interval=10.0)
+        trace = make_trace([
+            (1.0, 0, PAGE, True),
+            (2.0, PAGE, PAGE, True),
+            (3.0, 2 * PAGE, PAGE, True),
+        ], span=15.0)
+        disk, _ = cache.filter_trace(trace)
+        writes = disk.writes()
+        assert len(writes) == 1
+        assert writes.nsectors[0] == 3 * PAGE
+
+    def test_rewrite_before_flush_written_once(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE, flush_interval=10.0)
+        trace = make_trace([
+            (1.0, 0, PAGE, True),
+            (2.0, 0, PAGE, True),
+            (3.0, 0, PAGE, True),
+        ], span=15.0)
+        disk, _ = cache.filter_trace(trace)
+        assert len(disk.writes()) == 1  # write coalescing in time
+
+    def test_final_sync_flushes_leftovers(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE,
+                          flush_interval=1000.0, final_sync=True)
+        trace = make_trace([(1.0, 0, PAGE, True)], span=5.0)
+        disk, _ = cache.filter_trace(trace)
+        assert len(disk.writes()) == 1
+        assert disk.writes().times[0] == 5.0
+
+    def test_no_final_sync_drops_dirty(self):
+        cache = PageCache(capacity_pages=64, page_sectors=PAGE,
+                          flush_interval=1000.0, final_sync=False)
+        trace = make_trace([(1.0, 0, PAGE, True)], span=5.0)
+        disk, _ = cache.filter_trace(trace)
+        assert len(disk.writes()) == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = PageCache(capacity_pages=2, page_sectors=PAGE,
+                          flush_interval=1000.0, final_sync=False)
+        trace = make_trace([
+            (1.0, 0, PAGE, True),
+            (2.0, PAGE, PAGE, True),
+            (3.0, 2 * PAGE, PAGE, True),  # evicts page 0 (dirty)
+        ], span=5.0)
+        disk, stats = cache.filter_trace(trace)
+        assert stats.evicted_dirty_pages == 1
+        assert len(disk.writes()) == 1
+        assert disk.writes().times[0] == 3.0
+
+
+class TestWorkloadShift:
+    @pytest.fixture(scope="class")
+    def app_trace(self):
+        # A hot working set that fits in the cache: re-reads hit.
+        profile = WorkloadProfile(
+            name="app", rate=150.0, arrival=ArrivalSpec("poisson"),
+            spatial="zipf", spatial_params={"n_zones": 128, "exponent": 1.3},
+            sizes=FixedSizes(PAGE), mix=BernoulliMix(0.3),  # read-heavy app
+        )
+        return profile.synthesize(120.0, 200_000, seed=6)
+
+    def test_mix_shifts_toward_writes(self, app_trace):
+        cache = PageCache(capacity_pages=30_000, page_sectors=PAGE, flush_interval=30.0)
+        disk, stats = cache.filter_trace(app_trace)
+        # Application is 30% writes by requests and bytes; at the disk,
+        # read absorption turns the *byte* mix write-dominated — the
+        # paper's explanation for write-leaning disk-level mixes.
+        assert stats.app_write_fraction == pytest.approx(0.3, abs=0.03)
+        assert app_trace.write_byte_fraction == pytest.approx(0.3, abs=0.03)
+        assert disk.write_byte_fraction > 0.5
+        assert stats.read_hit_ratio > 0.6
+
+    def test_disk_traffic_reduced(self, app_trace):
+        cache = PageCache(capacity_pages=20_000, page_sectors=PAGE, flush_interval=30.0)
+        disk, stats = cache.filter_trace(app_trace)
+        assert stats.disk_requests < stats.app_requests
+
+    def test_flush_creates_write_bursts(self, app_trace):
+        cache = PageCache(capacity_pages=50_000, page_sectors=PAGE, flush_interval=30.0)
+        disk, _ = cache.filter_trace(app_trace)
+        writes = disk.writes()
+        # Write timestamps concentrate on flush boundaries.
+        on_boundary = np.isin(writes.times, [30.0, 60.0, 90.0, 120.0])
+        assert on_boundary.mean() > 0.9
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_pages": 0},
+            {"page_sectors": 0},
+            {"flush_interval": 0.0},
+        ],
+    )
+    def test_bad_config(self, kwargs):
+        with pytest.raises(SimulationError):
+            PageCache(**kwargs)
+
+    def test_empty_trace(self):
+        cache = PageCache()
+        disk, stats = cache.filter_trace(RequestTrace.empty(span=3.0))
+        assert len(disk) == 0
+        assert stats.app_requests == 0
+        assert np.isnan(stats.read_hit_ratio)

@@ -1,0 +1,113 @@
+"""Periodicity detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.periodicity import dominant_period, seasonal_strength
+
+
+def sine_series(period, n, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10.0 + np.sin(2 * np.pi * t / period) + noise * rng.standard_normal(n)
+
+
+class TestDominantPeriod:
+    def test_clean_sine_detected(self):
+        estimate = dominant_period(sine_series(24, 24 * 20))
+        assert estimate.period == pytest.approx(24, rel=0.05)
+        assert estimate.power_fraction > 0.8
+
+    def test_noisy_sine_detected(self):
+        estimate = dominant_period(sine_series(24, 24 * 20, noise=0.5, seed=1))
+        assert estimate.period == pytest.approx(24, rel=0.1)
+
+    def test_range_restriction(self):
+        # A 24-sample cycle, but we only allow periods up to 10.
+        series = sine_series(24, 24 * 20) + 0.3 * np.sin(
+            2 * np.pi * np.arange(24 * 20) / 7
+        )
+        estimate = dominant_period(series, min_period=2, max_period=10)
+        assert estimate.period == pytest.approx(7, rel=0.15)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(StatsError):
+            dominant_period(np.full(100, 3.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(StatsError):
+            dominant_period([1.0, 2.0, 1.0])
+
+    def test_bad_min_period_rejected(self):
+        with pytest.raises(StatsError):
+            dominant_period(np.arange(100.0), min_period=1)
+
+    def test_hourly_model_shows_daily_cycle(self):
+        from repro.synth.hourly import HourlyWorkloadModel
+
+        model = HourlyWorkloadModel(burst_sigma=0.2, saturated_fraction=0.0)
+        dataset = model.generate(n_drives=30, weeks=4, seed=7)
+        aggregate = dataset.aggregate_series()
+        estimate = dominant_period(aggregate, min_period=4, max_period=60)
+        assert estimate.period == pytest.approx(24, rel=0.1)
+
+
+class TestSeasonalStrength:
+    def test_pure_cycle_near_one(self):
+        strength = seasonal_strength(sine_series(24, 24 * 10), 24)
+        assert strength > 0.9
+
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(2)
+        strength = seasonal_strength(rng.standard_normal(2400), 24)
+        assert strength < 0.1
+
+    def test_wrong_period_weak(self):
+        # Enough repetitions for the phase drift at the wrong period to
+        # average the fold flat.
+        series = sine_series(24, 24 * 50)
+        assert seasonal_strength(series, 23) < 0.1
+        assert seasonal_strength(series, 24) > 0.9
+
+    def test_constant_series_zero(self):
+        assert seasonal_strength(np.full(100, 5.0), 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            seasonal_strength(np.arange(100.0), 1)
+        with pytest.raises(StatsError):
+            seasonal_strength(np.arange(10.0), 8)
+
+
+class TestRemoveSeasonal:
+    def test_removes_cycle(self):
+        from repro.stats.periodicity import remove_seasonal
+
+        # Noise keeps the residual non-degenerate so the strength ratio
+        # is meaningful (a pure cycle leaves only float dust behind).
+        series = sine_series(24, 24 * 20, noise=0.5, seed=7)
+        assert seasonal_strength(series, 24) > 0.5
+        residual = remove_seasonal(series, 24)
+        assert seasonal_strength(residual, 24) < 0.02
+        assert residual.mean() == pytest.approx(series.mean())
+
+    def test_preserves_nonseasonal_variance(self):
+        from repro.stats.periodicity import remove_seasonal
+
+        rng = np.random.default_rng(33)
+        noise = rng.standard_normal(2400)
+        series = sine_series(24, 2400) + noise
+        residual = remove_seasonal(series, 24)
+        # The noise survives deseasonalization.
+        assert residual.std() == pytest.approx(noise.std(), rel=0.1)
+
+    def test_validation(self):
+        from repro.stats.periodicity import remove_seasonal
+
+        with pytest.raises(StatsError):
+            remove_seasonal(np.arange(10.0), 1)
+        with pytest.raises(StatsError):
+            remove_seasonal(np.arange(10.0), 8)
+        with pytest.raises(StatsError):
+            remove_seasonal(np.array([1.0, np.nan] * 30), 4)

@@ -1,0 +1,124 @@
+"""Disk power model and spin-down policy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.disk.power import (
+    EnergyReport,
+    PowerProfile,
+    baseline_energy,
+    evaluate_spin_down,
+    sweep_timeouts,
+)
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import DiskModelError
+
+
+@pytest.fixture
+def power():
+    return PowerProfile(
+        active_watts=10.0, idle_watts=5.0, standby_watts=1.0,
+        spinup_seconds=2.0, spinup_watts=20.0,
+    )
+
+
+@pytest.fixture
+def timeline():
+    # Busy 10 s total; idle intervals of 5, 20 and 65 s.
+    return BusyIdleTimeline([(5.0, 10.0), (30.0, 35.0)], span=100.0)
+
+
+class TestProfile:
+    def test_spinup_energy(self, power):
+        assert power.spinup_energy == 40.0
+
+    def test_break_even(self, power):
+        # 40 J / (5 - 1) W = 10 s.
+        assert power.break_even_seconds() == pytest.approx(10.0)
+
+    def test_break_even_infinite_when_no_saving(self):
+        p = PowerProfile(idle_watts=2.0, standby_watts=2.0)
+        assert p.break_even_seconds() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(DiskModelError):
+            PowerProfile(active_watts=-1.0)
+        with pytest.raises(DiskModelError):
+            PowerProfile(idle_watts=1.0, standby_watts=2.0)
+        with pytest.raises(DiskModelError):
+            PowerProfile(spinup_seconds=-1.0)
+
+
+class TestBaseline:
+    def test_energy_split(self, power, timeline):
+        expected = 10.0 * 10.0 + 5.0 * 90.0
+        assert baseline_energy(timeline, power) == pytest.approx(expected)
+
+
+class TestEvaluate:
+    def test_infinite_timeout_is_baseline(self, power, timeline):
+        report = evaluate_spin_down(timeline, power, float("inf"))
+        assert report.total_joules == pytest.approx(report.baseline_joules)
+        assert report.spin_downs == 0
+        assert report.savings_fraction == pytest.approx(0.0)
+
+    def test_exact_accounting(self, power, timeline):
+        # Timeout 10 s: only the 20 s and 65 s intervals spin down.
+        report = evaluate_spin_down(timeline, power, 10.0)
+        assert report.spin_downs == 2
+        active = 10.0 * 10.0
+        idle = 5.0 * (5.0 + 10.0 + 10.0)        # short interval + 2 timeouts
+        standby = 1.0 * ((20.0 - 10.0) + (65.0 - 10.0))
+        spinup = 2 * 40.0
+        assert report.active_joules == pytest.approx(active)
+        assert report.idle_joules == pytest.approx(idle)
+        assert report.standby_joules == pytest.approx(standby)
+        assert report.spinup_joules == pytest.approx(spinup)
+        assert report.total_joules == pytest.approx(active + idle + standby + spinup)
+
+    def test_latency_accounting(self, power, timeline):
+        report = evaluate_spin_down(timeline, power, 10.0)
+        assert report.delayed_busy_periods == 2
+        assert report.added_latency_seconds == pytest.approx(4.0)
+
+    def test_saves_energy_with_long_idle(self, power, timeline):
+        report = evaluate_spin_down(timeline, power, 10.0)
+        assert report.savings_fraction > 0.3
+
+    def test_aggressive_timeout_on_short_idle_loses(self, power):
+        # Many idle intervals just above the timeout: constant spin-ups.
+        intervals = [(i * 10.0, i * 10.0 + 7.0) for i in range(10)]
+        t = BusyIdleTimeline(intervals, span=100.0)  # 3 s idle gaps
+        report = evaluate_spin_down(t, power, 0.5)
+        assert report.savings_fraction < 0.0
+
+    def test_timeout_zero_immediate_spindown(self, power, timeline):
+        report = evaluate_spin_down(timeline, power, 0.0)
+        assert report.spin_downs == 3
+        assert report.idle_joules == 0.0
+
+    def test_negative_timeout_rejected(self, power, timeline):
+        with pytest.raises(DiskModelError):
+            evaluate_spin_down(timeline, power, -1.0)
+
+    def test_all_idle_timeline(self, power):
+        t = BusyIdleTimeline([], span=50.0)
+        report = evaluate_spin_down(t, power, 10.0)
+        assert report.spin_downs == 1
+        assert report.total_joules < baseline_energy(t, power)
+
+
+class TestSweep:
+    def test_sweep_keys_and_monotone_spindowns(self, power, timeline):
+        reports = sweep_timeouts(timeline, power, [0.0, 10.0, 30.0, float("inf")])
+        assert set(reports) == {0.0, 10.0, 30.0, float("inf")}
+        downs = [reports[t].spin_downs for t in (0.0, 10.0, 30.0, float("inf"))]
+        assert downs == sorted(downs, reverse=True)
+
+    def test_break_even_timeout_not_worse_than_never(self, power, timeline):
+        reports = sweep_timeouts(
+            timeline, power, [power.break_even_seconds(), float("inf")]
+        )
+        be = reports[power.break_even_seconds()]
+        never = reports[float("inf")]
+        assert be.total_joules <= never.total_joules + 1e-9

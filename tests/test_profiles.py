@@ -1,0 +1,64 @@
+"""Named enterprise profiles."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.synth.profiles import available_profiles, get_profile
+
+EXPECTED = {
+    "web", "email", "devel", "database", "fileserver", "backup",
+    "vod", "hpc-scratch",
+}
+
+
+def test_expected_profiles_present():
+    assert set(available_profiles()) == EXPECTED
+
+
+def test_available_returns_fresh_dict():
+    d = available_profiles()
+    d.clear()
+    assert set(available_profiles()) == EXPECTED
+
+
+def test_get_profile_by_name():
+    p = get_profile("web")
+    assert p.name == "web"
+    assert p.rate > 0
+
+
+def test_unknown_profile_lists_names():
+    with pytest.raises(ProfileError, match="backup"):
+        get_profile("nosuch")
+
+
+def test_profiles_have_descriptions():
+    for p in available_profiles().values():
+        assert p.description
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_every_profile_synthesizes(name):
+    # Long-OFF profiles (hpc-scratch) can legitimately produce an empty
+    # short window; a minute at this seed has traffic for every profile.
+    trace = get_profile(name).synthesize(span=60.0, capacity_sectors=10_000_000, seed=2)
+    assert len(trace) > 0
+    assert trace.label == name
+
+
+def test_backup_is_the_heavy_profile():
+    profiles = available_profiles()
+    backup_bytes = profiles["backup"].rate  # highest request rate by design
+    assert backup_bytes == max(p.rate for p in profiles.values())
+
+
+def test_disk_level_mixes_lean_toward_writes():
+    # The paper's point: at the disk, writes dominate for most server
+    # workloads (caches absorb reads). backup/fileserver are the
+    # deliberate exceptions.
+    write_heavy = [
+        p for name, p in available_profiles().items()
+        if name not in ("backup", "fileserver", "vod")
+    ]
+    for p in write_heavy:
+        assert p.mix.write_fraction > 0.5

@@ -1,0 +1,125 @@
+"""Property-based tests for the host cache and RAID-5 (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.raid5 import Raid5Array, write_amplification
+from repro.host.pagecache import PageCache
+from repro.traces.millisecond import RequestTrace
+
+SPAN = 40.0
+PAGE = 8
+
+
+@st.composite
+def app_traces(draw, capacity_pages=256):
+    n = draw(st.integers(1, 50))
+    times = sorted(draw(st.lists(
+        st.floats(0.0, SPAN - 0.01, allow_nan=False), min_size=n, max_size=n)))
+    pages = draw(st.lists(st.integers(0, capacity_pages * 4), min_size=n, max_size=n))
+    npages = draw(st.lists(st.integers(1, 4), min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return RequestTrace(
+        times=times,
+        lbas=[p * PAGE for p in pages],
+        nsectors=[k * PAGE for k in npages],
+        is_write=writes,
+        span=SPAN,
+    )
+
+
+@settings(deadline=None, max_examples=40)
+@given(app_traces(), st.integers(4, 512), st.floats(1.0, 50.0))
+def test_pagecache_write_bytes_conserved(app, capacity, interval):
+    """With final_sync, every dirty byte reaches the disk exactly once:
+    disk write bytes equal the app's *unique dirty page* bytes at each
+    flush epoch — never more than the app wrote, never less than the
+    distinct pages dirtied."""
+    cache = PageCache(
+        capacity_pages=capacity, page_sectors=PAGE,
+        flush_interval=interval, final_sync=True,
+    )
+    disk, stats = cache.filter_trace(app)
+    app_write_bytes = int(app.writes().nbytes.sum())
+    disk_write_bytes = int(disk.writes().nbytes.sum())
+    # Coalescing can only reduce; page granularity can only round up per
+    # request (bounded by touched pages).
+    touched_pages = set()
+    for i in range(len(app)):
+        if app.is_write[i]:
+            first = app.lbas[i] // PAGE
+            last = (app.lbas[i] + app.nsectors[i] - 1) // PAGE
+            touched_pages.update(range(first, last + 1))
+    max_possible = len(touched_pages) * PAGE * 512 * (
+        int(np.ceil(SPAN / interval)) + 2
+    )
+    if app_write_bytes == 0:
+        assert disk_write_bytes == 0
+    else:
+        assert 0 < disk_write_bytes <= max_possible
+
+
+@settings(deadline=None, max_examples=40)
+@given(app_traces())
+def test_pagecache_reads_never_amplified(app):
+    """Disk read bytes never exceed app read bytes rounded to pages."""
+    cache = PageCache(capacity_pages=64, page_sectors=PAGE, flush_interval=10.0)
+    disk, _ = cache.filter_trace(app)
+    app_read_pages = 0
+    for i in range(len(app)):
+        if not app.is_write[i]:
+            first = app.lbas[i] // PAGE
+            last = (app.lbas[i] + app.nsectors[i] - 1) // PAGE
+            app_read_pages += last - first + 1
+    assert int(disk.reads().nsectors.sum()) <= app_read_pages * PAGE
+
+
+@settings(deadline=None, max_examples=40)
+@given(app_traces())
+def test_pagecache_disk_times_within_window(app):
+    cache = PageCache(capacity_pages=32, page_sectors=PAGE, flush_interval=7.0)
+    disk, _ = cache.filter_trace(app)
+    if len(disk):
+        assert disk.times.min() >= 0.0
+        assert disk.times.max() <= SPAN
+        assert np.all(np.diff(disk.times) >= 0)
+
+
+@st.composite
+def raid_write_traces(draw, capacity):
+    n = draw(st.integers(1, 30))
+    times = sorted(draw(st.lists(
+        st.floats(0.0, 10.0, allow_nan=False), min_size=n, max_size=n)))
+    sizes = draw(st.lists(st.integers(1, 64), min_size=n, max_size=n))
+    lbas = [draw(st.integers(0, capacity - s)) for s in sizes]
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return RequestTrace(times, lbas, sizes, writes, span=10.0)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(3, 6), st.sampled_from([8, 16, 64]), st.data())
+def test_raid5_invariants(n_members, chunk, data):
+    array = Raid5Array(n_members, chunk, chunk * 200)
+    trace = data.draw(raid_write_traces(array.logical_capacity_sectors))
+    parts = array.split_trace(trace)
+    assert len(parts) == n_members
+
+    # Reads are never amplified: member read bytes from read requests
+    # equal the logical read bytes (write-induced reads add on top).
+    logical_reads = int(trace.reads().nbytes.sum())
+    logical_writes = int(trace.writes().nbytes.sum())
+    member_reads = sum(int(p.reads().nbytes.sum()) for p in parts)
+    member_writes = sum(int(p.writes().nbytes.sum()) for p in parts)
+    assert member_reads >= logical_reads
+    # Write amplification bounded: [n/(n-1), 2] in written bytes.
+    if logical_writes:
+        wa = write_amplification(trace, parts)
+        assert n_members / (n_members - 1) - 1e-9 <= wa <= 2.0 + 1e-9
+    else:
+        assert member_writes == 0
+
+    # Every member sub-request stays within member capacity.
+    for p in parts:
+        if len(p):
+            assert int((p.lbas + p.nsectors).max()) <= array.member_capacity_sectors

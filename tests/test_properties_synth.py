@@ -1,0 +1,72 @@
+"""Property-based tests on the workload generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.arrivals import bmodel_arrivals, poisson_arrivals
+from repro.synth.mix import BernoulliMix, MarkovMix
+from repro.synth.sizes import LognormalSizes, MixtureSizes
+from repro.synth.spatial import SequentialRuns, UniformSpatial, ZipfHotspots
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(deadline=None, max_examples=40)
+@given(seeds, st.floats(min_value=1.0, max_value=200.0), st.floats(min_value=1.0, max_value=30.0))
+def test_poisson_sorted_in_span(seed, rate, span):
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rng, rate, span)
+    assert np.all(np.diff(times) >= 0)
+    assert times.size == 0 or (times[0] >= 0 and times[-1] < span)
+
+
+@settings(deadline=None, max_examples=40)
+@given(seeds, st.integers(0, 5000), st.floats(min_value=0.5, max_value=0.95))
+def test_bmodel_conserves_events(seed, n, bias):
+    rng = np.random.default_rng(seed)
+    times = bmodel_arrivals(rng, n, span=20.0, bias=min(bias, 0.99), min_bin=0.05)
+    assert times.size == n
+    assert times.size == 0 or (times[0] >= 0 and times[-1] < 20.0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    seeds,
+    st.integers(1, 500),
+    st.sampled_from(["uniform", "sequential", "zipf"]),
+    st.integers(10_000, 10_000_000),
+)
+def test_spatial_models_respect_capacity(seed, n, kind, capacity):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 128, size=n).astype(np.int64)
+    if kind == "uniform":
+        model = UniformSpatial(capacity)
+    elif kind == "sequential":
+        model = SequentialRuns(capacity, mean_run_length=4.0)
+    else:
+        model = ZipfHotspots(capacity, n_zones=min(16, capacity))
+    starts = model.generate(rng, sizes)
+    assert starts.size == n
+    assert starts.min() >= 0
+    assert np.all(starts + sizes <= capacity)
+
+
+@settings(deadline=None, max_examples=30)
+@given(seeds, st.integers(1, 2000))
+def test_size_models_positive(seed, n):
+    rng = np.random.default_rng(seed)
+    for model in (MixtureSizes.typical_enterprise(), LognormalSizes(16, 1.0)):
+        sizes = model.generate(rng, n)
+        assert sizes.size == n
+        assert sizes.min() >= 1
+
+
+@settings(deadline=None, max_examples=30)
+@given(seeds, st.integers(1, 3000), st.floats(0.05, 0.95))
+def test_mix_models_shape(seed, n, wf):
+    rng = np.random.default_rng(seed)
+    for model in (BernoulliMix(wf), MarkovMix(wf, mean_run_length=4.0)):
+        flags = model.generate(rng, n)
+        assert flags.size == n
+        assert flags.dtype == bool

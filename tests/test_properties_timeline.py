@@ -1,0 +1,86 @@
+"""Property-based tests on the busy/idle timeline and the simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.simulator import DiskSimulator
+from repro.disk.timeline import BusyIdleTimeline
+from repro.traces.millisecond import RequestTrace
+
+SPAN = 100.0
+
+
+@st.composite
+def interval_sets(draw):
+    n = draw(st.integers(0, 40))
+    pairs = []
+    for _ in range(n):
+        a = draw(st.floats(min_value=0.0, max_value=SPAN - 0.01))
+        length = draw(st.floats(min_value=0.0, max_value=SPAN - a))
+        pairs.append((a, a + length))
+    return pairs
+
+
+@given(interval_sets())
+def test_busy_plus_idle_equals_span(intervals):
+    t = BusyIdleTimeline(intervals, span=SPAN)
+    assert np.isclose(t.total_busy + t.total_idle, SPAN)
+    assert np.isclose(t.busy_periods().sum(), t.total_busy)
+    assert np.isclose(t.idle_periods().sum(), t.total_idle)
+
+
+@given(interval_sets())
+def test_merged_intervals_disjoint_and_sorted(intervals):
+    t = BusyIdleTimeline(intervals, span=SPAN)
+    assert np.all(np.diff(t.starts) > 0) if t.n_busy_periods > 1 else True
+    assert np.all(t.ends[:-1] < t.starts[1:]) if t.n_busy_periods > 1 else True
+    assert np.all(t.ends > t.starts) if t.n_busy_periods else True
+
+
+@given(interval_sets())
+def test_busy_time_before_monotone_bounded(intervals):
+    t = BusyIdleTimeline(intervals, span=SPAN)
+    queries = np.linspace(0, SPAN, 41)
+    values = t.busy_time_before(queries)
+    assert np.all(np.diff(values) >= -1e-9)
+    assert values[0] == 0.0
+    assert np.isclose(values[-1], t.total_busy)
+
+
+@given(interval_sets(), st.floats(min_value=0.5, max_value=50.0))
+def test_utilization_series_mean_matches_overall(intervals, scale):
+    t = BusyIdleTimeline(intervals, span=SPAN)
+    series = t.utilization_series(scale)
+    # Weight by true window lengths (last window may be short).
+    edges = np.minimum(np.arange(series.size + 1) * scale, SPAN)
+    widths = np.diff(edges)
+    weighted = (series * widths).sum() / SPAN
+    assert np.isclose(weighted, t.utilization, atol=1e-9)
+
+
+@st.composite
+def small_traces(draw):
+    n = draw(st.integers(1, 25))
+    times = sorted(
+        draw(st.lists(st.floats(0.0, 5.0, allow_nan=False), min_size=n, max_size=n))
+    )
+    lbas = draw(st.lists(st.integers(0, 900_000), min_size=n, max_size=n))
+    sizes = draw(st.lists(st.integers(1, 64), min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return RequestTrace(times, lbas, sizes, writes, span=6.0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(small_traces(), st.sampled_from(["fcfs", "sstf", "scan"]))
+def test_simulation_invariants_for_any_trace(tiny_spec, trace, scheduler):
+    result = DiskSimulator(tiny_spec, scheduler=scheduler, seed=1).run(trace)
+    # Work conservation: every request serviced, after its arrival.
+    assert np.all(result.start_times >= trace.times - 1e-12)
+    assert np.all(result.service_times > 0)
+    # No overlap: sort by start, finishes precede next starts.
+    order = np.argsort(result.start_times, kind="stable")
+    starts, finishes = result.start_times[order], result.finish_times[order]
+    assert np.all(starts[1:] >= finishes[:-1] - 1e-9)
+    # Busy time equals summed service time.
+    assert np.isclose(result.timeline.total_busy, result.service_times.sum())

@@ -1,0 +1,103 @@
+"""Property-based tests on the trace containers (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.millisecond import RequestTrace
+from repro.traces.window import aggregate, bin_counts
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+@st.composite
+def traces(draw, max_requests=80):
+    n = draw(st.integers(min_value=0, max_value=max_requests))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    lbas = draw(st.lists(st.integers(0, 10**6), min_size=n, max_size=n))
+    sizes = draw(st.lists(st.integers(1, 1024), min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    span = draw(st.floats(min_value=100.0, max_value=200.0))
+    return RequestTrace(times, lbas, sizes, writes, span=span)
+
+
+@given(traces())
+def test_times_always_sorted(trace):
+    assert np.all(np.diff(trace.times) >= 0)
+
+
+@given(traces())
+def test_reads_writes_partition_exactly(trace):
+    reads, writes = trace.reads(), trace.writes()
+    assert len(reads) + len(writes) == len(trace)
+    assert reads.total_bytes + writes.total_bytes == trace.total_bytes
+
+
+@given(traces(), st.floats(min_value=0.01, max_value=50.0))
+def test_counts_conserve_events(trace, scale):
+    assert trace.counts(scale).sum() == len(trace)
+
+
+@given(traces(), st.floats(min_value=0.01, max_value=50.0))
+def test_byte_series_conserves_bytes(trace, scale):
+    assert trace.byte_series(scale).sum() == float(trace.total_bytes)
+
+
+@given(traces(), st.floats(min_value=0.0, max_value=100.0), st.floats(min_value=0.0, max_value=100.0))
+def test_slice_never_gains_requests(trace, a, b):
+    lo, hi = min(a, b), max(a, b)
+    sliced = trace.slice_time(lo, hi)
+    assert len(sliced) <= len(trace)
+    assert sliced.span == hi - lo
+    if len(sliced):
+        assert sliced.times.max() <= sliced.span
+
+
+@given(traces())
+def test_slice_full_window_is_identity_on_counts(trace):
+    sliced = trace.slice_time(0.0, trace.span + 1.0)
+    assert len(sliced) == len(trace)
+
+
+@given(traces(), traces())
+def test_concat_additive(a, b):
+    c = a.concat(b)
+    assert len(c) == len(a) + len(b)
+    assert c.total_bytes == a.total_bytes + b.total_bytes
+    assert c.span == a.span + b.span
+
+
+@given(traces(), traces())
+def test_merge_additive_and_sorted(a, b):
+    m = RequestTrace.merge([a, b])
+    assert len(m) == len(a) + len(b)
+    assert np.all(np.diff(m.times) >= 0)
+    assert m.span == max(a.span, b.span)
+
+
+@given(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+    st.integers(min_value=1, max_value=20),
+)
+def test_aggregate_conserves_when_divisible(values, factor):
+    arr = np.asarray(values[: (len(values) // factor) * factor])
+    if arr.size:
+        assert aggregate(arr, factor).sum() == arr.sum()
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=99.999), max_size=100),
+    st.floats(min_value=0.01, max_value=10.0),
+)
+def test_bin_counts_nonnegative_and_complete(times, scale):
+    counts = bin_counts(np.asarray(sorted(times)), scale, 100.0)
+    assert counts.min() >= 0 if counts.size else True
+    assert counts.sum() == len(times)

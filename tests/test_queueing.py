@@ -1,0 +1,137 @@
+"""M/G/1 analytic baselines, validated against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.disk.simulator import DiskSimulator
+from repro.errors import StatsError
+from repro.stats.queueing import (
+    burstiness_penalty,
+    mg1_predict,
+    mg1_predict_from_samples,
+)
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+
+class TestFormulas:
+    def test_md1_known_value(self):
+        # M/D/1 at rho = 0.5: Wq = rho * s / (2 (1 - rho)) = 0.5 s.
+        p = mg1_predict(arrival_rate=0.5, service_mean=1.0, service_scv=0.0)
+        assert p.utilization == pytest.approx(0.5)
+        assert p.mean_wait == pytest.approx(0.5)
+        assert p.mean_response == pytest.approx(1.5)
+        assert p.mean_queue_length == pytest.approx(0.25)
+
+    def test_mm1_known_value(self):
+        # M/M/1 at rho = 0.5: Wq = rho/(mu - lambda) = 1.0 with s = 1.
+        p = mg1_predict(arrival_rate=0.5, service_mean=1.0, service_scv=1.0)
+        assert p.mean_wait == pytest.approx(1.0)
+
+    def test_wait_grows_with_variability(self):
+        low = mg1_predict(0.5, 1.0, 0.0)
+        high = mg1_predict(0.5, 1.0, 4.0)
+        assert high.mean_wait > low.mean_wait
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StatsError, match="unstable"):
+            mg1_predict(arrival_rate=1.0, service_mean=1.0, service_scv=1.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(StatsError):
+            mg1_predict(0.0, 1.0, 1.0)
+        with pytest.raises(StatsError):
+            mg1_predict(1.0, 0.0, 1.0)
+        with pytest.raises(StatsError):
+            mg1_predict(0.1, 1.0, -1.0)
+
+    def test_from_samples_matches_direct(self):
+        rng = np.random.default_rng(130)
+        samples = rng.exponential(2.0, 100000)
+        p = mg1_predict_from_samples(0.2, samples)
+        direct = mg1_predict(0.2, 2.0, 1.0)
+        assert p.mean_wait == pytest.approx(direct.mean_wait, rel=0.05)
+
+    def test_from_samples_validation(self):
+        with pytest.raises(StatsError):
+            mg1_predict_from_samples(1.0, [1.0])
+
+
+class TestAgainstSimulator:
+    def make_result(self, tiny_spec, arrival, rate, seed=1):
+        from repro.disk.cache import CacheConfig
+
+        spec = tiny_spec.with_cache(CacheConfig.disabled())
+        profile = WorkloadProfile(
+            name="q", rate=rate, arrival=arrival, spatial="uniform",
+            sizes=FixedSizes(8), mix=BernoulliMix(0.5),
+        )
+        trace = profile.synthesize(120.0, spec.capacity_sectors, seed=seed)
+        return DiskSimulator(spec, seed=seed).run(trace)
+
+    def test_poisson_simulation_matches_pk(self, tiny_spec):
+        result = self.make_result(tiny_spec, ArrivalSpec("poisson"), rate=40.0)
+        prediction = mg1_predict_from_samples(
+            result.trace.request_rate, result.service_times
+        )
+        measured = float(result.wait_times.mean())
+        # P-K should be right within sampling noise for Poisson input.
+        assert measured == pytest.approx(prediction.mean_wait, rel=0.5)
+        assert result.utilization == pytest.approx(prediction.utilization, rel=0.15)
+
+    def test_bursty_arrivals_exceed_pk(self, tiny_spec):
+        bursty = self.make_result(
+            tiny_spec, ArrivalSpec("bmodel", {"bias": 0.75, "min_bin": 1e-2}), rate=40.0
+        )
+        prediction = mg1_predict_from_samples(
+            bursty.trace.request_rate, bursty.service_times
+        )
+        penalty = burstiness_penalty(float(bursty.wait_times.mean()), prediction)
+        assert penalty > 2.0  # burstiness makes waits much worse than P-K
+
+
+class TestPenalty:
+    def test_ratio(self):
+        p = mg1_predict(0.5, 1.0, 1.0)
+        assert burstiness_penalty(2.0, p) == pytest.approx(2.0)
+
+    def test_negative_measured_rejected(self):
+        p = mg1_predict(0.5, 1.0, 1.0)
+        with pytest.raises(StatsError):
+            burstiness_penalty(-1.0, p)
+
+
+class TestVacations:
+    def test_penalty_formula(self):
+        from repro.stats.queueing import mg1_vacation_penalty
+
+        # Deterministic vacations of 2 s add exactly 1 s of mean wait.
+        assert mg1_vacation_penalty(2.0, 0.0) == pytest.approx(1.0)
+        # Exponential vacations (scv 1) add E[V].
+        assert mg1_vacation_penalty(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_with_vacations_adds_to_base(self):
+        from repro.stats.queueing import mg1_predict, mg1_with_vacations
+
+        base = mg1_predict(0.5, 1.0, 1.0)
+        with_v = mg1_with_vacations(0.5, 1.0, 1.0, vacation_mean=0.4)
+        assert with_v.mean_wait == pytest.approx(base.mean_wait + 0.2)
+        assert with_v.utilization == base.utilization
+        assert with_v.mean_queue_length == pytest.approx(0.5 * with_v.mean_wait)
+
+    def test_small_chunks_bound_penalty(self):
+        from repro.stats.queueing import mg1_vacation_penalty
+
+        # The background-chunking argument: a fixed chunk of c seconds
+        # costs foreground requests at most c/2 extra mean wait.
+        for chunk in (0.01, 0.1, 1.0):
+            assert mg1_vacation_penalty(chunk, 0.0) == pytest.approx(chunk / 2)
+
+    def test_validation(self):
+        from repro.stats.queueing import mg1_vacation_penalty
+
+        with pytest.raises(StatsError):
+            mg1_vacation_penalty(0.0, 0.0)
+        with pytest.raises(StatsError):
+            mg1_vacation_penalty(1.0, -1.0)

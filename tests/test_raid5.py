@@ -1,0 +1,146 @@
+"""RAID-5 layout and write amplification."""
+
+import numpy as np
+import pytest
+
+from repro.disk.raid5 import Raid5Array, write_amplification
+from repro.errors import DiskModelError
+from repro.traces.millisecond import RequestTrace
+
+
+@pytest.fixture
+def array():
+    return Raid5Array(n_members=4, chunk_sectors=10, member_capacity_sectors=1000)
+
+
+def one_request(lba, nsectors, write, time=0.0, span=1.0):
+    return RequestTrace([time], [lba], [nsectors], [write], span=span)
+
+
+class TestLayout:
+    def test_usable_capacity(self, array):
+        assert array.logical_capacity_sectors == 3 * 1000
+
+    def test_parity_rotates(self, array):
+        parities = [array.parity_member(r) for r in range(4)]
+        assert sorted(parities) == [0, 1, 2, 3]  # hits every member
+        assert array.parity_member(0) == 3      # left-symmetric start
+
+    def test_data_members_skip_parity(self, array):
+        for row in range(8):
+            parity = array.parity_member(row)
+            members = [array.data_member(row, d) for d in range(3)]
+            assert parity not in members
+            assert len(set(members)) == 3
+
+    def test_locate_roundtrip_row(self, array):
+        row, member, member_lba = array.locate(0)
+        assert row == 0
+        assert member_lba == 0
+        # Second stripe row starts after 3 data chunks.
+        row2, _, member_lba2 = array.locate(30)
+        assert row2 == 1
+        assert member_lba2 == 10
+
+    def test_locate_bounds(self, array):
+        with pytest.raises(DiskModelError):
+            array.locate(-1)
+        with pytest.raises(DiskModelError):
+            array.locate(array.logical_capacity_sectors)
+
+    def test_construction_validation(self):
+        with pytest.raises(DiskModelError):
+            Raid5Array(2, 10, 100)
+        with pytest.raises(DiskModelError):
+            Raid5Array(4, 0, 100)
+        with pytest.raises(DiskModelError):
+            Raid5Array(4, 10, 105)
+
+
+class TestReads:
+    def test_read_no_parity_io(self, array):
+        parts = array.split_trace(one_request(5, 4, write=False))
+        total = sum(len(p) for p in parts)
+        assert total == 1
+        assert not any(p.is_write.any() for p in parts)
+
+    def test_read_spanning_rows(self, array):
+        # 35 sectors from 0: chunks 0..3 -> rows 0 and 1.
+        parts = array.split_trace(one_request(0, 35, write=False))
+        assert sum(int(p.nsectors.sum()) for p in parts) == 35
+        assert not any(p.is_write.any() for p in parts)
+
+
+class TestWrites:
+    def test_small_write_is_rmw(self, array):
+        parts = array.split_trace(one_request(5, 4, write=True))
+        reads = sum(len(p.reads()) for p in parts)
+        writes = sum(len(p.writes()) for p in parts)
+        assert reads == 2   # old data + old parity
+        assert writes == 2  # new data + new parity
+        assert write_amplification(one_request(5, 4, True), parts) == pytest.approx(2.0)
+
+    def test_parity_span_matches_written_offsets(self, array):
+        parts = array.split_trace(one_request(5, 4, write=True))
+        parity_member = array.parity_member(0)
+        parity_writes = parts[parity_member].writes()
+        assert parity_writes.nsectors[0] == 4
+        assert parity_writes.lbas[0] == 5
+
+    def test_full_stripe_write_no_reads(self, array):
+        # Row 0 = logical sectors 0..29 (3 data chunks of 10).
+        parts = array.split_trace(one_request(0, 30, write=True))
+        assert sum(len(p.reads()) for p in parts) == 0
+        wa = write_amplification(one_request(0, 30, True), parts)
+        assert wa == pytest.approx(4 / 3)
+
+    def test_multi_stripe_write(self, array):
+        # Two full rows.
+        parts = array.split_trace(one_request(0, 60, write=True))
+        assert sum(len(p.reads()) for p in parts) == 0
+        written = sum(int(p.writes().nsectors.sum()) for p in parts)
+        assert written == 60 + 2 * 10  # data + 2 parity chunks
+
+    def test_partial_row_write_amplification_between(self, array):
+        # 2 of 3 chunks of a row: partial -> RMW on both chunks + parity.
+        trace = one_request(0, 20, write=True)
+        parts = array.split_trace(trace)
+        wa = write_amplification(trace, parts)
+        # new data 20 + parity span 10..? parity span = union offsets 0..10? ->
+        # offsets within chunks are 0..10 for both -> span 10.
+        assert wa == pytest.approx((20 + 10) / 20)
+
+    def test_capacity_checked(self, array):
+        with pytest.raises(DiskModelError):
+            array.split_trace(one_request(array.logical_capacity_sectors - 2, 4, True))
+
+
+class TestAggregateBehavior:
+    def test_random_small_writes_double_write_traffic(self, array):
+        rng = np.random.default_rng(220)
+        n = 500
+        lbas = rng.integers(0, array.logical_capacity_sectors - 4, n)
+        trace = RequestTrace(
+            np.sort(rng.uniform(0, 10, n)), lbas, np.full(n, 4),
+            np.ones(n, dtype=bool), span=10.0,
+        )
+        parts = array.split_trace(trace)
+        wa = write_amplification(trace, parts)
+        assert 1.8 < wa <= 2.2
+
+    def test_member_traffic_roughly_balanced(self, array):
+        rng = np.random.default_rng(221)
+        n = 3000
+        lbas = rng.integers(0, array.logical_capacity_sectors - 8, n)
+        trace = RequestTrace(
+            np.sort(rng.uniform(0, 30, n)), lbas, np.full(n, 8),
+            rng.uniform(size=n) < 0.5, span=30.0,
+        )
+        parts = array.split_trace(trace)
+        totals = np.array([float(p.total_bytes) for p in parts])
+        assert totals.max() / totals.mean() < 1.2
+
+    def test_no_write_nan_amplification(self, array):
+        trace = one_request(0, 4, write=False)
+        parts = array.split_trace(trace)
+        assert np.isnan(write_amplification(trace, parts))

@@ -1,0 +1,97 @@
+"""Queue-scheduling disciplines."""
+
+import pytest
+
+from repro.disk.scheduler import (
+    FcfsScheduler,
+    ScanScheduler,
+    SstfScheduler,
+    make_scheduler,
+)
+from repro.errors import DiskModelError
+
+
+class TestFcfs:
+    def test_picks_earliest_arrival(self):
+        queue = [(500, 2), (100, 0), (900, 1)]
+        assert FcfsScheduler().pick(queue, head_cylinder=500) == 1
+
+    def test_ignores_head_position(self):
+        queue = [(0, 1), (999, 0)]
+        assert FcfsScheduler().pick(queue, head_cylinder=0) == 1
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(DiskModelError):
+            FcfsScheduler().pick([], 0)
+
+
+class TestSstf:
+    def test_picks_nearest(self):
+        queue = [(100, 0), (490, 1), (900, 2)]
+        assert SstfScheduler().pick(queue, head_cylinder=500) == 1
+
+    def test_tie_breaks_by_arrival(self):
+        queue = [(510, 1), (490, 0)]
+        assert SstfScheduler().pick(queue, head_cylinder=500) == 1
+
+    def test_exact_position_wins(self):
+        queue = [(500, 5), (501, 0)]
+        assert SstfScheduler().pick(queue, head_cylinder=500) == 0
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(DiskModelError):
+            SstfScheduler().pick([], 0)
+
+
+class TestScan:
+    def test_sweeps_upward_first(self):
+        s = ScanScheduler()
+        queue = [(400, 0), (600, 1), (550, 2)]
+        # Head at 500 moving up: nearest at/above 500 is 550.
+        assert s.pick(queue, head_cylinder=500) == 2
+
+    def test_reverses_when_nothing_ahead(self):
+        s = ScanScheduler()
+        queue = [(400, 0), (300, 1)]
+        # Head at 500 moving up, nothing above: reverse, nearest below is 400.
+        assert s.pick(queue, head_cylinder=500) == 0
+        assert s._direction == -1
+
+    def test_serves_at_head_position(self):
+        s = ScanScheduler()
+        assert s.pick([(500, 0)], head_cylinder=500) == 0
+
+    def test_full_sweep_order(self):
+        s = ScanScheduler()
+        entries = [(100, 0), (300, 1), (700, 2)]
+        head = 500
+        order = []
+        queue = list(entries)
+        while queue:
+            i = s.pick(queue, head)
+            cyl, _ = queue.pop(i)
+            order.append(cyl)
+            head = cyl
+        assert order == [700, 300, 100]
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(DiskModelError):
+            ScanScheduler().pick([], 0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fcfs", FcfsScheduler),
+        ("sstf", SstfScheduler),
+        ("scan", ScanScheduler),
+        ("SCAN", ScanScheduler),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_scheduler(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DiskModelError, match="unknown scheduler"):
+            make_scheduler("lifo")
+
+    def test_fresh_instances(self):
+        assert make_scheduler("scan") is not make_scheduler("scan")

@@ -1,0 +1,110 @@
+"""Self-similar traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.stats.hurst import hurst_aggregate_variance
+from repro.synth.selfsimilar import (
+    arrivals_from_counts,
+    fgn_counts,
+    fractional_gaussian_noise,
+    superposed_onoff_arrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(70)
+
+
+class TestFgn:
+    def test_unit_variance_zero_mean(self, rng):
+        noise = fractional_gaussian_noise(rng, 16384, hurst=0.8)
+        assert noise.mean() == pytest.approx(0.0, abs=0.1)
+        assert noise.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_hurst_dialed_in(self, rng):
+        for target in (0.6, 0.8):
+            noise = fractional_gaussian_noise(rng, 32768, hurst=target)
+            estimate = hurst_aggregate_variance(noise + 10.0)
+            assert estimate == pytest.approx(target, abs=0.08)
+
+    def test_half_is_white_noise(self, rng):
+        noise = fractional_gaussian_noise(rng, 8192, hurst=0.5)
+        estimate = hurst_aggregate_variance(noise + 10.0)
+        assert estimate == pytest.approx(0.5, abs=0.08)
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            fractional_gaussian_noise(rng, 0, 0.8)
+        with pytest.raises(SynthesisError):
+            fractional_gaussian_noise(rng, 10, 0.0)
+        with pytest.raises(SynthesisError):
+            fractional_gaussian_noise(rng, 10, 1.0)
+
+
+class TestFgnCounts:
+    def test_mean_achieved(self, rng):
+        counts = fgn_counts(rng, nbins=20000, hurst=0.8, mean=5.0, cv=0.4)
+        assert counts.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_nonnegative_integers(self, rng):
+        counts = fgn_counts(rng, nbins=1000, hurst=0.7, mean=2.0, cv=1.5)
+        assert counts.dtype == np.int64
+        assert counts.min() >= 0
+
+    def test_lrd_preserved(self, rng):
+        counts = fgn_counts(rng, nbins=32768, hurst=0.85, mean=20.0, cv=0.5)
+        assert hurst_aggregate_variance(counts) > 0.7
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            fgn_counts(rng, 10, 0.8, mean=0.0)
+        with pytest.raises(SynthesisError):
+            fgn_counts(rng, 10, 0.8, mean=1.0, cv=-1.0)
+
+
+class TestArrivalsFromCounts:
+    def test_counts_reproduced(self, rng):
+        counts = np.array([2, 0, 3, 1])
+        times = arrivals_from_counts(rng, counts, scale=1.0)
+        assert times.size == 6
+        rebinned = np.floor(times).astype(int)
+        assert np.bincount(rebinned, minlength=4).tolist() == [2, 0, 3, 1]
+
+    def test_sorted(self, rng):
+        times = arrivals_from_counts(rng, np.array([5, 5, 5]), 0.5)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            arrivals_from_counts(rng, np.array([-1]), 1.0)
+        with pytest.raises(SynthesisError):
+            arrivals_from_counts(rng, np.array([1]), 0.0)
+
+
+class TestSuperposedOnOff:
+    def test_total_rate_approximate(self, rng):
+        times = superposed_onoff_arrivals(
+            rng, total_rate=50.0, span=2000.0, n_sources=16, alpha=2.5,
+        )
+        assert times.size / 2000.0 == pytest.approx(50.0, rel=0.25)
+
+    def test_long_range_dependent(self, rng):
+        times = superposed_onoff_arrivals(
+            rng, total_rate=100.0, span=2000.0, n_sources=20, alpha=1.4,
+        )
+        from repro.traces.window import bin_counts
+        counts = bin_counts(times, 0.1, 2000.0)
+        assert hurst_aggregate_variance(counts) > 0.65
+
+    def test_sorted_merged(self, rng):
+        times = superposed_onoff_arrivals(rng, 20.0, 100.0, n_sources=4)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(SynthesisError):
+            superposed_onoff_arrivals(rng, 0.0, 10.0)
+        with pytest.raises(SynthesisError):
+            superposed_onoff_arrivals(rng, 10.0, 10.0, n_sources=0)

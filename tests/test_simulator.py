@@ -1,0 +1,129 @@
+"""The event-driven trace-replay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.disk.drive import DiskDrive
+from repro.disk.simulator import DiskSimulator, SimulationResult
+from repro.errors import SimulationError
+from repro.traces.millisecond import RequestTrace
+
+
+def make_trace(times, lbas=None, nsectors=8, span=None):
+    n = len(times)
+    return RequestTrace(
+        times=times,
+        lbas=lbas if lbas is not None else [1000 * (i + 1) for i in range(n)],
+        nsectors=[nsectors] * n,
+        is_write=[False] * n,
+        span=span,
+        label="sim-test",
+    )
+
+
+class TestBasicInvariants:
+    def test_starts_never_before_arrival(self, tiny_spec, web_result):
+        assert np.all(web_result.start_times >= web_result.trace.times - 1e-12)
+
+    def test_service_times_positive(self, web_result):
+        assert np.all(web_result.service_times > 0)
+
+    def test_response_decomposition(self, web_result):
+        np.testing.assert_allclose(
+            web_result.response_times,
+            web_result.wait_times + web_result.service_times,
+        )
+
+    def test_utilization_equals_busy_share(self, web_result):
+        tl = web_result.timeline
+        assert web_result.utilization == pytest.approx(tl.total_busy / tl.span)
+
+    def test_busy_time_equals_total_service(self, web_result):
+        # Single server, non-overlapping services: busy time == sum(service).
+        assert web_result.timeline.total_busy == pytest.approx(
+            web_result.service_times.sum()
+        )
+
+    def test_deterministic_given_seed(self, tiny_spec, web_trace):
+        r1 = DiskSimulator(tiny_spec, seed=5).run(web_trace)
+        r2 = DiskSimulator(tiny_spec, seed=5).run(web_trace)
+        np.testing.assert_array_equal(r1.start_times, r2.start_times)
+        np.testing.assert_array_equal(r1.service_times, r2.service_times)
+
+    def test_describe_helpers(self, web_result):
+        assert web_result.describe_response().n == len(web_result.trace)
+        assert web_result.describe_service().mean > 0
+
+    def test_repr_mentions_drive(self, web_result):
+        assert "tiny" in repr(web_result)
+
+
+class TestQueueing:
+    def test_fcfs_services_in_arrival_order(self, tiny_spec):
+        # Two requests arriving together: FCFS must start the earlier one first.
+        trace = make_trace([0.0, 0.0], lbas=[100_000, 200], span=1.0)
+        result = DiskSimulator(tiny_spec, scheduler="fcfs").run(trace)
+        assert result.start_times[0] < result.start_times[1]
+
+    def test_sstf_reorders_toward_head(self, tiny_spec):
+        # Head starts at cylinder 0: SSTF should pick the low-LBA request
+        # first even though it arrived second.
+        trace = make_trace([0.0, 0.0], lbas=[300_000, 200], span=1.0)
+        result = DiskSimulator(tiny_spec, scheduler="sstf").run(trace)
+        assert result.start_times[1] < result.start_times[0]
+
+    def test_no_overlapping_service(self, tiny_spec):
+        trace = make_trace([0.0, 0.0, 0.0, 0.0], span=1.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        order = np.argsort(result.start_times)
+        finishes = result.finish_times[order]
+        starts = result.start_times[order]
+        assert np.all(starts[1:] >= finishes[:-1] - 1e-12)
+
+    def test_idle_gap_respected(self, tiny_spec):
+        trace = make_trace([0.0, 5.0], span=6.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        assert result.start_times[1] == pytest.approx(5.0)
+        assert result.timeline.n_busy_periods == 2
+
+
+class TestCapacityHandling:
+    def test_out_of_range_rejected(self, tiny_spec):
+        big_lba = tiny_spec.capacity_sectors + 100
+        trace = make_trace([0.0], lbas=[big_lba], span=1.0)
+        with pytest.raises(SimulationError, match="capacity"):
+            DiskSimulator(tiny_spec).run(trace)
+
+    def test_remap_folds_lbas(self, tiny_spec):
+        big_lba = tiny_spec.capacity_sectors * 3 + 17
+        trace = make_trace([0.0], lbas=[big_lba], span=1.0)
+        result = DiskSimulator(tiny_spec, remap_lbas=True).run(trace)
+        assert result.service_times[0] > 0
+
+
+class TestEmptyAndEdge:
+    def test_empty_trace(self, tiny_spec):
+        result = DiskSimulator(tiny_spec).run(RequestTrace.empty(span=5.0))
+        assert isinstance(result, SimulationResult)
+        assert result.utilization == 0.0
+        assert result.timeline.span == 5.0
+
+    def test_span_extends_past_last_finish(self, tiny_spec):
+        trace = make_trace([0.0], span=100.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        assert result.timeline.span == 100.0
+        assert result.timeline.idle_periods().max() > 99.0
+
+    def test_finish_beyond_span_extends_window(self, tiny_spec):
+        # Arrival at the very end of the span: service runs past it.
+        trace = make_trace([1.0], span=1.0)
+        result = DiskSimulator(tiny_spec).run(trace)
+        assert result.timeline.span >= result.finish_times[0]
+
+    def test_accepts_prebuilt_drive(self, tiny_spec, web_trace):
+        drive = DiskDrive(tiny_spec, seed=0)
+        result = DiskSimulator(drive).run(web_trace)
+        assert result.utilization > 0
+        # Drive is reset between runs: repeating gives identical results.
+        again = DiskSimulator(drive).run(web_trace)
+        np.testing.assert_array_equal(result.service_times, again.service_times)

@@ -1,0 +1,124 @@
+"""Request-size and read/write-mix models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.mix import BernoulliMix, MarkovMix
+from repro.synth.sizes import FixedSizes, LognormalSizes, MixtureSizes
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(90)
+
+
+class TestFixedSizes:
+    def test_constant(self, rng):
+        assert FixedSizes(16).generate(rng, 5).tolist() == [16] * 5
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SynthesisError):
+            FixedSizes(0)
+
+
+class TestMixtureSizes:
+    def test_only_candidate_sizes_produced(self, rng):
+        model = MixtureSizes([8, 16, 128], [1, 1, 1])
+        out = model.generate(rng, 1000)
+        assert set(np.unique(out)) <= {8, 16, 128}
+
+    def test_weights_respected(self, rng):
+        model = MixtureSizes([8, 128], [0.9, 0.1])
+        out = model.generate(rng, 20000)
+        assert np.mean(out == 8) == pytest.approx(0.9, abs=0.02)
+
+    def test_mean_sectors(self):
+        model = MixtureSizes([10, 20], [0.5, 0.5])
+        assert model.mean_sectors == 15.0
+
+    def test_typical_enterprise_reasonable(self, rng):
+        model = MixtureSizes.typical_enterprise()
+        out = model.generate(rng, 1000)
+        assert out.min() >= 8       # >= 4 KiB
+        assert out.max() <= 512     # <= 256 KiB
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            MixtureSizes([], [])
+        with pytest.raises(SynthesisError):
+            MixtureSizes([8], [1, 2])
+        with pytest.raises(SynthesisError):
+            MixtureSizes([0], [1])
+        with pytest.raises(SynthesisError):
+            MixtureSizes([8], [0])
+        with pytest.raises(SynthesisError):
+            MixtureSizes([8, 16], [1, -1])
+
+
+class TestLognormalSizes:
+    def test_bounds_respected(self, rng):
+        model = LognormalSizes(median_sectors=16, sigma=2.0, cap_sectors=256)
+        out = model.generate(rng, 10000)
+        assert out.min() >= 1
+        assert out.max() <= 256
+
+    def test_median_approximate(self, rng):
+        model = LognormalSizes(median_sectors=32, sigma=0.5, cap_sectors=10_000)
+        out = model.generate(rng, 50000)
+        assert np.median(out) == pytest.approx(32, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            LognormalSizes(0.5)
+        with pytest.raises(SynthesisError):
+            LognormalSizes(8, sigma=0.0)
+        with pytest.raises(SynthesisError):
+            LognormalSizes(8, cap_sectors=0)
+
+
+class TestBernoulliMix:
+    def test_fraction_achieved(self, rng):
+        flags = BernoulliMix(0.7).generate(rng, 50000)
+        assert flags.mean() == pytest.approx(0.7, abs=0.01)
+
+    def test_extremes(self, rng):
+        assert not BernoulliMix(0.0).generate(rng, 100).any()
+        assert BernoulliMix(1.0).generate(rng, 100).all()
+
+    def test_bounds_checked(self):
+        with pytest.raises(SynthesisError):
+            BernoulliMix(-0.1)
+        with pytest.raises(SynthesisError):
+            BernoulliMix(1.1)
+
+
+class TestMarkovMix:
+    def test_stationary_fraction_achieved(self, rng):
+        flags = MarkovMix(0.65, mean_run_length=8.0).generate(rng, 100_000)
+        assert flags.mean() == pytest.approx(0.65, abs=0.03)
+
+    def test_runs_longer_than_bernoulli(self, rng):
+        markov = MarkovMix(0.5, mean_run_length=20.0).generate(rng, 50_000)
+        bernoulli = BernoulliMix(0.5).generate(rng, 50_000)
+
+        def mean_run(flags):
+            changes = np.flatnonzero(np.diff(flags.astype(int)) != 0)
+            return flags.size / (changes.size + 1)
+
+        assert mean_run(markov) > 3 * mean_run(bernoulli)
+
+    def test_minority_read_fraction(self, rng):
+        flags = MarkovMix(0.2, mean_run_length=5.0).generate(rng, 100_000)
+        assert flags.mean() == pytest.approx(0.2, abs=0.03)
+
+    def test_empty(self, rng):
+        assert MarkovMix(0.5).generate(rng, 0).size == 0
+
+    def test_bounds_checked(self):
+        with pytest.raises(SynthesisError):
+            MarkovMix(0.0)
+        with pytest.raises(SynthesisError):
+            MarkovMix(1.0)
+        with pytest.raises(SynthesisError):
+            MarkovMix(0.5, mean_run_length=0.5)

@@ -1,0 +1,116 @@
+"""Spatial (LBA) models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.spatial import SequentialRuns, UniformSpatial, ZipfHotspots
+
+CAPACITY = 1_000_000
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(80)
+
+
+def sizes(n, nsectors=8):
+    return np.full(n, nsectors, dtype=np.int64)
+
+
+class TestUniform:
+    def test_within_capacity(self, rng):
+        model = UniformSpatial(CAPACITY)
+        starts = model.generate(rng, sizes(5000))
+        assert starts.min() >= 0
+        assert np.all(starts + 8 <= CAPACITY)
+
+    def test_spreads_over_space(self, rng):
+        starts = UniformSpatial(CAPACITY).generate(rng, sizes(10000))
+        # Every tenth of the address space sees roughly uniform traffic.
+        hist, _ = np.histogram(starts, bins=10, range=(0, CAPACITY))
+        assert hist.min() > 700
+
+    def test_empty(self, rng):
+        assert UniformSpatial(CAPACITY).generate(rng, sizes(0)).size == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SynthesisError):
+            UniformSpatial(0)
+
+
+class TestSequentialRuns:
+    def test_sequentiality_matches_run_length(self, rng):
+        model = SequentialRuns(CAPACITY, mean_run_length=10.0)
+        s = sizes(20000)
+        starts = model.generate(rng, s)
+        contiguous = np.mean(starts[1:] == starts[:-1] + s[:-1])
+        assert contiguous == pytest.approx(0.9, abs=0.02)
+
+    def test_run_length_one_is_random(self, rng):
+        model = SequentialRuns(CAPACITY, mean_run_length=1.0)
+        s = sizes(5000)
+        starts = model.generate(rng, s)
+        contiguous = np.mean(starts[1:] == starts[:-1] + s[:-1])
+        assert contiguous < 0.01
+
+    def test_within_capacity(self, rng):
+        model = SequentialRuns(CAPACITY, mean_run_length=64.0)
+        s = sizes(10000, nsectors=512)
+        starts = model.generate(rng, s)
+        assert np.all(starts + 512 <= CAPACITY)
+        assert starts.min() >= 0
+
+    def test_run_wraps_at_end_of_disk(self, rng):
+        # Tiny disk forces wraps; must stay in range without error.
+        model = SequentialRuns(1000, mean_run_length=100.0)
+        s = sizes(500, nsectors=64)
+        starts = model.generate(rng, s)
+        assert np.all(starts + 64 <= 1000)
+
+    def test_bad_run_length_rejected(self):
+        with pytest.raises(SynthesisError):
+            SequentialRuns(CAPACITY, mean_run_length=0.5)
+
+
+class TestZipfHotspots:
+    def test_within_capacity(self, rng):
+        model = ZipfHotspots(CAPACITY, n_zones=32, exponent=1.0)
+        starts = model.generate(rng, sizes(5000))
+        assert starts.min() >= 0
+        assert np.all(starts + 8 <= CAPACITY)
+
+    def test_skew_concentrates_traffic(self, rng):
+        model = ZipfHotspots(CAPACITY, n_zones=64, exponent=1.2)
+        starts = model.generate(rng, sizes(20000))
+        zone = starts // (CAPACITY // 64)
+        counts = np.bincount(zone.astype(int), minlength=64)
+        top_share = np.sort(counts)[-6:].sum() / counts.sum()
+        assert top_share > 0.4  # ~10% of zones take >40% of requests
+
+    def test_zero_exponent_uniform_zones(self, rng):
+        model = ZipfHotspots(CAPACITY, n_zones=10, exponent=0.0)
+        starts = model.generate(rng, sizes(20000))
+        zone = starts // (CAPACITY // 10)
+        counts = np.bincount(zone.astype(int), minlength=10)
+        assert counts.min() > 0.7 * counts.mean()
+
+    def test_empty(self, rng):
+        assert ZipfHotspots(CAPACITY).generate(rng, sizes(0)).size == 0
+
+    def test_deterministic_zone_scatter(self, rng):
+        # Two models with identical parameters map rank->zone identically,
+        # keeping trace synthesis reproducible across instances.
+        a = ZipfHotspots(CAPACITY, n_zones=16, exponent=1.0)
+        b = ZipfHotspots(CAPACITY, n_zones=16, exponent=1.0)
+        r1 = a.generate(np.random.default_rng(1), sizes(100))
+        r2 = b.generate(np.random.default_rng(1), sizes(100))
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SynthesisError):
+            ZipfHotspots(CAPACITY, n_zones=0)
+        with pytest.raises(SynthesisError):
+            ZipfHotspots(CAPACITY, exponent=-1.0)
+        with pytest.raises(SynthesisError):
+            ZipfHotspots(10, n_zones=100)

@@ -1,0 +1,116 @@
+"""Spatial (LBA) characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatial_analysis import (
+    analyze_spatial,
+    run_length_distribution,
+    seek_distance_ecdf,
+    zone_traffic,
+)
+from repro.errors import AnalysisError
+from repro.synth.profiles import get_profile
+from repro.traces.millisecond import RequestTrace
+
+CAPACITY = 1_000_000
+
+
+def make_trace(lbas, nsectors=8):
+    n = len(lbas)
+    return RequestTrace(
+        times=np.arange(n, dtype=float),
+        lbas=lbas,
+        nsectors=[nsectors] * n,
+        is_write=[False] * n,
+        span=float(n),
+    )
+
+
+class TestZoneTraffic:
+    def test_conserves_bytes(self):
+        trace = make_trace([0, 500_000, 999_000])
+        traffic = zone_traffic(trace, CAPACITY, n_zones=10)
+        assert traffic.sum() == trace.total_bytes
+        assert traffic.size == 10
+
+    def test_concentration_visible(self):
+        trace = make_trace([100] * 50 + [900_000])
+        traffic = zone_traffic(trace, CAPACITY, n_zones=10)
+        assert traffic[0] > traffic[9]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            zone_traffic(RequestTrace.empty(span=1.0), CAPACITY)
+        with pytest.raises(AnalysisError):
+            zone_traffic(make_trace([0]), CAPACITY, n_zones=0)
+        with pytest.raises(AnalysisError):
+            zone_traffic(make_trace([0]), 0)
+
+
+class TestSeekDistance:
+    def test_sequential_trace_zero_jumps(self):
+        trace = make_trace([0, 8, 16, 24])
+        e = seek_distance_ecdf(trace)
+        assert e(0.0) == 1.0  # every jump is 0
+
+    def test_random_trace_large_jumps(self):
+        trace = make_trace([0, 500_000, 10, 900_000])
+        e = seek_distance_ecdf(trace)
+        assert e.median > 100_000
+
+    def test_needs_two(self):
+        with pytest.raises(AnalysisError):
+            seek_distance_ecdf(make_trace([0]))
+
+
+class TestRunLengths:
+    def test_all_sequential_is_one_run(self):
+        runs = run_length_distribution(make_trace([0, 8, 16, 24]))
+        assert runs.tolist() == [4]
+
+    def test_all_random_is_singletons(self):
+        runs = run_length_distribution(make_trace([0, 100, 300, 700]))
+        assert runs.tolist() == [1, 1, 1, 1]
+
+    def test_mixed(self):
+        runs = run_length_distribution(make_trace([0, 8, 100, 108, 116, 500]))
+        assert runs.tolist() == [2, 3, 1]
+
+    def test_run_lengths_sum_to_n(self):
+        rng = np.random.default_rng(200)
+        lbas = rng.integers(0, CAPACITY - 8, 200)
+        runs = run_length_distribution(make_trace(lbas.tolist()))
+        assert runs.sum() == 200
+
+    def test_single_request(self):
+        assert run_length_distribution(make_trace([5])).tolist() == [1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_length_distribution(RequestTrace.empty(span=1.0))
+
+
+class TestAnalyzeSpatial:
+    def test_sequential_profile(self):
+        trace = get_profile("backup").synthesize(20.0, CAPACITY * 50, seed=1)
+        a = analyze_spatial(trace, CAPACITY * 50)
+        assert a.sequential_fraction > 0.9
+        assert a.mean_run_length > 10
+        assert a.median_jump_sectors == 0.0
+
+    def test_zipf_profile_concentrated(self):
+        trace = get_profile("database").synthesize(60.0, CAPACITY * 50, seed=1)
+        a = analyze_spatial(trace, CAPACITY * 50)
+        assert a.zone_gini > 0.3
+        assert a.hot_zone_share > 0.25
+        assert a.sequential_fraction < 0.05
+
+    def test_touched_fraction(self):
+        trace = make_trace([0, 8])
+        a = analyze_spatial(trace, CAPACITY, n_zones=10)
+        assert a.touched_fraction == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_spatial(RequestTrace.empty(span=1.0), CAPACITY)

@@ -1,0 +1,88 @@
+"""Streaming characterization of chunked traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingCharacterizer
+from repro.core.summary import summarize_trace
+from repro.errors import AnalysisError
+from repro.synth.profiles import get_profile
+
+CAPACITY = 10_000_000
+
+
+@pytest.fixture(scope="module")
+def long_trace():
+    return get_profile("web").with_rate(60.0).synthesize(120.0, CAPACITY, seed=7)
+
+
+def chunks_of(trace, n_chunks):
+    edges = np.linspace(0, trace.span, n_chunks + 1)
+    return [
+        trace.slice_time(a, b, rebase=False) for a, b in zip(edges[:-1], edges[1:])
+    ]
+
+
+class TestAgainstBatch:
+    def test_summary_matches_batch(self, long_trace):
+        stream = StreamingCharacterizer(label="s", count_scale=0.5)
+        for chunk in chunks_of(long_trace, 8):
+            stream.add_chunk(chunk)
+        got = stream.summary()
+        want = summarize_trace(long_trace)
+        assert got.n_requests == want.n_requests
+        assert got.request_rate == pytest.approx(want.request_rate, rel=1e-6)
+        assert got.byte_rate == pytest.approx(want.byte_rate, rel=1e-6)
+        assert got.write_request_fraction == pytest.approx(want.write_request_fraction)
+        assert got.write_byte_fraction == pytest.approx(want.write_byte_fraction)
+        assert got.mean_request_kib == pytest.approx(want.mean_request_kib, rel=1e-6)
+        assert got.sequentiality == pytest.approx(want.sequentiality)
+        assert got.interarrival_cv == pytest.approx(want.interarrival_cv, rel=1e-6)
+
+    def test_single_chunk_equivalent(self, long_trace):
+        one = StreamingCharacterizer(label="one")
+        one.add_chunk(long_trace)
+        many = StreamingCharacterizer(label="many")
+        for chunk in chunks_of(long_trace, 16):
+            many.add_chunk(chunk)
+        assert one.summary().interarrival_cv == pytest.approx(
+            many.summary().interarrival_cv, rel=1e-9
+        )
+
+    def test_hurst_close_to_batch(self, long_trace):
+        from repro.core.burstiness import analyze_burstiness
+
+        stream = StreamingCharacterizer(count_scale=0.05)
+        for chunk in chunks_of(long_trace, 10):
+            stream.add_chunk(chunk)
+        streamed = stream.hurst()
+        batch = analyze_burstiness(long_trace, base_scale=0.05).hurst_variance
+        assert streamed == pytest.approx(batch, abs=0.1)
+
+
+class TestValidation:
+    def test_out_of_order_chunk_rejected(self, long_trace):
+        stream = StreamingCharacterizer()
+        chunks = chunks_of(long_trace, 4)
+        stream.add_chunk(chunks[1])
+        with pytest.raises(AnalysisError):
+            stream.add_chunk(chunks[0])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(AnalysisError):
+            StreamingCharacterizer().summary()
+
+    def test_hurst_needs_bins(self, long_trace):
+        stream = StreamingCharacterizer(count_scale=100.0)
+        stream.add_chunk(long_trace)
+        with pytest.raises(AnalysisError):
+            stream.hurst()
+
+    def test_bad_scale(self):
+        with pytest.raises(AnalysisError):
+            StreamingCharacterizer(count_scale=0.0)
+
+    def test_n_requests_counter(self, long_trace):
+        stream = StreamingCharacterizer()
+        stream.add_chunk(long_trace)
+        assert stream.n_requests == len(long_trace)

@@ -1,0 +1,72 @@
+"""Heavy-tail diagnostics: Hill estimator and tail heaviness ratio."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.tail import hill_estimator, tail_heaviness_ratio
+from repro.synth.arrivals import pareto_sample
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_alpha(self):
+        rng = np.random.default_rng(30)
+        for alpha in (1.2, 2.0, 3.0):
+            sample = pareto_sample(rng, alpha=alpha, xm=1.0, size=50000)
+            estimate = hill_estimator(sample, k=2000)
+            assert estimate == pytest.approx(alpha, rel=0.15)
+
+    def test_exponential_looks_light(self):
+        rng = np.random.default_rng(31)
+        sample = rng.exponential(1.0, 50000)
+        # Exponential has "alpha = infinity"; Hill on it gives large values.
+        assert hill_estimator(sample, k=500) > 4.0
+
+    def test_k_bounds_checked(self):
+        with pytest.raises(StatsError):
+            hill_estimator([1.0, 2.0, 3.0], k=0)
+        with pytest.raises(StatsError):
+            hill_estimator([1.0, 2.0, 3.0], k=3)
+
+    def test_nonpositive_order_stats_rejected(self):
+        with pytest.raises(StatsError):
+            hill_estimator([-1.0, 0.0, 1.0], k=2)
+
+    def test_degenerate_top_returns_inf(self):
+        assert hill_estimator([1.0, 5.0, 5.0, 5.0], k=2) == float("inf")
+
+
+class TestTailHeavinessRatio:
+    def test_uniform_top_decile_share(self):
+        sample = np.arange(1, 101, dtype=float)
+        share = tail_heaviness_ratio(sample, 0.1)
+        assert share == pytest.approx(sum(range(91, 101)) / sum(range(1, 101)))
+
+    def test_heavy_tail_concentrates(self):
+        rng = np.random.default_rng(32)
+        heavy = pareto_sample(rng, alpha=1.1, xm=1.0, size=20000)
+        light = rng.exponential(1.0, 20000)
+        assert tail_heaviness_ratio(heavy) > tail_heaviness_ratio(light) + 0.2
+
+    def test_exponential_reference_value(self):
+        rng = np.random.default_rng(33)
+        sample = rng.exponential(1.0, 100000)
+        # Top 10% of an exponential carries ~33% of the mass.
+        assert tail_heaviness_ratio(sample) == pytest.approx(0.33, abs=0.03)
+
+    def test_all_zero_nan(self):
+        assert np.isnan(tail_heaviness_ratio([0.0, 0.0]))
+
+    def test_fraction_bounds_checked(self):
+        with pytest.raises(StatsError):
+            tail_heaviness_ratio([1.0], 0.0)
+        with pytest.raises(StatsError):
+            tail_heaviness_ratio([1.0], 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            tail_heaviness_ratio([], 0.1)
+
+    def test_nans_dropped(self):
+        share = tail_heaviness_ratio([1.0, float("nan"), 9.0], 0.5)
+        assert share == pytest.approx(0.9)

@@ -1,0 +1,94 @@
+"""Cross-scale orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core.timescales import (
+    CrossScaleStudy,
+    MillisecondStudy,
+    lifetime_from_hourly,
+    run_millisecond_study,
+)
+from repro.errors import AnalysisError
+from repro.synth.profiles import get_profile
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+from repro.units import SECONDS_PER_HOUR
+
+
+class TestRunMillisecondStudy:
+    def test_accepts_profile(self, tiny_spec):
+        study = run_millisecond_study(get_profile("web"), tiny_spec, span=30.0, seed=1)
+        assert isinstance(study, MillisecondStudy)
+        assert study.summary.name == "web"
+        assert 0.0 < study.utilization.overall < 1.0
+        assert study.idleness is not None
+        assert study.traffic.scale == 1.0
+
+    def test_accepts_trace(self, tiny_spec, web_trace):
+        study = run_millisecond_study(web_trace, tiny_spec)
+        assert study.trace is web_trace
+
+    def test_rejects_other_types(self, tiny_spec):
+        with pytest.raises(AnalysisError):
+            run_millisecond_study(42, tiny_spec)
+
+    def test_burstiness_none_for_sparse_trace(self, tiny_spec):
+        sparse = get_profile("web").with_rate(0.5)
+        study = run_millisecond_study(sparse, tiny_spec, span=20.0, seed=2)
+        assert study.burstiness is None  # too few requests, not an error
+
+    def test_deterministic(self, tiny_spec):
+        a = run_millisecond_study(get_profile("database"), tiny_spec, span=20.0, seed=3)
+        b = run_millisecond_study(get_profile("database"), tiny_spec, span=20.0, seed=3)
+        assert a.utilization.overall == b.utilization.overall
+
+
+class TestLifetimeFromHourly:
+    def test_summation_exact(self):
+        ds = HourlyDataset(
+            [HourlyTrace("d0", [1e9, 2e9], [3e9, 4e9]), HourlyTrace("d1", [1.0], [2.0])]
+        )
+        family = lifetime_from_hourly(ds)
+        r = family.by_id("d0")
+        assert r.bytes_read == 3e9
+        assert r.bytes_written == 7e9
+        assert r.power_on_hours == 2.0
+        assert family.by_id("d1").total_bytes == 3.0
+
+    def test_throughput_preserved(self):
+        ds = HourlyDataset([HourlyTrace("d0", [3600.0] * 5, [0.0] * 5)])
+        family = lifetime_from_hourly(ds)
+        assert family.by_id("d0").mean_throughput == pytest.approx(1.0 / 1.0 / 1.0 * 3600 / SECONDS_PER_HOUR)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            lifetime_from_hourly(HourlyDataset([]))
+
+
+class TestCrossScaleStudy:
+    @pytest.fixture(scope="class")
+    def study(self, tiny_spec):
+        return CrossScaleStudy.build(
+            get_profile("database"), tiny_spec, n_drives=16, weeks=1, ms_span=120.0, seed=4
+        )
+
+    def test_three_rows(self, study):
+        rows = study.rows()
+        assert [r.scale for r in rows] == ["millisecond", "hour", "lifetime"]
+
+    def test_hour_lifetime_exact_agreement(self, study):
+        rows = study.rows()
+        assert rows[1].throughput == pytest.approx(rows[2].throughput)
+        assert rows[1].write_byte_fraction == pytest.approx(rows[2].write_byte_fraction)
+
+    def test_ms_matches_within_tolerance(self, study):
+        assert study.max_relative_error() < 0.25
+
+    def test_write_share_consistent(self, study):
+        rows = study.rows()
+        assert rows[0].write_byte_fraction == pytest.approx(
+            rows[1].write_byte_fraction, abs=0.1
+        )
+
+    def test_reference_drive_in_population(self, study):
+        assert study.reference_drive in study.hourly.drives

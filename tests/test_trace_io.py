@@ -1,0 +1,145 @@
+"""Trace persistence: round trips and malformed-file rejection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+from repro.traces.io import (
+    read_hourly_dataset,
+    read_lifetime_dataset,
+    read_request_trace,
+    write_hourly_dataset,
+    write_lifetime_dataset,
+    write_request_trace,
+)
+from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
+from repro.traces.millisecond import RequestTrace
+
+
+class TestRequestTraceIo:
+    def make_trace(self):
+        return RequestTrace(
+            times=[0.125, 1.5, 2.75],
+            lbas=[0, 1000, 1008],
+            nsectors=[8, 8, 16],
+            is_write=[False, True, False],
+            span=5.0,
+            label="roundtrip",
+        )
+
+    def test_roundtrip_exact(self, tmp_path):
+        original = self.make_trace()
+        path = tmp_path / "trace.csv"
+        write_request_trace(original, path)
+        loaded = read_request_trace(path)
+        assert loaded.label == "roundtrip"
+        assert loaded.span == 5.0
+        np.testing.assert_array_equal(loaded.times, original.times)
+        np.testing.assert_array_equal(loaded.lbas, original.lbas)
+        np.testing.assert_array_equal(loaded.nsectors, original.nsectors)
+        np.testing.assert_array_equal(loaded.is_write, original.is_write)
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_request_trace(RequestTrace.empty(span=3.0, label="e"), path)
+        loaded = read_request_trace(path)
+        assert len(loaded) == 0
+        assert loaded.span == 3.0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,2,3,R\n")
+        with pytest.raises(TraceFormatError):
+            read_request_trace(path)
+
+    def test_bad_op_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,lba,nsectors,op\n0.0,0,8,X\n")
+        with pytest.raises(TraceFormatError):
+            read_request_trace(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,lba,nsectors,op\nnot_a_number,0,8,R\n")
+        with pytest.raises(TraceFormatError):
+            read_request_trace(path)
+
+    def test_file_without_comment_line(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("time,lba,nsectors,op\n0.5,10,8,W\n")
+        loaded = read_request_trace(path)
+        assert len(loaded) == 1
+        assert loaded.label == "plain"
+
+
+class TestHourlyIo:
+    def make_dataset(self):
+        return HourlyDataset(
+            [
+                HourlyTrace("d0", [1e9, 2e9], [3e9, 4e9], start_hour=5),
+                HourlyTrace("d1", [0.0, 0.0], [0.0, 1.0]),
+            ]
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "hourly.jsonl"
+        write_hourly_dataset(self.make_dataset(), path)
+        loaded = read_hourly_dataset(path)
+        assert len(loaded) == 2
+        assert loaded.by_id("d0").start_hour == 5
+        np.testing.assert_allclose(loaded.by_id("d0").read_bytes, [1e9, 2e9])
+        np.testing.assert_allclose(loaded.by_id("d1").write_bytes, [0.0, 1.0])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hourly.jsonl"
+        write_hourly_dataset(self.make_dataset(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_hourly_dataset(path)) == 2
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError):
+            read_hourly_dataset(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"drive_id": "d0"}\n')
+        with pytest.raises(TraceFormatError):
+            read_hourly_dataset(path)
+
+
+class TestLifetimeIo:
+    def make_dataset(self):
+        return DriveFamilyDataset(
+            [
+                LifetimeRecord("a", 1000.0, 1e12, 2e12, "m1"),
+                LifetimeRecord("b", 500.5, 0.0, 1.0, "m2"),
+            ],
+            family="testfam",
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "family.csv"
+        write_lifetime_dataset(self.make_dataset(), path)
+        loaded = read_lifetime_dataset(path)
+        assert loaded.family == "testfam"
+        assert len(loaded) == 2
+        r = loaded.by_id("b")
+        assert r.power_on_hours == 500.5
+        assert r.model == "m2"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(TraceFormatError):
+            read_lifetime_dataset(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "drive_id,power_on_hours,bytes_read,bytes_written,model\na,notnum,0,0,m\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_lifetime_dataset(path)

@@ -1,0 +1,88 @@
+"""Utilization analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.utilization import analyze_utilization, utilization_ecdf
+from repro.disk.timeline import BusyIdleTimeline
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def half_busy():
+    # Busy exactly half of each 2-second stretch over 60 s.
+    intervals = [(i * 2.0, i * 2.0 + 1.0) for i in range(30)]
+    return BusyIdleTimeline(intervals, span=60.0)
+
+
+def test_overall_matches_timeline(half_busy):
+    a = analyze_utilization(half_busy, scales=(1.0, 10.0))
+    assert a.overall == pytest.approx(0.5)
+
+
+def test_per_scale_means_agree(half_busy):
+    a = analyze_utilization(half_busy, scales=(1.0, 10.0))
+    for scale, description in a.per_scale.items():
+        assert description.mean == pytest.approx(0.5, abs=1e-9)
+
+
+def test_fine_scale_sees_extremes(half_busy):
+    a = analyze_utilization(half_busy, scales=(1.0, 10.0))
+    assert a.per_scale[1.0].maximum == pytest.approx(1.0)
+    assert a.per_scale[1.0].minimum == pytest.approx(0.0)
+    # At 10 s the alternation averages out.
+    assert a.per_scale[10.0].maximum == pytest.approx(0.5)
+
+
+def test_high_load_fraction(half_busy):
+    a = analyze_utilization(half_busy, scales=(1.0,), high_load_threshold=0.9)
+    assert a.high_load_fraction == pytest.approx(0.5)
+
+
+def test_scales_beyond_span_skipped(half_busy):
+    a = analyze_utilization(half_busy, scales=(1.0, 1000.0))
+    assert set(a.per_scale) == {1.0}
+
+
+def test_no_usable_scale_rejected(half_busy):
+    with pytest.raises(AnalysisError):
+        analyze_utilization(half_busy, scales=(1000.0,))
+
+
+def test_empty_scales_rejected(half_busy):
+    with pytest.raises(AnalysisError):
+        analyze_utilization(half_busy, scales=())
+
+
+def test_bad_threshold_rejected(half_busy):
+    with pytest.raises(AnalysisError):
+        analyze_utilization(half_busy, scales=(1.0,), high_load_threshold=0.0)
+
+
+def test_negative_scale_rejected(half_busy):
+    with pytest.raises(AnalysisError):
+        analyze_utilization(half_busy, scales=(-1.0,))
+
+
+def test_series_sorted(half_busy):
+    a = analyze_utilization(half_busy, scales=(10.0, 1.0, 5.0))
+    scales, means = a.series()
+    assert scales.tolist() == [1.0, 5.0, 10.0]
+    assert means.shape == scales.shape
+
+
+def test_utilization_ecdf(half_busy):
+    e = utilization_ecdf(half_busy, 1.0)
+    assert e.n == 60
+    assert e.median in (0.0, 1.0)
+
+
+def test_utilization_ecdf_bad_scale(half_busy):
+    with pytest.raises(AnalysisError):
+        utilization_ecdf(half_busy, 1000.0)
+
+
+def test_moderate_utilization_on_web_profile(web_result):
+    a = analyze_utilization(web_result.timeline, scales=(1.0,))
+    # The paper's headline: enterprise workloads are moderate.
+    assert 0.005 < a.overall < 0.5

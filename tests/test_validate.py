@@ -1,0 +1,68 @@
+"""Semantic trace validators."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.traces.hourly import HourlyDataset, HourlyTrace
+from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
+from repro.traces.millisecond import RequestTrace
+from repro.traces.validate import validate_family, validate_hourly, validate_request_trace
+from repro.units import SECONDS_PER_HOUR
+
+
+class TestValidateRequestTrace:
+    def make_trace(self, lba=0, nsectors=8):
+        return RequestTrace([0.0], [lba], [nsectors], [False], span=1.0)
+
+    def test_valid_trace_passes(self):
+        validate_request_trace(self.make_trace(), capacity_sectors=1000)
+
+    def test_empty_trace_passes(self):
+        validate_request_trace(RequestTrace.empty(span=1.0))
+
+    def test_capacity_overflow_flagged(self):
+        with pytest.raises(TraceValidationError, match="capacity"):
+            validate_request_trace(self.make_trace(lba=999), capacity_sectors=1000)
+
+    def test_oversize_request_flagged(self):
+        with pytest.raises(TraceValidationError, match="exceed"):
+            validate_request_trace(self.make_trace(nsectors=100), max_request_sectors=50)
+
+    def test_all_problems_reported_together(self):
+        trace = RequestTrace([0.0, 0.1], [999, 0], [8, 100], [0, 1], span=1.0)
+        with pytest.raises(TraceValidationError) as excinfo:
+            validate_request_trace(trace, capacity_sectors=1000, max_request_sectors=50)
+        message = str(excinfo.value)
+        assert "capacity" in message and "exceed" in message
+
+
+class TestValidateHourly:
+    def test_plausible_dataset_passes(self):
+        ds = HourlyDataset([HourlyTrace("d", [1e9], [1e9])])
+        validate_hourly(ds, max_bandwidth=1e9)
+
+    def test_impossible_hour_flagged(self):
+        too_much = 2e9 * SECONDS_PER_HOUR
+        ds = HourlyDataset([HourlyTrace("d", [too_much], [0.0])])
+        with pytest.raises(TraceValidationError, match="ceiling"):
+            validate_hourly(ds, max_bandwidth=1e9)
+
+    def test_no_bandwidth_no_check(self):
+        ds = HourlyDataset([HourlyTrace("d", [1e30], [0.0])])
+        validate_hourly(ds)  # nothing to check against
+
+
+class TestValidateFamily:
+    def test_plausible_family_passes(self):
+        ds = DriveFamilyDataset([LifetimeRecord("a", 1000.0, 1e12, 1e12)])
+        validate_family(ds, max_bandwidth=1e9)
+
+    def test_ancient_drive_flagged(self):
+        ds = DriveFamilyDataset([LifetimeRecord("a", 1e7, 0.0, 0.0)])
+        with pytest.raises(TraceValidationError, match="power-on"):
+            validate_family(ds)
+
+    def test_impossible_throughput_flagged(self):
+        ds = DriveFamilyDataset([LifetimeRecord("a", 1.0, 1e15, 0.0)])
+        with pytest.raises(TraceValidationError, match="throughput"):
+            validate_family(ds, max_bandwidth=1e6)

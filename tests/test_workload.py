@@ -1,0 +1,109 @@
+"""ArrivalSpec and WorkloadProfile: trace synthesis glue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.mix import BernoulliMix
+from repro.synth.sizes import FixedSizes
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+CAPACITY = 2_000_000
+
+
+def make_profile(**kwargs):
+    defaults = dict(
+        name="test",
+        rate=50.0,
+        arrival=ArrivalSpec("poisson"),
+        spatial="uniform",
+        sizes=FixedSizes(8),
+        mix=BernoulliMix(0.5),
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(**defaults)
+
+
+class TestArrivalSpec:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SynthesisError):
+            ArrivalSpec("weibull")
+
+    @pytest.mark.parametrize(
+        "model,params",
+        [
+            ("poisson", {}),
+            ("onoff", {"on_alpha": 1.5}),
+            ("mmpp", {}),
+            ("bmodel", {"bias": 0.7, "min_bin": 0.01}),
+            ("superposed", {"n_sources": 4}),
+            ("fgn", {"hurst": 0.8, "scale": 0.1}),
+        ],
+    )
+    def test_all_models_generate(self, model, params):
+        rng = np.random.default_rng(100)
+        times = ArrivalSpec(model, params).generate(rng, rate=40.0, span=60.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == 0 or (times.min() >= 0 and times.max() < 60.0)
+        # Rate should be in the right ballpark (bursty models are noisy).
+        assert 5.0 < times.size / 60.0 < 160.0
+
+    def test_mmpp_rate_normalized(self):
+        rng = np.random.default_rng(101)
+        spec = ArrivalSpec("mmpp", {"rate_ratios": (0.5, 2.0), "mean_holding": (1.0, 1.0)})
+        times = spec.generate(rng, rate=80.0, span=600.0)
+        assert times.size / 600.0 == pytest.approx(80.0, rel=0.15)
+
+
+class TestWorkloadProfile:
+    def test_synthesize_shape(self):
+        trace = make_profile().synthesize(span=30.0, capacity_sectors=CAPACITY, seed=1)
+        assert trace.span == 30.0
+        assert trace.label == "test"
+        assert len(trace) > 0
+        assert np.all(trace.lbas + trace.nsectors <= CAPACITY)
+
+    def test_deterministic_in_seed(self):
+        p = make_profile()
+        a = p.synthesize(30.0, CAPACITY, seed=7)
+        b = p.synthesize(30.0, CAPACITY, seed=7)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.lbas, b.lbas)
+
+    def test_different_seeds_differ(self):
+        p = make_profile()
+        a = p.synthesize(30.0, CAPACITY, seed=1)
+        b = p.synthesize(30.0, CAPACITY, seed=2)
+        assert a.times.tolist() != b.times.tolist()
+
+    def test_rate_respected(self):
+        trace = make_profile(rate=100.0).synthesize(120.0, CAPACITY, seed=3)
+        assert trace.request_rate == pytest.approx(100.0, rel=0.1)
+
+    def test_mix_respected(self):
+        p = make_profile(mix=BernoulliMix(0.8), rate=200.0)
+        trace = p.synthesize(60.0, CAPACITY, seed=4)
+        assert trace.write_fraction == pytest.approx(0.8, abs=0.03)
+
+    def test_with_rate(self):
+        p = make_profile(rate=10.0).with_rate(99.0)
+        assert p.rate == 99.0
+        assert p.name == "test"
+
+    @pytest.mark.parametrize("spatial", ["uniform", "sequential", "zipf"])
+    def test_all_spatial_models(self, spatial):
+        p = make_profile(spatial=spatial, spatial_params={})
+        trace = p.synthesize(10.0, CAPACITY, seed=5)
+        assert np.all(trace.lbas + trace.nsectors <= CAPACITY)
+
+    def test_unknown_spatial_rejected(self):
+        with pytest.raises(SynthesisError):
+            make_profile(spatial="random-walk")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(SynthesisError):
+            make_profile(rate=0.0)
+
+    def test_nonpositive_span_rejected(self):
+        with pytest.raises(SynthesisError):
+            make_profile().synthesize(0.0, CAPACITY)
