@@ -12,8 +12,11 @@ the reproduction targets (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
+from typing import List, Optional, Sequence
 
+from repro.core.runner import ExperimentJob, ExperimentRunner, JobResult
 from repro.disk.drive import DriveSpec, cheetah_10k
 
 #: The reference drive for every millisecond-scale experiment.
@@ -37,3 +40,18 @@ def save_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def run_experiments(
+    jobs: Sequence[ExperimentJob], workers: Optional[int] = None
+) -> List[JobResult]:
+    """Fan a bench's simulation jobs across worker processes.
+
+    Defaults to one worker per CPU; set ``REPRO_BENCH_WORKERS=1`` (or pass
+    ``workers=1``) to force inline execution, e.g. under profilers or
+    already-parallel CI harnesses.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_BENCH_WORKERS")
+        workers = int(env) if env else None
+    return ExperimentRunner(workers=workers).run(jobs)

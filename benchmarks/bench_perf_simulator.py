@@ -1,0 +1,174 @@
+"""P1 — Perf regression: replay-engine throughput.
+
+Measures requests simulated per wall-clock second for a fixed workload
+matrix, on both the fast replay paths and the reference event loop, and
+writes the numbers to ``BENCH_simulator.json`` at the repo root so future
+PRs have a trajectory to compare against.
+
+The matrix pins three engine configurations:
+
+* ``fcfs-vectorized`` — FCFS on a cache-disabled drive: the fully
+  vectorized path (no per-request Python);
+* ``fcfs-sequential`` — FCFS with the write-back cache on: the
+  queue-free sequential path;
+* ``sstf-sorted`` — SSTF with full queue visibility: the incrementally
+  sorted pending queue.
+
+Each configuration's ``speedup`` is fast path over the reference event
+loop on the identical trace, with identical scheduling results (the
+equivalence itself is asserted in ``tests/test_simulator_fast.py``).
+
+Run directly (``python benchmarks/bench_perf_simulator.py``) or via
+pytest; both rewrite the artifact.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result, run_experiments
+
+from repro.core.report import Table
+from repro.core.runner import ExperimentJob
+from repro.disk.cache import CacheConfig
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_simulator.json"
+
+#: The fixed workload matrix: heavy enough that queues actually build.
+MATRIX = (
+    {"name": "fcfs-vectorized", "scheduler": "fcfs", "cache": False,
+     "profile": "database", "rate": 300.0, "span": 60.0},
+    {"name": "fcfs-sequential", "scheduler": "fcfs", "cache": True,
+     "profile": "database", "rate": 300.0, "span": 60.0},
+    {"name": "sstf-sorted", "scheduler": "sstf", "cache": True,
+     "profile": "database", "rate": 300.0, "span": 60.0},
+)
+
+#: Acceptance floor: the vectorized FCFS path must beat the event loop
+#: by at least this factor.
+MIN_FCFS_SPEEDUP = 5.0
+
+
+def _drive_for(config):
+    return DRIVE if config["cache"] else DRIVE.with_cache(CacheConfig.disabled())
+
+
+def _trace_for(config, drive):
+    profile = get_profile(config["profile"]).with_rate(config["rate"])
+    return profile.synthesize(
+        span=config["span"], capacity_sectors=drive.capacity_sectors, seed=SEED
+    )
+
+
+def _replay_rate(simulator, trace, repetitions=3):
+    best = float("inf")
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        simulator.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    return len(trace) / best
+
+
+def measure_matrix():
+    """Time every matrix entry on both engines; returns the row dicts."""
+    rows = []
+    for config in MATRIX:
+        drive = _drive_for(config)
+        trace = _trace_for(config, drive)
+        fast = _replay_rate(
+            DiskSimulator(drive, scheduler=config["scheduler"], seed=SEED), trace
+        )
+        reference = _replay_rate(
+            DiskSimulator(
+                drive, scheduler=config["scheduler"], seed=SEED, fast_path=False
+            ),
+            trace,
+            repetitions=1,
+        )
+        rows.append(
+            {
+                **config,
+                "drive": drive.name,
+                "n_requests": len(trace),
+                "fast_requests_per_sec": round(fast, 1),
+                "reference_requests_per_sec": round(reference, 1),
+                "speedup": round(fast / reference, 2),
+            }
+        )
+    return rows
+
+
+def write_artifact(rows):
+    """Persist the perf numbers (plus a parallel-runner datapoint) to
+    ``BENCH_simulator.json``."""
+    jobs = [
+        ExperimentJob(
+            profile=get_profile(c["profile"]).with_rate(c["rate"]),
+            drive=_drive_for(c),
+            scheduler=c["scheduler"],
+            seed=SEED,
+            span=c["span"],
+        )
+        for c in MATRIX
+    ]
+    t0 = time.perf_counter()
+    parallel_results = run_experiments(jobs)
+    suite_wall = time.perf_counter() - t0
+    fcfs = next(r for r in rows if r["name"] == "fcfs-vectorized")
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_perf_simulator.py",
+        "seed": SEED,
+        "matrix": rows,
+        "fcfs_fast_path_speedup": fcfs["speedup"],
+        "suite": {
+            "jobs": len(jobs),
+            "total_requests": sum(r.n_requests for r in parallel_results),
+            "wall_seconds": round(suite_wall, 3),
+            "requests_per_sec": round(
+                sum(r.n_requests for r in parallel_results) / suite_wall, 1
+            ),
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_table(rows):
+    table = Table(
+        ["config", "scheduler", "requests", "fast_req_s", "reference_req_s", "speedup"],
+        title="P1: replay-engine throughput (fast path vs reference event loop)",
+        precision=1,
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["name"], row["scheduler"], row["n_requests"],
+                round(row["fast_requests_per_sec"]),
+                round(row["reference_requests_per_sec"]),
+                row["speedup"],
+            ]
+        )
+    return table.render()
+
+
+def test_perf_simulator():
+    rows = measure_matrix()
+    payload = write_artifact(rows)
+    save_result("perf_simulator", render_table(rows))
+    assert ARTIFACT.exists()
+    assert payload["fcfs_fast_path_speedup"] >= MIN_FCFS_SPEEDUP
+    # Every fast path must at least hold its own against the event loop.
+    for row in rows:
+        assert row["speedup"] >= 1.0, row
+
+
+if __name__ == "__main__":
+    computed_rows = measure_matrix()
+    print(render_table(computed_rows))
+    artifact = write_artifact(computed_rows)
+    print(f"wrote {ARTIFACT} (fcfs speedup {artifact['fcfs_fast_path_speedup']}x)")

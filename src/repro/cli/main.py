@@ -198,6 +198,57 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_suite(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.runner import ExperimentRunner, experiment_matrix
+    from repro.synth.profiles import available_profiles
+
+    drive = _drive(args.drive)
+    catalog = available_profiles()
+    names = args.profiles if args.profiles else sorted(catalog)
+    unknown = [n for n in names if n not in catalog]
+    if unknown:
+        raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
+    jobs = experiment_matrix(
+        profiles=[catalog[n] for n in names],
+        drive=drive,
+        schedulers=args.schedulers,
+        seeds_per_combo=args.seeds,
+        base_seed=args.base_seed,
+        span=args.span,
+        queue_depth=args.queue_depth,
+    )
+    results = ExperimentRunner(workers=args.workers).run(jobs)
+
+    table = Table(
+        [
+            "workload", "scheduler", "seed", "requests", "utilization",
+            "mean_resp_ms", "p95_resp_ms", "replay_req_s",
+        ],
+        title=f"run-suite: {len(jobs)} jobs on {drive.name}",
+        precision=3,
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.profile, r.scheduler, r.seed, r.n_requests, r.utilization,
+                r.mean_response * 1e3, r.p95_response * 1e3, round(r.replay_rate),
+            ]
+        )
+    print(table.render())
+    if args.json:
+        payload = {
+            "drive": drive.name,
+            "span": args.span,
+            "jobs": [r.as_dict() for r in results],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {len(results)} job results to {args.json}")
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core.anomaly import population_anomalies, self_anomalies
 
@@ -270,6 +321,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
     p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser(
+        "run-suite",
+        help="simulate a profile x scheduler matrix across worker processes",
+    )
+    p.add_argument(
+        "--profiles", nargs="+", default=None,
+        help="profile names (default: every built-in profile)",
+    )
+    p.add_argument(
+        "--schedulers", nargs="+", default=["fcfs"],
+        choices=["fcfs", "sstf", "scan"],
+    )
+    p.add_argument("--span", type=float, default=300.0)
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="replicates per profile x scheduler combo (default 1)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0,
+        help="root of the deterministic per-job seed stream",
+    )
+    p.add_argument("--queue-depth", type=int, default=None)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = run inline)",
+    )
+    p.add_argument("--json", default=None, help="also write results as JSON")
+    add_drive(p)
+    p.set_defaults(func=_cmd_run_suite)
 
     p = sub.add_parser("calibrate", help="fit a synthetic profile to a trace file")
     p.add_argument("trace")

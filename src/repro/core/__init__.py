@@ -39,6 +39,14 @@ from repro.core.streaming import StreamingCharacterizer
 from repro.core.forecast import ForecastScore, flat_mean_forecast, score_forecast, seasonal_ewma_forecast, seasonal_naive_forecast
 from repro.core.anomaly import DriveAnomaly, inject_regime_change, population_anomalies, self_anomalies
 from repro.core.suite import run_suite, suite_table
+from repro.core.runner import (
+    ExperimentJob,
+    ExperimentRunner,
+    JobResult,
+    derive_seeds,
+    experiment_matrix,
+    run_job,
+)
 from repro.core.report import Table, ascii_plot, render_series
 
 __all__ = [
@@ -95,4 +103,10 @@ __all__ = [
     "inject_regime_change",
     "run_suite",
     "suite_table",
+    "ExperimentJob",
+    "ExperimentRunner",
+    "JobResult",
+    "derive_seeds",
+    "experiment_matrix",
+    "run_job",
 ]

@@ -95,6 +95,8 @@ class DiskGeometry:
         self.total_cylinders = cylinder
         self.capacity_sectors = lba
         self._zone_first_lbas = np.array([z.first_lba for z in zones], dtype=np.int64)
+        self._zone_first_cyls = np.array([z.first_cylinder for z in zones], dtype=np.int64)
+        self._zone_spts = np.array([z.sectors_per_track for z in zones], dtype=np.int64)
 
     @classmethod
     def uniform(
@@ -139,6 +141,30 @@ class DiskGeometry:
     def sectors_per_track_at(self, lba: int) -> int:
         """Track density at ``lba`` (determines the media transfer rate)."""
         return self.zone_of(lba).sectors_per_track
+
+    # ------------------------------------------------------------------
+    # Vectorized lookups (the simulator's batch fast path)
+    # ------------------------------------------------------------------
+
+    def _zone_indices(self, lbas: np.ndarray) -> np.ndarray:
+        lbas = np.asarray(lbas, dtype=np.int64)
+        if lbas.size and (int(lbas.min()) < 0 or int(lbas.max()) >= self.capacity_sectors):
+            bad = lbas[(lbas < 0) | (lbas >= self.capacity_sectors)][0]
+            raise DiskModelError(
+                f"LBA {int(bad)!r} outside drive capacity {self.capacity_sectors}"
+            )
+        return np.searchsorted(self._zone_first_lbas, lbas, side="right") - 1
+
+    def cylinders_of(self, lbas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cylinder_of` over an array of LBAs."""
+        lbas = np.asarray(lbas, dtype=np.int64)
+        zones = self._zone_indices(lbas)
+        per_cylinder = self._zone_spts[zones] * self.heads
+        return self._zone_first_cyls[zones] + (lbas - self._zone_first_lbas[zones]) // per_cylinder
+
+    def sectors_per_track_of(self, lbas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sectors_per_track_at` over an array of LBAs."""
+        return self._zone_spts[self._zone_indices(lbas)]
 
     def seek_distance(self, lba_a: int, lba_b: int) -> int:
         """Cylinder distance between two LBAs."""

@@ -83,6 +83,27 @@ class SeekProfile:
         slope = (self.full_stroke - t_boundary) / (self.max_distance - b)
         return float(t_boundary + slope * (d - b))
 
+    def seek_times(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`seek_time` over an array of distances.
+
+        Evaluates the same two-regime curve with the same floating-point
+        operations, so each element equals the scalar result exactly.
+        """
+        d = np.asarray(distances, dtype=np.int64)
+        if d.size and int(d.min()) < 0:
+            raise DiskModelError(f"seek distance must be >= 0, got {int(d.min())!r}")
+        d = np.minimum(d, self.max_distance)
+        b = self._boundary
+        t_boundary = self.single_cylinder + (self.full_stroke - self.single_cylinder) * (
+            np.sqrt(b) - 1.0
+        ) / (np.sqrt(self.max_distance) - 1.0)
+        k = (t_boundary - self.single_cylinder) / (np.sqrt(b) - 1.0)
+        slope = (self.full_stroke - t_boundary) / (self.max_distance - b)
+        sqrt_regime = self.single_cylinder + k * (np.sqrt(d) - 1.0)
+        linear_regime = t_boundary + slope * (d - b)
+        times = np.where(d <= b, sqrt_regime, linear_regime)
+        return np.where(d == 0, 0.0, times)
+
     def average_seek(self, samples: int = 512) -> float:
         """Mean seek time over uniformly random ordered cylinder pairs,
         evaluated by the exact distance distribution of a uniform stroke

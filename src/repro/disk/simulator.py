@@ -6,16 +6,41 @@ with a pluggable scheduling discipline, producing per-request timings and
 the busy/idle timeline. This is the substitute for the measurement
 infrastructure the paper had on real drives: instead of observing busy
 and idle on hardware, we observe it on the model.
+
+The replay engine has three executions of the same queueing model, picked
+per run so heavy traces replay as fast as the discipline allows:
+
+* a **vectorized FCFS path** — with FCFS the serve order *is* the arrival
+  order, so when the drive's cache is disabled the whole run collapses to
+  one batched service-time computation plus the classic
+  ``finish[i] = max(arrival[i], finish[i-1]) + service[i]`` recurrence,
+  evaluated with ``np.maximum.accumulate`` over cumulative sums — no
+  Python loop at all;
+* a **sequential FCFS path** — with caching enabled, service times depend
+  on the clock (write-buffer drain), so the drive is stepped request by
+  request, but with no queue or scheduler machinery at all (bit-identical
+  to the event loop);
+* the **event loop** — the general path for seek-aware disciplines and
+  NCQ windows. SSTF with full queue visibility uses an incrementally
+  maintained cylinder-sorted queue (O(log n) comparisons per decision via
+  ``bisect``) instead of a linear scan; windowed runs slice the oldest
+  ``queue_depth`` entries in O(queue_depth) — the queue is kept in
+  arrival order, so no per-decision sort is ever needed.
+
+``fast_path=False`` forces every run through the reference event loop;
+the equivalence of the fast paths is asserted against it in the test
+suite.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from bisect import bisect_left, insort
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.disk.drive import DiskDrive, DriveSpec
-from repro.disk.scheduler import Scheduler, make_scheduler
+from repro.disk.scheduler import FcfsScheduler, Scheduler, SstfScheduler, make_scheduler
 from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import SimulationError
 from repro.stats.moments import describe, SampleDescription
@@ -104,6 +129,11 @@ class DiskSimulator:
         each decision, so seek-aware disciplines degrade gracefully
         toward FCFS as the window shrinks. ``None`` (default) = the
         scheduler sees everything.
+    fast_path:
+        When true (default) runs use the specialized FCFS/SSTF executions
+        where applicable; when false every run goes through the reference
+        event loop. Results agree — the flag exists for validation and
+        perf-regression measurement.
     """
 
     def __init__(
@@ -113,6 +143,7 @@ class DiskSimulator:
         remap_lbas: bool = False,
         seed: int = 0,
         queue_depth: Optional[int] = None,
+        fast_path: bool = True,
     ) -> None:
         if queue_depth is not None and queue_depth < 1:
             raise SimulationError(
@@ -128,6 +159,7 @@ class DiskSimulator:
         self.remap_lbas = bool(remap_lbas)
         self.seed = int(seed)
         self.queue_depth = queue_depth
+        self.fast_path = bool(fast_path)
 
     def _fresh_drive(self) -> DiskDrive:
         if self._drive is not None:
@@ -167,51 +199,34 @@ class DiskSimulator:
                     f"{capacity}; generate against this drive or pass remap_lbas=True"
                 )
 
-        start_times = np.zeros(n, dtype=np.float64)
-        service_times = np.zeros(n, dtype=np.float64)
-
-        # Queue entries are (cylinder, arrival_order); payload is the index.
-        queue: List[tuple] = []
-        payloads: List[int] = []
-        next_arrival = 0
-        clock = 0.0
-        completed = 0
-
-        def admit_until(t: float) -> int:
-            nonlocal next_arrival
-            while next_arrival < n and arrivals[next_arrival] <= t:
-                idx = next_arrival
-                queue.append((drive.cylinder_of(int(lbas[idx])), idx))
-                payloads.append(idx)
-                next_arrival += 1
-            return next_arrival
-
-        while completed < n:
-            if not queue:
-                # Idle: jump to the next arrival.
-                clock = max(clock, float(arrivals[next_arrival]))
-            admit_until(clock)
-            if not queue:
-                raise SimulationError("scheduler loop reached an empty queue")
-            if self.queue_depth is not None and len(queue) > self.queue_depth:
-                # NCQ-style visibility: only the oldest queue_depth
-                # requests (by arrival order) are dispatched to the drive.
-                order = sorted(range(len(queue)), key=lambda k: queue[k][1])
-                visible = order[: self.queue_depth]
-                window = [queue[k] for k in visible]
-                pick_in_window = scheduler.pick(window, drive.head_cylinder)
-                pick = visible[pick_in_window]
+        if n == 0:
+            start_times = np.zeros(0, dtype=np.float64)
+            service_times = np.zeros(0, dtype=np.float64)
+        elif self.fast_path and type(scheduler) is FcfsScheduler:
+            # FCFS serves in arrival order regardless of queue depth, so
+            # the queue machinery is pure overhead.
+            cache = drive.spec.cache
+            if not cache.read_ahead and not cache.write_back:
+                start_times, service_times = _run_fcfs_vectorized(
+                    drive, arrivals, lbas, sizes
+                )
             else:
-                pick = scheduler.pick(queue, drive.head_cylinder)
-            queue.pop(pick)
-            idx = payloads.pop(pick)
-            service = drive.service_time(
-                int(lbas[idx]), int(sizes[idx]), bool(trace.is_write[idx]), clock
+                start_times, service_times = _run_fcfs_sequential(
+                    drive, arrivals, lbas, sizes, trace.is_write
+                )
+        elif (
+            self.fast_path
+            and type(scheduler) is SstfScheduler
+            and self.queue_depth is None
+        ):
+            start_times, service_times = _run_sstf_sorted(
+                drive, arrivals, lbas, sizes, trace.is_write
             )
-            start_times[idx] = clock
-            service_times[idx] = service
-            clock += service
-            completed += 1
+        else:
+            start_times, service_times = _run_event_loop(
+                drive, scheduler, arrivals, lbas, sizes, trace.is_write,
+                self.queue_depth,
+            )
 
         drive_name = drive.spec.name
         return SimulationResult(
@@ -221,3 +236,186 @@ class DiskSimulator:
             drive_name=drive_name,
             scheduler_name=getattr(scheduler, "name", type(scheduler).__name__),
         )
+
+
+# ----------------------------------------------------------------------
+# Execution strategies
+# ----------------------------------------------------------------------
+
+def _run_fcfs_vectorized(
+    drive: DiskDrive,
+    arrivals: np.ndarray,
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FCFS with caching disabled: one batched drive call plus the
+    start-time recurrence, no per-request Python at all.
+
+    ``finish[i] = max(arrival[i], finish[i-1]) + service[i]`` unrolls to
+    ``finish = cumsum(service) + running_max(arrival - exclusive_cumsum)``,
+    which is two O(n) array passes.
+    """
+    service_times = drive.media_service_times(lbas, sizes)
+    cumulative = np.cumsum(service_times)
+    exclusive = np.concatenate(([0.0], cumulative[:-1]))
+    slack = np.maximum.accumulate(arrivals - exclusive)
+    # Clamp so float reassociation can never start a request before it
+    # arrives (the event loop guarantees this exactly).
+    start_times = np.maximum(exclusive + slack, arrivals)
+    return start_times, service_times
+
+
+def _run_fcfs_sequential(
+    drive: DiskDrive,
+    arrivals: np.ndarray,
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+    is_write: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FCFS with caching enabled: service times depend on the clock (the
+    write buffer drains in wall time), so step the drive request by
+    request — but skip the queue and scheduler entirely. Bit-identical to
+    the event loop: same ``service_time`` calls, in the same order, at
+    the same clocks."""
+    n = arrivals.size
+    start_times = np.empty(n, dtype=np.float64)
+    service_times = np.empty(n, dtype=np.float64)
+    arrival_list = arrivals.tolist()
+    lba_list = lbas.tolist()
+    size_list = sizes.tolist()
+    write_list = is_write.tolist()
+    service_time = drive.service_time
+    clock = 0.0
+    for i in range(n):
+        arrival = arrival_list[i]
+        if arrival > clock:
+            clock = arrival
+        service = service_time(lba_list[i], size_list[i], write_list[i], clock)
+        start_times[i] = clock
+        service_times[i] = service
+        clock += service
+    return start_times, service_times
+
+
+def _run_sstf_sorted(
+    drive: DiskDrive,
+    arrivals: np.ndarray,
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+    is_write: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SSTF with full queue visibility over an incrementally maintained
+    cylinder-sorted queue.
+
+    The pending set lives in a list sorted by ``(cylinder, arrival)``;
+    each decision bisects for the head position and compares the two
+    boundary runs — O(log n) comparisons instead of the linear scan of
+    :class:`SstfScheduler` — and picks exactly the entry the scan would:
+    minimal ``(|cylinder - head|, arrival)``.
+    """
+    n = arrivals.size
+    start_times = np.empty(n, dtype=np.float64)
+    service_times = np.empty(n, dtype=np.float64)
+    arrival_list = arrivals.tolist()
+    lba_list = lbas.tolist()
+    size_list = sizes.tolist()
+    write_list = is_write.tolist()
+    cylinder_of = drive.cylinder_of
+    service_time = drive.service_time
+
+    pending: List[Tuple[int, int]] = []  # (cylinder, arrival index), sorted
+    next_arrival = 0
+    clock = 0.0
+    completed = 0
+
+    while completed < n:
+        if not pending:
+            arrival = arrival_list[next_arrival]
+            if arrival > clock:
+                clock = arrival
+        while next_arrival < n and arrival_list[next_arrival] <= clock:
+            insort(pending, (cylinder_of(lba_list[next_arrival]), next_arrival))
+            next_arrival += 1
+
+        head = drive.head_cylinder
+        split = bisect_left(pending, (head,))
+        if split == len(pending):
+            # Everything is below the head: nearest is the last run's first entry.
+            run_start = bisect_left(pending, (pending[-1][0],))
+            pos = run_start
+        elif split == 0:
+            pos = 0
+        else:
+            above = pending[split]
+            below_cyl = pending[split - 1][0]
+            run_start = bisect_left(pending, (below_cyl,))
+            below = pending[run_start]
+            if (head - below_cyl, below[1]) < (above[0] - head, above[1]):
+                pos = run_start
+            else:
+                pos = split
+        _, idx = pending.pop(pos)
+
+        service = service_time(lba_list[idx], size_list[idx], write_list[idx], clock)
+        start_times[idx] = clock
+        service_times[idx] = service
+        clock += service
+        completed += 1
+    return start_times, service_times
+
+
+def _run_event_loop(
+    drive: DiskDrive,
+    scheduler: Scheduler,
+    arrivals: np.ndarray,
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+    is_write: np.ndarray,
+    queue_depth: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The reference event loop: admit arrivals, let the scheduler pick,
+    serve, repeat. Handles any discipline and any queue depth."""
+    n = arrivals.size
+    start_times = np.empty(n, dtype=np.float64)
+    service_times = np.empty(n, dtype=np.float64)
+    arrival_list = arrivals.tolist()
+    lba_list = lbas.tolist()
+    size_list = sizes.tolist()
+    write_list = is_write.tolist()
+
+    # Queue entries are (cylinder, arrival_order); the queue is appended
+    # to in arrival order and pops preserve relative order, so it stays
+    # sorted by arrival order throughout — the oldest queue_depth entries
+    # are simply the first queue_depth.
+    queue: List[Tuple[int, int]] = []
+    next_arrival = 0
+    clock = 0.0
+    completed = 0
+
+    while completed < n:
+        if not queue:
+            # Idle: jump to the next arrival.
+            arrival = arrival_list[next_arrival]
+            if arrival > clock:
+                clock = arrival
+        while next_arrival < n and arrival_list[next_arrival] <= clock:
+            queue.append((drive.cylinder_of(lba_list[next_arrival]), next_arrival))
+            next_arrival += 1
+        if not queue:
+            raise SimulationError("scheduler loop reached an empty queue")
+        if queue_depth is not None and len(queue) > queue_depth:
+            # NCQ-style visibility: only the oldest queue_depth requests
+            # (by arrival order) are dispatched to the drive.
+            window = queue[:queue_depth]
+            pick = scheduler.pick(window, drive.head_cylinder)
+        else:
+            pick = scheduler.pick(queue, drive.head_cylinder)
+        _, idx = queue.pop(pick)
+        service = drive.service_time(
+            lba_list[idx], size_list[idx], write_list[idx], clock
+        )
+        start_times[idx] = clock
+        service_times[idx] = service
+        clock += service
+        completed += 1
+    return start_times, service_times

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import csv
 import json
+import shlex
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Union
 
 from repro.errors import TraceFormatError
 from repro.traces.hourly import HourlyDataset, HourlyTrace
@@ -27,6 +28,40 @@ PathLike = Union[str, Path]
 
 
 # ----------------------------------------------------------------------
+# Header comment lines (``# key=value ...``)
+# ----------------------------------------------------------------------
+
+def _header_value(key: str, value: str) -> str:
+    """Render one ``key=value`` header token, shell-quoted so values with
+    spaces or quotes survive the whitespace-splitting reader exactly.
+    Simple values stay unquoted, keeping the format grep-friendly and
+    old files byte-identical."""
+    if "\n" in value or "\r" in value:
+        raise TraceFormatError(
+            f"{key} must not contain line breaks, got {value!r}"
+        )
+    return f"{key}={shlex.quote(value)}"
+
+
+def _parse_header(line: str) -> Dict[str, str]:
+    """Parse a ``#``-prefixed header line back into its key/value pairs.
+
+    Values written by :func:`_header_value` round-trip exactly; foreign
+    or hand-edited headers fall back to plain whitespace splitting."""
+    body = line[1:]
+    try:
+        tokens = shlex.split(body)
+    except ValueError:
+        tokens = body.split()
+    fields: Dict[str, str] = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            fields[key] = value
+    return fields
+
+
+# ----------------------------------------------------------------------
 # Millisecond traces
 # ----------------------------------------------------------------------
 
@@ -34,7 +69,9 @@ def write_request_trace(trace: RequestTrace, path: PathLike) -> None:
     """Write a millisecond trace as CSV (see module docstring for format)."""
     path = Path(path)
     with path.open("w", newline="") as fh:
-        fh.write(f"# span={trace.span!r} label={trace.label}\n")
+        fh.write(
+            f"# span={trace.span!r} {_header_value('label', trace.label)}\n"
+        )
         writer = csv.writer(fh)
         writer.writerow(["time", "lba", "nsectors", "op"])
         for i in range(len(trace)):
@@ -60,11 +97,11 @@ def read_request_trace(path: PathLike) -> RequestTrace:
     with path.open() as fh:
         first = fh.readline()
         if first.startswith("#"):
-            for token in first[1:].split():
-                if token.startswith("span="):
-                    span = float(token[len("span="):])
-                elif token.startswith("label="):
-                    label = token[len("label="):]
+            fields = _parse_header(first)
+            if "span" in fields:
+                span = float(fields["span"])
+            if "label" in fields:
+                label = fields["label"]
             header_line = fh.readline()
         else:
             header_line = first
@@ -140,7 +177,7 @@ def write_lifetime_dataset(dataset: DriveFamilyDataset, path: PathLike) -> None:
     """Write a drive-family dataset as CSV."""
     path = Path(path)
     with path.open("w", newline="") as fh:
-        fh.write(f"# family={dataset.family}\n")
+        fh.write(f"# {_header_value('family', dataset.family)}\n")
         writer = csv.writer(fh)
         writer.writerow(_LIFETIME_HEADER)
         for r in dataset:
@@ -158,9 +195,7 @@ def read_lifetime_dataset(path: PathLike) -> DriveFamilyDataset:
     with path.open() as fh:
         first = fh.readline()
         if first.startswith("#"):
-            for token in first[1:].split():
-                if token.startswith("family="):
-                    family = token[len("family="):]
+            family = _parse_header(first).get("family", family)
             header_line = fh.readline()
         else:
             header_line = first

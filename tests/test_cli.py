@@ -87,6 +87,41 @@ def test_drive_choice_respected(capsys):
     assert "enterprise-15k" in out
 
 
+def test_run_suite_matrix(tmp_path, capsys):
+    json_path = tmp_path / "suite.json"
+    code, out, _ = run(
+        capsys, "run-suite", "--profiles", "web", "database",
+        "--schedulers", "fcfs", "sstf", "--span", "5", "--workers", "1",
+        "--json", str(json_path),
+    )
+    assert code == 0
+    assert "4 jobs" in out
+    for token in ("web", "database", "fcfs", "sstf", "replay_req_s"):
+        assert token in out
+
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload["drive"] == "enterprise-10k"
+    assert len(payload["jobs"]) == 4
+    assert all(job["n_requests"] > 0 for job in payload["jobs"])
+
+
+def test_run_suite_parallel_workers(capsys):
+    code, out, _ = run(
+        capsys, "run-suite", "--profiles", "web", "--span", "5",
+        "--seeds", "2", "--workers", "2",
+    )
+    assert code == 0
+    assert "2 jobs" in out
+
+
+def test_run_suite_unknown_profile_fails_cleanly(capsys):
+    code, _, err = run(capsys, "run-suite", "--profiles", "nope", "--workers", "1")
+    assert code == 2
+    assert "unknown profiles" in err
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -1,0 +1,109 @@
+"""The parallel experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import (
+    ExperimentJob,
+    ExperimentRunner,
+    derive_seeds,
+    experiment_matrix,
+    run_job,
+)
+from repro.errors import SimulationError
+from repro.synth.profiles import get_profile
+from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def jobs(tiny_spec):
+    profiles = [get_profile("web"), get_profile("database")]
+    return experiment_matrix(
+        profiles, tiny_spec, schedulers=("fcfs", "sstf"), span=4.0, base_seed=7
+    )
+
+
+class TestJobAndSeeds:
+    def test_derive_seeds_deterministic(self):
+        assert derive_seeds(123, 5) == derive_seeds(123, 5)
+
+    def test_derive_seeds_prefix_stable(self):
+        # Job i keeps its seed when more jobs are appended to the suite.
+        assert derive_seeds(123, 8)[:3] == derive_seeds(123, 3)
+
+    def test_derive_seeds_distinct(self):
+        seeds = derive_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_derive_seeds_depend_on_base(self):
+        assert derive_seeds(1, 4) != derive_seeds(2, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            derive_seeds(0, -1)
+
+    def test_matrix_shape_and_labels(self, jobs, tiny_spec):
+        assert len(jobs) == 4  # 2 profiles x 2 schedulers x 1 seed
+        labels = [j.label for j in jobs]
+        assert len(set(labels)) == 4
+        assert all(tiny_spec.name in label for label in labels)
+
+    def test_matrix_replicates_get_distinct_seeds(self, tiny_spec):
+        jobs = experiment_matrix(
+            [get_profile("web")], tiny_spec, seeds_per_combo=3, span=2.0
+        )
+        assert len({j.seed for j in jobs}) == 3
+
+    def test_run_job_summary(self, tiny_spec):
+        job = ExperimentJob(
+            profile=get_profile("web"), drive=tiny_spec, span=4.0, seed=3
+        )
+        result = run_job(job)
+        assert result.n_requests > 0
+        assert 0.0 < result.utilization < 1.0
+        assert result.mean_response >= result.mean_service > 0.0
+        assert result.replay_rate > 0.0
+        assert result.as_dict()["replay_rate"] == result.replay_rate
+
+    def test_run_job_empty_trace(self, tiny_spec):
+        quiet = WorkloadProfile(
+            name="quiet", rate=0.001, arrival=ArrivalSpec("bmodel")
+        )
+        result = run_job(ExperimentJob(profile=quiet, drive=tiny_spec, span=2.0))
+        assert result.n_requests == 0
+        assert result.utilization == 0.0
+        assert np.isnan(result.mean_response)
+
+
+class TestRunner:
+    def test_empty_job_list(self):
+        assert ExperimentRunner().run([]) == []
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentRunner(workers=0)
+
+    def test_inline_results_in_input_order(self, jobs):
+        results = ExperimentRunner(workers=1).run(jobs)
+        assert [r.label for r in results] == [j.label for j in jobs]
+
+    def test_parallel_matches_inline(self, jobs):
+        # Worker count must not change any simulated number.
+        inline = ExperimentRunner(workers=1).run(jobs)
+        parallel = ExperimentRunner(workers=2).run(jobs)
+        for a, b in zip(inline, parallel):
+            assert a.label == b.label
+            assert a.n_requests == b.n_requests
+            assert a.utilization == b.utilization
+            assert a.mean_response == b.mean_response
+            assert a.total_busy == b.total_busy
+
+    def test_reference_engine_agrees(self, tiny_spec):
+        profile = get_profile("database")
+        fast_job = ExperimentJob(profile=profile, drive=tiny_spec, span=4.0, seed=5)
+        slow_job = ExperimentJob(
+            profile=profile, drive=tiny_spec, span=4.0, seed=5, fast_path=False
+        )
+        fast, slow = ExperimentRunner(workers=1).run([fast_job, slow_job])
+        assert fast.utilization == slow.utilization
+        assert fast.mean_response == slow.mean_response

@@ -72,6 +72,45 @@ class TestRequestTraceIo:
         assert len(loaded) == 1
         assert loaded.label == "plain"
 
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "web server (rack 3)",
+            "a label\twith a tab",
+            'quoted "inner" label',
+            "it's got quotes",
+            "span=fake label=nested",
+            "",
+        ],
+    )
+    def test_label_roundtrips_exactly(self, tmp_path, label):
+        # Regression: labels containing whitespace used to be truncated
+        # at the first space by the whitespace-splitting header parser.
+        original = RequestTrace(
+            times=[0.0], lbas=[8], nsectors=[8], is_write=[True],
+            span=2.0, label=label,
+        )
+        path = tmp_path / "labelled.csv"
+        write_request_trace(original, path)
+        loaded = read_request_trace(path)
+        assert loaded.label == label
+        assert loaded.span == 2.0
+
+    def test_simple_label_header_stays_unquoted(self, tmp_path):
+        # Old readers split the header on whitespace; plain labels must
+        # keep producing the exact bytes they expect.
+        path = tmp_path / "simple.csv"
+        write_request_trace(self.make_trace(), path)
+        assert path.read_text().splitlines()[0] == "# span=5.0 label=roundtrip"
+
+    def test_label_with_newline_rejected(self, tmp_path):
+        trace = RequestTrace(
+            times=[0.0], lbas=[8], nsectors=[8], is_write=[False],
+            span=1.0, label="two\nlines",
+        )
+        with pytest.raises(TraceFormatError):
+            write_request_trace(trace, tmp_path / "bad.csv")
+
 
 class TestHourlyIo:
     def make_dataset(self):
@@ -135,6 +174,15 @@ class TestLifetimeIo:
         path.write_text("x,y\n1,2\n")
         with pytest.raises(TraceFormatError):
             read_lifetime_dataset(path)
+
+    def test_family_with_spaces_roundtrips(self, tmp_path):
+        dataset = DriveFamilyDataset(
+            [LifetimeRecord("a", 1.0, 0.0, 0.0, "m")],
+            family="enterprise 10k (2009 fleet)",
+        )
+        path = tmp_path / "family.csv"
+        write_lifetime_dataset(dataset, path)
+        assert read_lifetime_dataset(path).family == "enterprise 10k (2009 fleet)"
 
     def test_malformed_row_rejected(self, tmp_path):
         path = tmp_path / "bad.csv"
