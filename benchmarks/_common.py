@@ -43,15 +43,31 @@ def save_result(name: str, text: str) -> None:
 
 
 def run_experiments(
-    jobs: Sequence[ExperimentJob], workers: Optional[int] = None
+    jobs: Sequence[ExperimentJob],
+    workers: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    job_timeout: Optional[float] = None,
 ) -> List[JobResult]:
     """Fan a bench's simulation jobs across worker processes.
 
     Defaults to one worker per CPU; set ``REPRO_BENCH_WORKERS=1`` (or pass
     ``workers=1``) to force inline execution, e.g. under profilers or
-    already-parallel CI harnesses.
+    already-parallel CI harnesses. ``REPRO_BENCH_RETRIES`` and
+    ``REPRO_BENCH_JOB_TIMEOUT`` map to the runner's ``max_retries`` and
+    ``job_timeout``; any job failure raises
+    :class:`~repro.errors.SuiteError` (with the partial
+    :class:`~repro.core.runner.SuiteReport` attached) so a bench never
+    silently computes on an incomplete suite.
     """
     if workers is None:
         env = os.environ.get("REPRO_BENCH_WORKERS")
         workers = int(env) if env else None
-    return ExperimentRunner(workers=workers).run(jobs)
+    if max_retries is None:
+        max_retries = int(os.environ.get("REPRO_BENCH_RETRIES", "0"))
+    if job_timeout is None:
+        env = os.environ.get("REPRO_BENCH_JOB_TIMEOUT")
+        job_timeout = float(env) if env else None
+    runner = ExperimentRunner(
+        workers=workers, max_retries=max_retries, job_timeout=job_timeout
+    )
+    return list(runner.run_suite(jobs).results)

@@ -49,7 +49,7 @@ def test_ablation_spindown(benchmark, label, rate):
         table = Table(
             ["intensity", "timeout_s", "energy_savings", "spin_downs",
              "added_latency_s"],
-            title=f"A4: spin-down timeout sweep "
+            title="A4: spin-down timeout sweep "
                   f"(break-even = {POWER.break_even_seconds():.1f} s)",
             precision=3,
         )

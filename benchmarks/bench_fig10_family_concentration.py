@@ -51,7 +51,7 @@ def test_fig10_family_concentration(benchmark):
 
     extra = (
         f"\nGini of lifetime traffic: {analysis.gini:.3f}"
-        f"\ntraffic moved by busiest 10% of drives: "
+        "\ntraffic moved by busiest 10% of drives: "
         f"{format_percent(analysis.top_decile_share)}"
     )
     save_result("fig10_family_concentration", series + "\n\n" + table.render() + extra)

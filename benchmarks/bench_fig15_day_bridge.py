@@ -44,7 +44,7 @@ def test_fig15_day_bridge(benchmark):
              float(day.curve[hour])]
         )
     extra = (
-        f"\ntotal bytes ms-trace vs hour-counters: "
+        "\ntotal bytes ms-trace vs hour-counters: "
         f"{trace.total_bytes} vs {hourly.total_bytes.sum():.0f}"
         f"\nhour-scale peak-to-mean: {hourly.peak_to_mean:.2f}"
     )

@@ -48,7 +48,7 @@ def test_fig16_latency(benchmark):
         )
     _, mid = outcomes[120.0]
     extra = (
-        f"\nread vs write at 120 req/s: median "
+        "\nread vs write at 120 req/s: median "
         f"{mid.read_response.median * 1e3:.2f} ms vs "
         f"{mid.write_response.median * 1e3:.2f} ms"
     )

@@ -68,7 +68,7 @@ def test_fig17_idle_dependence(benchmark):
     lag0 = float(ccf[lags == 0][0])
     best_lag, best_value = peak_lag(reads, writes, max_lag=5)
     extra = (
-        f"\nF17b: read/write byte-series cross-correlation (email): "
+        "\nF17b: read/write byte-series cross-correlation (email): "
         f"lag-0 = {lag0:.3f}, peak {best_value:.3f} at lag {best_lag}"
     )
     save_result("fig17_idle_dependence", table.render() + extra)

@@ -66,7 +66,7 @@ def test_fig22_host_cache(benchmark):
     bursts = write_bursts(disk_big, scale=1.0, threshold=0.9)
     extra = (
         f"\nwrite bursts (>=90% write seconds) at 30k pages: {len(bursts)}; "
-        f"write timestamps on 30 s flush boundaries: "
+        "write timestamps on 30 s flush boundaries: "
         f"{np.isin(disk_big.writes().times, np.arange(30.0, SPAN + 1, 30.0)).mean():.0%}"
     )
     save_result("fig22_host_cache", table.render() + extra)

@@ -49,7 +49,7 @@ def test_fig8_rw_dynamics(benchmark):
     hourly = model.generate(n_drives=100, weeks=2, seed=SEED)
     shares = np.array([t.write_byte_fraction for t in hourly])
     extra = (
-        f"\nhour-scale write share across 100 drives: "
+        "\nhour-scale write share across 100 drives: "
         f"median {format_percent(float(np.nanmedian(shares)))}, "
         f"p10 {format_percent(float(np.nanquantile(shares, 0.1)))}, "
         f"p90 {format_percent(float(np.nanquantile(shares, 0.9)))}"

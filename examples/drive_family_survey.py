@@ -52,7 +52,7 @@ def main() -> None:
 
     pop, cum = family_lorenz(family)
     half = int(0.5 * (pop.size - 1))
-    print(f"the quietest half of the family moves only "
+    print("the quietest half of the family moves only "
           f"{format_percent(float(cum[half]))} of the traffic")
 
 

@@ -53,13 +53,13 @@ def main() -> None:
     print(f"  utilization:  {format_percent(study.utilization.overall)}")
     if study.idleness:
         print(f"  idleness:     {format_percent(study.idleness.idle_fraction)}, "
-              f"longest 10% of intervals hold "
+              "longest 10% of intervals hold "
               f"{format_percent(study.idleness.top_decile_time_share)} of idle time")
     from repro import analyze_burstiness
     read_burst = analyze_burstiness(disk.reads())
-    print(f"  burstiness:   read traffic keeps the application's memory "
+    print("  burstiness:   read traffic keeps the application's memory "
           f"(Hurst {read_burst.hurst_variance:.2f}); write traffic is "
-          f"re-shaped into flush-period batches")
+          "re-shaped into flush-period batches")
     print(
         "\nReading: nothing about the disk-level picture was assumed — the"
         "\nwrite-leaning mix and the flush-driven write bursts emerge from an"

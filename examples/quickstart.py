@@ -41,7 +41,7 @@ def main() -> None:
           f"in {i.n_intervals} intervals")
     print(f"                     median interval {format_duration(i.median_interval)}, "
           f"p99 {format_duration(i.p99_interval)}")
-    print(f"                     longest 10% of intervals hold "
+    print("                     longest 10% of intervals hold "
           f"{format_percent(i.top_decile_time_share)} of all idle time")
 
     b = study.burstiness

@@ -198,10 +198,24 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _failure_table(report) -> Table:
+    table = Table(
+        ["job", "error", "attempts", "wall_s", "message"],
+        title=f"failures: {len(report.failures)} of {report.n_jobs} jobs",
+        precision=3,
+    )
+    for f in report.failures:
+        table.add_row(
+            [f.label, f.error_type, f.attempts, f.wall_seconds, f.message]
+        )
+    return table
+
+
 def _cmd_run_suite(args: argparse.Namespace) -> int:
     import json
 
     from repro.core.runner import ExperimentRunner, experiment_matrix
+    from repro.errors import SuiteError
     from repro.synth.profiles import available_profiles
 
     drive = _drive(args.drive)
@@ -219,7 +233,17 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         span=args.span,
         queue_depth=args.queue_depth,
     )
-    results = ExperimentRunner(workers=args.workers).run(jobs)
+    runner = ExperimentRunner(
+        workers=args.workers,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        on_error="collect" if args.keep_going else "raise",
+    )
+    try:
+        report = runner.run_suite(jobs)
+    except SuiteError as exc:
+        report = exc.report
+        print(f"error: {exc}", file=sys.stderr)
 
     table = Table(
         [
@@ -229,7 +253,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         title=f"run-suite: {len(jobs)} jobs on {drive.name}",
         precision=3,
     )
-    for r in results:
+    for r in report.results:
         table.add_row(
             [
                 r.profile, r.scheduler, r.seed, r.n_requests, r.utilization,
@@ -237,16 +261,29 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    if report.failures:
+        print()
+        print(_failure_table(report).render())
+    if report.retries:
+        print(f"({report.retries} retried attempt(s) across the suite)")
     if args.json:
         payload = {
             "drive": drive.name,
             "span": args.span,
-            "jobs": [r.as_dict() for r in results],
+            "jobs": [r.as_dict() for r in report.results],
+            "failures": [f.as_dict() for f in report.failures],
+            "n_jobs": report.n_jobs,
+            "workers": report.workers,
+            "retries": report.retries,
+            "wall_seconds": report.wall_seconds,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
-        print(f"wrote {len(results)} job results to {args.json}")
-    return 0
+        print(
+            f"wrote {len(report.results)} job results "
+            f"({len(report.failures)} failures) to {args.json}"
+        )
+    return 1 if report.failures else 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -347,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: one per CPU; 1 = run inline)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per failing job (default 0)",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: none)",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="run every job even if some fail; report failures at the end "
+        "(default: stop submitting after the first failure)",
     )
     p.add_argument("--json", default=None, help="also write results as JSON")
     add_drive(p)

@@ -42,7 +42,9 @@ from repro.core.suite import run_suite, suite_table
 from repro.core.runner import (
     ExperimentJob,
     ExperimentRunner,
+    JobFailure,
     JobResult,
+    SuiteReport,
     derive_seeds,
     experiment_matrix,
     run_job,
@@ -105,7 +107,9 @@ __all__ = [
     "suite_table",
     "ExperimentJob",
     "ExperimentRunner",
+    "JobFailure",
     "JobResult",
+    "SuiteReport",
     "derive_seeds",
     "experiment_matrix",
     "run_job",

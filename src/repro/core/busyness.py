@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
 
 from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import AnalysisError

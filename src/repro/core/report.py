@@ -9,7 +9,7 @@ aligned tables via :class:`Table`, (x, y) series via
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

@@ -19,15 +19,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import asdict, dataclass, field
-from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence
+import traceback as traceback_module
+from dataclasses import asdict, dataclass
+from time import perf_counter, sleep
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.disk.drive import DriveSpec
 from repro.disk.simulator import DiskSimulator
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SuiteError
 from repro.synth.workload import WorkloadProfile
 
 
@@ -195,6 +196,122 @@ def experiment_matrix(
     return jobs
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that did not produce a result.
+
+    Attributes
+    ----------
+    label:
+        The failed job's label (``job.label`` when available).
+    index:
+        Position of the job in the submitted sequence.
+    error_type:
+        Exception class name (``"TimeoutError"`` for per-job timeouts).
+    message:
+        ``str(exception)`` of the final attempt.
+    traceback:
+        Formatted traceback of the final attempt (empty for timeouts,
+        which are detected from the parent process).
+    attempts:
+        How many times the job was tried before giving up.
+    wall_seconds:
+        Wall time spent on the job across every attempt.
+    """
+
+    label: str
+    index: int
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    wall_seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+JobOutcome = Union[JobResult, JobFailure]
+
+#: ``progress(done, total, outcome)`` called after each job resolves.
+ProgressCallback = Callable[[int, int, JobOutcome], None]
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Everything that happened while running one suite of jobs.
+
+    ``results`` holds the successful :class:`JobResult`\\ s in input
+    order; ``failures`` holds the :class:`JobFailure`\\ s, also in input
+    order (``JobFailure.index`` maps each back to its job). Under
+    ``on_error="raise"`` a partial report — only the jobs that resolved
+    before the stop — travels on :class:`~repro.errors.SuiteError`.
+    """
+
+    results: Tuple[JobResult, ...]
+    failures: Tuple[JobFailure, ...]
+    n_jobs: int
+    workers: int
+    retries: int
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a result."""
+        return not self.failures
+
+    @property
+    def n_completed(self) -> int:
+        """Jobs that resolved either way (< ``n_jobs`` after fail-fast)."""
+        return len(self.results) + len(self.failures)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n_jobs": self.n_jobs,
+            "workers": self.workers,
+            "retries": self.retries,
+            "wall_seconds": self.wall_seconds,
+            "results": [r.as_dict() for r in self.results],
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+def _execute_job(
+    job_fn: Callable[[ExperimentJob], JobResult],
+    job: ExperimentJob,
+    index: int,
+    max_retries: int,
+) -> Tuple[int, JobOutcome, int, float]:
+    """Run one job with bounded retries, capturing any exception.
+
+    Returns ``(index, outcome, attempts, wall_seconds)``. Module-level so
+    worker processes can unpickle it; never raises (errors become
+    :class:`JobFailure`), so a bad job cannot poison the pool.
+    """
+    label = getattr(job, "label", f"job-{index}")
+    start = perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = job_fn(job)
+        except Exception as exc:  # deliberate blanket capture at the seam
+            if attempt <= max_retries:
+                continue
+            wall = perf_counter() - start
+            failure = JobFailure(
+                label=str(label),
+                index=index,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+                attempts=attempt,
+                wall_seconds=wall,
+            )
+            return index, failure, attempt, wall
+        return index, result, attempt, perf_counter() - start
+
+
 class ExperimentRunner:
     """Run experiment jobs across processes, results in input order.
 
@@ -205,29 +322,231 @@ class ExperimentRunner:
         count); ``1`` = run inline in this process, with no
         multiprocessing at all (deterministic, debugger-friendly, and the
         right choice inside already-parallel harnesses).
+    max_retries:
+        Extra deterministic attempts per job after its first failure.
+        Retries re-run the same job function on the same job, so a
+        deterministic failure fails ``max_retries + 1`` times; the knob
+        exists for transient causes (OOM kills, flaky I/O).
+    job_timeout:
+        Per-job wall-clock budget in seconds, covering every attempt.
+        In pooled mode an overrunning job is abandoned (its worker is
+        reaped when the pool is torn down) and reported as a
+        :class:`JobFailure` with ``error_type="TimeoutError"``. Inline
+        mode cannot preempt a running job, so the timeout is applied
+        after the fact: a job whose wall time exceeded the budget is
+        reported as timed out even if it eventually returned.
+    on_error:
+        ``"raise"`` (default) stops submitting after the first failure,
+        drains in-flight jobs, and raises :class:`SuiteError` carrying
+        the partial report. ``"collect"`` runs every job and returns a
+        full report with the failures listed.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    #: Seconds between polls of outstanding async results in pooled mode.
+    poll_interval = 0.02
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_retries: int = 0,
+        job_timeout: Optional[float] = None,
+        on_error: str = "raise",
+    ) -> None:
         if workers is not None and workers < 1:
             raise SimulationError(f"workers must be >= 1, got {workers!r}")
+        if max_retries < 0:
+            raise SimulationError(f"max_retries must be >= 0, got {max_retries!r}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise SimulationError(f"job_timeout must be > 0, got {job_timeout!r}")
+        if on_error not in ("raise", "collect"):
+            raise SimulationError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
         self.workers = workers
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self.on_error = on_error
 
     def _worker_count(self, n_jobs: int) -> int:
         workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
         return max(1, min(workers, n_jobs))
 
-    def run(self, jobs: Sequence[ExperimentJob]) -> List[JobResult]:
-        """Execute every job; the i-th result belongs to the i-th job."""
+    def run(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[JobResult]:
+        """Execute every job; the i-th result belongs to the i-th job.
+
+        Thin wrapper over :meth:`run_suite` that returns only the
+        successful results. Under the default ``on_error="raise"`` any
+        failure surfaces as :class:`SuiteError`; with
+        ``on_error="collect"`` failed jobs are silently absent from the
+        returned list — use :meth:`run_suite` when you need the
+        failures.
+        """
+        return list(self.run_suite(jobs, progress=progress).results)
+
+    def run_suite(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+        job_fn: Optional[Callable[[ExperimentJob], JobResult]] = None,
+    ) -> SuiteReport:
+        """Execute the jobs and report everything that happened.
+
+        ``job_fn`` defaults to :func:`run_job`; it is a seam for tests
+        and for suites whose unit of work is not a disk simulation.
+        """
         jobs = list(jobs)
-        if not jobs:
-            return []
-        workers = self._worker_count(len(jobs))
-        if workers == 1:
-            return [run_job(job) for job in jobs]
+        fn = job_fn if job_fn is not None else run_job
+        start = perf_counter()
+        n = len(jobs)
+        workers = self._worker_count(n) if n else 1
+        outcomes: List[Optional[JobOutcome]] = [None] * n
+        attempts = [0] * n
+        if n:
+            if workers == 1:
+                self._run_inline(jobs, fn, outcomes, attempts, progress)
+            else:
+                self._run_pool(jobs, fn, outcomes, attempts, workers, progress)
+        report = SuiteReport(
+            results=tuple(o for o in outcomes if isinstance(o, JobResult)),
+            failures=tuple(o for o in outcomes if isinstance(o, JobFailure)),
+            n_jobs=n,
+            workers=workers,
+            retries=sum(max(0, a - 1) for a in attempts),
+            wall_seconds=perf_counter() - start,
+        )
+        if report.failures and self.on_error == "raise":
+            first = report.failures[0]
+            raise SuiteError(
+                f"suite job {first.label!r} failed after {first.attempts} "
+                f"attempt(s): {first.error_type}: {first.message}",
+                report=report,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+
+    def _apply_timeout(
+        self, outcome: JobOutcome, index: int, wall: float
+    ) -> JobOutcome:
+        """Post-hoc timeout for inline mode (cannot preempt in-process)."""
+        if (
+            self.job_timeout is None
+            or wall <= self.job_timeout
+            or isinstance(outcome, JobFailure)
+        ):
+            return outcome
+        return self._timeout_failure(outcome.label, index, wall)
+
+    def _timeout_failure(self, label: str, index: int, wall: float) -> JobFailure:
+        return JobFailure(
+            label=label,
+            index=index,
+            error_type="TimeoutError",
+            message=(
+                f"job exceeded the per-job timeout of {self.job_timeout} s "
+                f"(ran {wall:.3f} s)"
+            ),
+            traceback="",
+            attempts=1,
+            wall_seconds=wall,
+        )
+
+    def _run_inline(
+        self,
+        jobs: List[ExperimentJob],
+        fn: Callable[[ExperimentJob], JobResult],
+        outcomes: List[Optional[JobOutcome]],
+        attempts: List[int],
+        progress: Optional[ProgressCallback],
+    ) -> None:
+        done = 0
+        for i, job in enumerate(jobs):
+            _, outcome, n_attempts, wall = _execute_job(fn, job, i, self.max_retries)
+            timed = self._apply_timeout(outcome, i, wall)
+            outcomes[i] = timed
+            attempts[i] = n_attempts
+            done += 1
+            if progress is not None:
+                progress(done, len(jobs), timed)
+            if isinstance(timed, JobFailure) and self.on_error == "raise":
+                return
+
+    def _run_pool(
+        self,
+        jobs: List[ExperimentJob],
+        fn: Callable[[ExperimentJob], JobResult],
+        outcomes: List[Optional[JobOutcome]],
+        attempts: List[int],
+        workers: int,
+        progress: Optional[ProgressCallback],
+    ) -> None:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
-        chunksize = max(1, len(jobs) // (workers * 4))
+        n = len(jobs)
+        done = 0
+        next_index = 0
+        stop_submitting = False
+        # index -> (async handle, submission time); capped at `workers`
+        # outstanding so a submitted task starts (almost) immediately and
+        # the per-job timeout clock measures execution, not queueing.
+        pending: Dict[int, Tuple[Any, float]] = {}
+        # Exiting the ``with`` block terminates the pool, which is what
+        # reaps workers still stuck on timed-out jobs.
         with context.Pool(processes=workers) as pool:
-            return pool.map(run_job, jobs, chunksize=chunksize)
+            while pending or (next_index < n and not stop_submitting):
+                while (
+                    not stop_submitting
+                    and next_index < n
+                    and len(pending) < workers
+                ):
+                    handle = pool.apply_async(
+                        _execute_job,
+                        (fn, jobs[next_index], next_index, self.max_retries),
+                    )
+                    pending[next_index] = (handle, perf_counter())
+                    next_index += 1
+                resolved: List[Tuple[int, JobOutcome, int]] = []
+                now = perf_counter()
+                for i, (handle, submitted) in pending.items():
+                    if handle.ready():
+                        try:
+                            _, outcome, n_attempts, _ = handle.get()
+                        except Exception as exc:  # transport-level failure
+                            outcome = JobFailure(
+                                label=getattr(jobs[i], "label", f"job-{i}"),
+                                index=i,
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                                traceback=traceback_module.format_exc(),
+                                attempts=1,
+                                wall_seconds=now - submitted,
+                            )
+                            n_attempts = 1
+                        resolved.append((i, outcome, n_attempts))
+                    elif (
+                        self.job_timeout is not None
+                        and now - submitted > self.job_timeout
+                    ):
+                        label = getattr(jobs[i], "label", f"job-{i}")
+                        resolved.append(
+                            (i, self._timeout_failure(label, i, now - submitted), 1)
+                        )
+                for i, outcome, n_attempts in resolved:
+                    del pending[i]
+                    outcomes[i] = outcome
+                    attempts[i] = n_attempts
+                    done += 1
+                    if progress is not None:
+                        progress(done, n, outcome)
+                    if isinstance(outcome, JobFailure) and self.on_error == "raise":
+                        stop_submitting = True
+                if not resolved and pending:
+                    sleep(self.poll_interval)

@@ -34,6 +34,20 @@ class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 
 
+class SuiteError(SimulationError):
+    """One or more jobs in an experiment suite failed.
+
+    Raised by :class:`repro.core.runner.ExperimentRunner` under the
+    default ``on_error="raise"`` policy once in-flight work has drained.
+    The partial :class:`~repro.core.runner.SuiteReport` (every job that
+    completed or failed before the stop) is attached as ``report``.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class SynthesisError(ReproError):
     """A synthetic workload generator received unusable parameters."""
 

@@ -72,7 +72,7 @@ class FamilyModel:
             raise SynthesisError("role fractions must leave room for mainstream drives")
         if not 0 < self.min_age_hours <= self.max_age_hours:
             raise SynthesisError(
-                f"need 0 < min_age_hours <= max_age_hours, got "
+                "need 0 < min_age_hours <= max_age_hours, got "
                 f"{self.min_age_hours!r} and {self.max_age_hours!r}"
             )
 

@@ -47,7 +47,7 @@ class MarkovMix:
     def __init__(self, write_fraction: float, mean_run_length: float = 8.0) -> None:
         if not 0.0 < write_fraction < 1.0:
             raise SynthesisError(
-                f"write_fraction must be in (0, 1) for a Markov mix, "
+                "write_fraction must be in (0, 1) for a Markov mix, "
                 f"got {write_fraction!r}"
             )
         if mean_run_length < 1.0:

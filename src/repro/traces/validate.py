@@ -80,7 +80,7 @@ def validate_hourly(
             if impossible:
                 problems.append(
                     f"drive {trace.drive_id}: {impossible} hours exceed the "
-                    f"bandwidth ceiling"
+                    "bandwidth ceiling"
                 )
     _raise_if(problems, "hourly dataset")
 

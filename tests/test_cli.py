@@ -122,6 +122,61 @@ def test_run_suite_unknown_profile_fails_cleanly(capsys):
     assert "unknown profiles" in err
 
 
+def _patch_failing_database_jobs(monkeypatch):
+    from repro.core import runner as runner_module
+
+    real = runner_module.run_job
+
+    def flaky(job):
+        if job.profile.name == "database":
+            raise ValueError("injected database failure")
+        return real(job)
+
+    monkeypatch.setattr(runner_module, "run_job", flaky)
+
+
+def test_run_suite_keep_going_reports_failures(tmp_path, capsys, monkeypatch):
+    _patch_failing_database_jobs(monkeypatch)
+    json_path = tmp_path / "suite.json"
+    code, out, err = run(
+        capsys, "run-suite", "--profiles", "web", "database", "--span", "5",
+        "--workers", "1", "--keep-going", "--json", str(json_path),
+    )
+    assert code == 1
+    assert "failures: 1 of 2" in out
+    assert "ValueError" in out
+    assert "injected database failure" in out
+    assert "web" in out  # the surviving job is still tabulated
+
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert len(payload["jobs"]) == 1
+    assert len(payload["failures"]) == 1
+    assert payload["failures"][0]["error_type"] == "ValueError"
+    assert "Traceback" in payload["failures"][0]["traceback"]
+
+
+def test_run_suite_fails_fast_by_default(capsys, monkeypatch):
+    _patch_failing_database_jobs(monkeypatch)
+    code, out, err = run(
+        capsys, "run-suite", "--profiles", "database", "web", "--span", "5",
+        "--workers", "1",
+    )
+    assert code == 1
+    assert "error:" in err
+    assert "failures: 1" in out
+
+
+def test_run_suite_retry_flags_accepted(capsys):
+    code, out, _ = run(
+        capsys, "run-suite", "--profiles", "web", "--span", "5",
+        "--workers", "1", "--max-retries", "2", "--job-timeout", "60",
+    )
+    assert code == 0
+    assert "1 jobs" in out
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

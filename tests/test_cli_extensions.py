@@ -45,8 +45,6 @@ def test_calibrate_missing_file_fails_cleanly(capsys):
 
 
 def test_fleet_detects_injected_anomaly(tmp_path, capsys):
-    import numpy as np
-
     from repro.core.anomaly import inject_regime_change
     from repro.synth.hourly import HourlyWorkloadModel
     from repro.traces.hourly import HourlyDataset

@@ -4,7 +4,6 @@ pipeline (synthesize -> simulate -> characterize) on the preset drive."""
 import numpy as np
 import pytest
 
-from repro.core.burstiness import analyze_burstiness
 from repro.core.busyness import analyze_busyness, longest_sustained_load
 from repro.core.idleness import analyze_idleness, idle_time_usability
 from repro.core.timescales import lifetime_from_hourly, run_millisecond_study

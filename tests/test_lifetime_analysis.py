@@ -1,6 +1,5 @@
 """Lifetime/family analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core.lifetime_analysis import analyze_family, family_lorenz

@@ -1,10 +1,8 @@
 """Disk power model and spin-down policy evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.disk.power import (
-    EnergyReport,
     PowerProfile,
     baseline_energy,
     evaluate_spin_down,

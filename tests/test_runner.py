@@ -1,18 +1,53 @@
 """The parallel experiment runner."""
 
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.runner import (
     ExperimentJob,
     ExperimentRunner,
+    JobFailure,
+    JobResult,
     derive_seeds,
     experiment_matrix,
     run_job,
 )
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SuiteError
 from repro.synth.profiles import get_profile
 from repro.synth.workload import ArrivalSpec, WorkloadProfile
+
+# Module-level job functions so worker processes can unpickle them.
+
+RAISING_SEEDS = (3, 11)
+SLEEPING_SEEDS = (7,)
+
+
+def chaotic_job_fn(job):
+    """Fail deterministically by seed: raise, hang, or simulate."""
+    if job.seed in RAISING_SEEDS:
+        raise ValueError(f"injected failure for seed {job.seed}")
+    if job.seed in SLEEPING_SEEDS:
+        time.sleep(30.0)
+    return run_job(job)
+
+
+def flaky_once_job_fn(job):
+    """Raise on the first call, succeed on retry (marker file keeps
+    state across attempts, in-process or in a forked worker)."""
+    marker = Path(os.environ["REPRO_TEST_FLAKY_MARKER"])
+    if not marker.exists():
+        marker.write_text("first attempt")
+        raise RuntimeError("transient failure")
+    return run_job(job)
+
+
+def napping_job_fn(job):
+    time.sleep(0.2)
+    return run_job(job)
 
 
 @pytest.fixture(scope="module")
@@ -107,3 +142,160 @@ class TestRunner:
         fast, slow = ExperimentRunner(workers=1).run([fast_job, slow_job])
         assert fast.utilization == slow.utilization
         assert fast.mean_response == slow.mean_response
+
+
+def same_result(a: JobResult, b: JobResult) -> bool:
+    """Field equality, excluding the wall-clock timing field."""
+    skip = {"wall_seconds", "replay_rate"}
+    fields = (f for f in a.as_dict() if f not in skip)
+    return all(_field_equal(getattr(a, f), getattr(b, f)) for f in fields)
+
+
+def _field_equal(x, y):
+    if isinstance(x, float) and np.isnan(x):
+        return isinstance(y, float) and np.isnan(y)
+    return x == y
+
+
+@pytest.fixture
+def seeded_jobs(tiny_spec):
+    profile = get_profile("web")
+    return [
+        ExperimentJob(profile=profile, drive=tiny_spec, span=1.0, seed=i)
+        for i in range(16)
+    ]
+
+
+class TestRunnerValidation:
+    def test_bad_max_retries(self):
+        with pytest.raises(SimulationError):
+            ExperimentRunner(max_retries=-1)
+
+    def test_bad_job_timeout(self):
+        with pytest.raises(SimulationError):
+            ExperimentRunner(job_timeout=0.0)
+
+    def test_bad_on_error(self):
+        with pytest.raises(SimulationError):
+            ExperimentRunner(on_error="ignore")
+
+
+class TestSuiteReport:
+    def test_all_success_matches_plain_run(self, seeded_jobs):
+        jobs = seeded_jobs[:4]
+        report = ExperimentRunner(workers=1).run_suite(jobs)
+        assert report.ok
+        assert report.n_jobs == 4 and report.n_completed == 4
+        assert report.retries == 0
+        assert report.workers == 1
+        assert report.wall_seconds > 0
+        expected = [run_job(job) for job in jobs]
+        assert all(same_result(a, b) for a, b in zip(report.results, expected))
+
+    def test_run_is_run_suite_results(self, seeded_jobs):
+        jobs = seeded_jobs[:3]
+        via_run = ExperimentRunner(workers=1).run(jobs)
+        via_suite = ExperimentRunner(workers=1).run_suite(jobs).results
+        assert all(same_result(a, b) for a, b in zip(via_run, via_suite))
+
+    def test_as_dict_round_trip(self, seeded_jobs):
+        report = ExperimentRunner(workers=1).run_suite(seeded_jobs[:2])
+        payload = report.as_dict()
+        assert payload["n_jobs"] == 2
+        assert len(payload["results"]) == 2
+        assert payload["failures"] == []
+
+
+class TestFailurePaths:
+    def test_injected_failure_suite_collects(self, seeded_jobs):
+        """The acceptance scenario: 16 jobs, 2 raising, 1 hung."""
+        runner = ExperimentRunner(
+            workers=2, job_timeout=1.5, on_error="collect"
+        )
+        report = runner.run_suite(seeded_jobs, job_fn=chaotic_job_fn)
+        assert len(report.results) == 13
+        assert len(report.failures) == 3
+        # Successes stay in input order.
+        good_seeds = [r.seed for r in report.results]
+        assert good_seeds == [
+            i for i in range(16) if i not in RAISING_SEEDS + SLEEPING_SEEDS
+        ]
+        by_seed = {seeded_jobs[f.index].seed: f for f in report.failures}
+        for seed in RAISING_SEEDS:
+            failure = by_seed[seed]
+            assert failure.error_type == "ValueError"
+            assert f"seed {seed}" in failure.message
+            assert "Traceback" in failure.traceback
+            assert failure.attempts == 1
+        hung = by_seed[SLEEPING_SEEDS[0]]
+        assert hung.error_type == "TimeoutError"
+        assert hung.wall_seconds >= 1.5
+        # Every failure serializes (the CLI writes these into --json).
+        assert all(f.as_dict()["label"] for f in report.failures)
+
+    def test_raise_policy_stops_and_attaches_report(self, seeded_jobs):
+        runner = ExperimentRunner(workers=1)
+        with pytest.raises(SuiteError) as excinfo:
+            runner.run_suite(seeded_jobs, job_fn=chaotic_job_fn)
+        report = excinfo.value.report
+        assert len(report.failures) == 1
+        assert report.failures[0].index == RAISING_SEEDS[0]
+        # Inline fail-fast: nothing after the failing job was run.
+        assert report.n_completed == RAISING_SEEDS[0] + 1
+
+    def test_retry_succeeds_second_attempt(self, seeded_jobs, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_FLAKY_MARKER", str(tmp_path / "marker")
+        )
+        runner = ExperimentRunner(workers=1, max_retries=1)
+        report = runner.run_suite(seeded_jobs[:1], job_fn=flaky_once_job_fn)
+        assert report.ok
+        assert report.retries == 1
+        assert same_result(report.results[0], run_job(seeded_jobs[0]))
+
+    def test_retries_exhausted_counts_attempts(self, seeded_jobs):
+        runner = ExperimentRunner(
+            workers=1, max_retries=2, on_error="collect"
+        )
+        job = seeded_jobs[RAISING_SEEDS[0]]
+        report = runner.run_suite([job], job_fn=chaotic_job_fn)
+        assert not report.ok
+        assert report.failures[0].attempts == 3
+        assert report.retries == 2
+
+    def test_inline_timeout_post_hoc(self, seeded_jobs):
+        runner = ExperimentRunner(
+            workers=1, job_timeout=0.05, on_error="collect"
+        )
+        report = runner.run_suite(seeded_jobs[:1], job_fn=napping_job_fn)
+        assert len(report.failures) == 1
+        assert report.failures[0].error_type == "TimeoutError"
+        assert report.failures[0].index == 0
+
+    def test_inline_capture_matches_pool(self, seeded_jobs):
+        jobs = seeded_jobs[:6]
+        inline = ExperimentRunner(workers=1, on_error="collect").run_suite(
+            jobs, job_fn=chaotic_job_fn
+        )
+        pooled = ExperimentRunner(workers=3, on_error="collect").run_suite(
+            jobs, job_fn=chaotic_job_fn
+        )
+        assert [r.label for r in inline.results] == [r.label for r in pooled.results]
+        assert [f.index for f in inline.failures] == [f.index for f in pooled.failures]
+        assert [f.error_type for f in inline.failures] == [
+            f.error_type for f in pooled.failures
+        ]
+
+    def test_progress_callback_sees_every_job(self, seeded_jobs):
+        jobs = seeded_jobs[:6]
+        seen = []
+        runner = ExperimentRunner(workers=1, on_error="collect")
+        runner.run_suite(
+            jobs,
+            progress=lambda done, total, outcome: seen.append((done, total, outcome)),
+            job_fn=chaotic_job_fn,
+        )
+        assert [d for d, _, _ in seen] == list(range(1, 7))
+        assert all(t == 6 for _, t, _ in seen)
+        kinds = [type(o) for _, _, o in seen]
+        assert kinds.count(JobFailure) == 1  # only seed 3 raises within jobs[:6]

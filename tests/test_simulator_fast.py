@@ -13,7 +13,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.disk.cache import CacheConfig
 from repro.disk.simulator import DiskSimulator
 from repro.disk.timeline import BusyIdleTimeline
 from repro.synth.profiles import get_profile

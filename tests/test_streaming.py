@@ -1,12 +1,17 @@
 """Streaming characterization of chunked traces."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.streaming import StreamingCharacterizer
 from repro.core.summary import summarize_trace
 from repro.errors import AnalysisError
 from repro.synth.profiles import get_profile
+from repro.traces.millisecond import RequestTrace
 
 CAPACITY = 10_000_000
 
@@ -16,16 +21,20 @@ def long_trace():
     return get_profile("web").with_rate(60.0).synthesize(120.0, CAPACITY, seed=7)
 
 
-def chunks_of(trace, n_chunks):
-    edges = np.linspace(0, trace.span, n_chunks + 1)
+def chunks_of(trace, n_chunks, start=0.0):
+    edges = np.linspace(start, trace.span, n_chunks + 1)
     return [
         trace.slice_time(a, b, rebase=False) for a, b in zip(edges[:-1], edges[1:])
     ]
 
 
 class TestAgainstBatch:
+    # The synthetic capture's observation window opens at clock 0 (its
+    # span runs [0, 120]), so the batch comparisons declare start=0.0;
+    # without it the stream measures from its first arrival.
+
     def test_summary_matches_batch(self, long_trace):
-        stream = StreamingCharacterizer(label="s", count_scale=0.5)
+        stream = StreamingCharacterizer(label="s", count_scale=0.5, start=0.0)
         for chunk in chunks_of(long_trace, 8):
             stream.add_chunk(chunk)
         got = stream.summary()
@@ -48,16 +57,150 @@ class TestAgainstBatch:
         assert one.summary().interarrival_cv == pytest.approx(
             many.summary().interarrival_cv, rel=1e-9
         )
+        assert one.span == pytest.approx(many.span, rel=1e-12)
 
     def test_hurst_close_to_batch(self, long_trace):
         from repro.core.burstiness import analyze_burstiness
 
-        stream = StreamingCharacterizer(count_scale=0.05)
+        stream = StreamingCharacterizer(count_scale=0.05, start=0.0)
         for chunk in chunks_of(long_trace, 10):
             stream.add_chunk(chunk)
         streamed = stream.hurst()
         batch = analyze_burstiness(long_trace, base_scale=0.05).hurst_variance
         assert streamed == pytest.approx(batch, abs=0.1)
+
+
+def synthetic_columns(n=4000, span=600.0, seed=42):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, span, n))
+    times[0] = 0.0
+    lbas = rng.integers(0, CAPACITY, n)
+    nsectors = rng.integers(1, 64, n)
+    is_write = rng.random(n) < 0.4
+    return times, lbas, nsectors, is_write
+
+
+def characterize(trace, n_chunks, **kwargs):
+    stream = StreamingCharacterizer(count_scale=1.0, **kwargs)
+    edges = np.linspace(float(trace.times[0]), trace.span, n_chunks + 1)
+    for a, b in zip(edges[:-1], edges[1:]):
+        stream.add_chunk(trace.slice_time(a, b, rebase=False))
+    return stream
+
+
+class TestMidCapture:
+    """A stream sliced from mid-capture measures from its own start.
+
+    Regression for the pre-fix behavior, where a first arrival at
+    t >> 0 inflated the span (and with it the request/byte rates) and
+    allocated millions of leading zero count bins.
+    """
+
+    SHIFT = 10_000.0
+
+    def pair(self):
+        times, lbas, nsectors, is_write = synthetic_columns()
+        base = RequestTrace(times, lbas, nsectors, is_write, span=600.0, label="base")
+        shifted = RequestTrace(
+            times + self.SHIFT, lbas, nsectors, is_write,
+            span=600.0 + self.SHIFT, label="shifted",
+        )
+        return base, shifted
+
+    def test_rebased_stream_matches_t0_stream(self):
+        base, shifted = self.pair()
+        got = characterize(shifted, 8).summary()
+        want = characterize(base, 8).summary()
+        assert got.n_requests == want.n_requests
+        assert got.span_seconds == pytest.approx(want.span_seconds, abs=1e-9)
+        assert got.request_rate == pytest.approx(want.request_rate, rel=1e-9)
+        assert got.byte_rate == pytest.approx(want.byte_rate, rel=1e-9)
+        assert got.interarrival_cv == pytest.approx(want.interarrival_cv, rel=1e-9)
+        assert got.sequentiality == want.sequentiality
+
+    def test_rebased_stream_matches_t0_hurst(self):
+        base, shifted = self.pair()
+        assert characterize(shifted, 8).hurst() == pytest.approx(
+            characterize(base, 8).hurst(), abs=1e-9
+        )
+
+    def test_no_leading_zero_bins(self):
+        _, shifted = self.pair()
+        stream = characterize(shifted, 4)
+        # Bins cover the ~600 s of stream, not 10 600 s of absolute clock.
+        assert stream._counts.size <= int(600.0 / stream.count_scale) + 1
+        assert stream.first_time == pytest.approx(self.SHIFT)
+        assert stream.span <= 600.0
+
+    def test_explicit_start_extends_window(self):
+        base, _ = self.pair()
+        inferred = StreamingCharacterizer()
+        inferred.add_chunk(base)
+        declared = StreamingCharacterizer(start=0.0)
+        declared.add_chunk(base)
+        # base's first arrival is exactly 0, so both agree here.
+        assert declared.summary().request_rate == pytest.approx(
+            inferred.summary().request_rate
+        )
+
+    def test_start_after_first_arrival_rejected(self):
+        base, _ = self.pair()
+        stream = StreamingCharacterizer(start=50.0)
+        with pytest.raises(AnalysisError):
+            stream.add_chunk(base)
+
+
+finite_times = st.floats(
+    min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+request_lists = st.lists(
+    st.tuples(
+        finite_times,
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=128),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _approx_equal(a, b):
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+class TestVectorizedAgainstScalar:
+    @settings(max_examples=60, deadline=None)
+    @given(requests=request_lists)
+    def test_add_chunk_matches_add_request(self, requests):
+        columns = list(zip(*requests))
+        trace = RequestTrace(columns[0], columns[1], columns[2], columns[3])
+
+        vectorized = StreamingCharacterizer(count_scale=0.5)
+        vectorized.add_chunk(trace)
+        scalar = StreamingCharacterizer(count_scale=0.5)
+        for i in range(len(trace)):
+            scalar.add_request(
+                trace.times[i], trace.lbas[i], trace.nsectors[i], trace.is_write[i]
+            )
+
+        assert vectorized.n_requests == scalar.n_requests
+        np.testing.assert_array_equal(vectorized._counts, scalar._counts)
+        got, want = vectorized.summary(), scalar.summary()
+        for field in (
+            "span_seconds", "request_rate", "byte_rate",
+            "write_request_fraction", "write_byte_fraction",
+            "mean_request_kib", "sequentiality", "interarrival_cv",
+        ):
+            assert _approx_equal(getattr(got, field), getattr(want, field)), field
+
+    def test_scalar_out_of_order_rejected(self, long_trace):
+        stream = StreamingCharacterizer()
+        stream.add_request(10.0, 0, 8, False)
+        with pytest.raises(AnalysisError):
+            stream.add_request(9.0, 0, 8, False)
 
 
 class TestValidation:
@@ -71,6 +214,13 @@ class TestValidation:
     def test_empty_stream_rejected(self):
         with pytest.raises(AnalysisError):
             StreamingCharacterizer().summary()
+
+    def test_empty_chunk_is_a_no_op(self, long_trace):
+        stream = StreamingCharacterizer(start=0.0)
+        stream.add_chunk(RequestTrace.empty(span=5.0))
+        stream.add_chunk(long_trace)
+        assert stream.n_requests == len(long_trace)
+        assert stream.summary().span_seconds == pytest.approx(long_trace.span)
 
     def test_hurst_needs_bins(self, long_trace):
         stream = StreamingCharacterizer(count_scale=100.0)

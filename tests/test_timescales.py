@@ -1,6 +1,5 @@
 """Cross-scale orchestration."""
 
-import numpy as np
 import pytest
 
 from repro.core.timescales import (

@@ -1,6 +1,5 @@
 """Utilization analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core.utilization import analyze_utilization, utilization_ecdf
