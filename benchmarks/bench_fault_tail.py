@@ -1,0 +1,178 @@
+"""F27 — Fault injection: degraded-mode tail latency.
+
+Replays the same workload three times on the same drive with the same
+seed — healthy, degraded (the ``severe`` fault profile), and degraded
+after a media scrub repaired the latent regions reachable in the healthy
+run's idle time — and writes the tail statistics to
+``BENCH_faults.json`` at the repo root.
+
+The reproduction targets:
+
+* the degraded P99 strictly exceeds the healthy P99 (faults move the
+  tail, not the bulk);
+* two same-seed degraded runs are bit-identical (the fault machinery is
+  deterministic end to end);
+* scrubbing never increases the number of latent-error hits.
+
+Run directly (``python benchmarks/bench_fault_tail.py``) or via pytest;
+both rewrite the artifact.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.background import scrub_latent_regions
+from repro.core.latency import analyze_degraded_tail, tail_inflation
+from repro.core.report import Table
+from repro.disk.faults import FaultModel, severe_faults
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_faults.json"
+
+#: Workload: busy enough for queues to form, idle enough for a scrub.
+PROFILE, RATE, SPAN = "database", 150.0, 60.0
+
+#: Scrub policy: seconds to verify one region, setup cost per idle visit.
+SCRUB_SECONDS_PER_REGION, SCRUB_SETUP_SECONDS = 0.02, 0.005
+
+
+def _trace():
+    profile = get_profile(PROFILE).with_rate(RATE)
+    return profile.synthesize(
+        span=SPAN, capacity_sectors=DRIVE.capacity_sectors, seed=SEED
+    )
+
+
+def _latent_hits(result):
+    return sum(1 for e in result.fault_events if e.kind == "latent")
+
+
+def measure():
+    """Run the healthy / degraded / scrubbed trio plus the determinism
+    replica; returns ``(rows, results)``."""
+    trace = _trace()
+
+    healthy = DiskSimulator(DRIVE, scheduler="fcfs", seed=SEED).run(trace)
+
+    model = FaultModel(severe_faults(), DRIVE.geometry(), seed=SEED)
+    degraded_sim = DiskSimulator(DRIVE, scheduler="fcfs", seed=SEED, faults=model)
+    degraded = degraded_sim.run(trace)
+    replica = degraded_sim.run(trace)
+
+    # Plan the scrub against the *healthy* timeline (the operator scrubs
+    # in the idle time the foreground workload leaves), then re-run.
+    plan = scrub_latent_regions(
+        healthy.timeline, model,
+        seconds_per_region=SCRUB_SECONDS_PER_REGION,
+        setup_seconds=SCRUB_SETUP_SECONDS,
+    )
+    scrubbed = degraded_sim.run(trace)
+
+    rows = {
+        "healthy": analyze_degraded_tail(healthy),
+        "degraded": analyze_degraded_tail(degraded),
+        "scrubbed": analyze_degraded_tail(scrubbed),
+    }
+    runs = {
+        "healthy": healthy,
+        "degraded": degraded,
+        "replica": replica,
+        "scrubbed": scrubbed,
+        "plan": plan,
+    }
+    return rows, runs
+
+
+def write_artifact(rows, runs):
+    plan = runs["plan"]
+    inflation = tail_inflation(rows["healthy"], rows["degraded"])
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_fault_tail.py",
+        "seed": SEED,
+        "workload": {"profile": PROFILE, "rate": RATE, "span": SPAN,
+                     "drive": DRIVE.name},
+        "fault_profile": "severe",
+        "modes": {
+            name: {
+                "n_requests": a.n_requests,
+                "n_faulted": a.n_faulted,
+                "n_failed": a.n_failed,
+                "completed_requests": a.completed_requests,
+                "fault_penalty_seconds": round(a.fault_penalty_seconds, 6),
+                "mean_response_ms": round(a.mean_response * 1e3, 4),
+                "p99_response_ms": round(a.p99_response * 1e3, 4),
+                "p999_response_ms": round(a.p999_response * 1e3, 4),
+                "max_response_ms": round(a.max_response * 1e3, 4),
+            }
+            for name, a in rows.items()
+        },
+        "tail_inflation": {k: round(v, 4) for k, v in inflation.items()},
+        "scrub": {
+            "regions_total": plan.regions_total,
+            "regions_scrubbed": plan.regions_scrubbed,
+            "completion_time_s": plan.completion_time,
+            "setup_overhead_s": round(plan.setup_overhead, 6),
+            "latent_hits_before": _latent_hits(runs["degraded"]),
+            "latent_hits_after": _latent_hits(runs["scrubbed"]),
+        },
+        "deterministic": bool(
+            np.array_equal(
+                runs["degraded"].service_times, runs["replica"].service_times
+            )
+            and runs["degraded"].fault_events == runs["replica"].fault_events
+        ),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_table(rows):
+    table = Table(
+        ["mode", "faulted", "failed", "mean_ms", "p99_ms", "p999_ms", "max_ms"],
+        title="F27: degraded-mode tail latency (severe fault profile)",
+        precision=3,
+    )
+    for name, a in rows.items():
+        table.add_row(
+            [
+                name, a.n_faulted, a.n_failed,
+                a.mean_response * 1e3, a.p99_response * 1e3,
+                a.p999_response * 1e3, a.max_response * 1e3,
+            ]
+        )
+    return table.render()
+
+
+def test_fault_tail():
+    rows, runs = measure()
+    payload = write_artifact(rows, runs)
+    save_result("fault_tail", render_table(rows))
+    assert ARTIFACT.exists()
+    # Degraded P99 must strictly exceed the healthy baseline.
+    assert rows["degraded"].p99_response > rows["healthy"].p99_response
+    # Same seed, same model => bit-identical runs.
+    assert payload["deterministic"]
+    # Conservation: every submitted request completes or fails.
+    for a in rows.values():
+        assert a.completed_requests + a.n_failed == a.n_requests
+    # Scrubbing never adds latent hits.
+    scrub = payload["scrub"]
+    assert scrub["latent_hits_after"] <= scrub["latent_hits_before"]
+
+
+if __name__ == "__main__":
+    computed_rows, computed_runs = measure()
+    print(render_table(computed_rows))
+    artifact = write_artifact(computed_rows, computed_runs)
+    print(
+        f"wrote {ARTIFACT} (degraded/healthy p99 inflation "
+        f"{artifact['tail_inflation']['p99']}x)"
+    )

@@ -34,6 +34,7 @@ from repro.core.lifetime_analysis import analyze_family
 from repro.core.report import Table, format_percent, section
 from repro.core.timescales import run_millisecond_study
 from repro.disk.drive import DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
+from repro.disk.faults import available_fault_profiles, get_fault_profile
 from repro.errors import CliError, ReproError
 from repro.synth.family import FamilyModel
 from repro.synth.hourly import HourlyWorkloadModel
@@ -60,6 +61,25 @@ def _drive(name: str) -> DriveSpec:
         return _DRIVES[name]()
     except KeyError:
         raise CliError(f"unknown drive {name!r}; available: {sorted(_DRIVES)}") from None
+
+
+def _fault_profile(name):
+    """Resolve a ``--fault-profile`` value (``None`` = healthy drive)."""
+    return None if name is None else get_fault_profile(name)
+
+
+def _fault_section(result) -> str:
+    """Render the fault summary of a degraded-mode simulation result."""
+    summary = result.fault_summary()
+    table = Table(["metric", "value"])
+    for key in (
+        "n_requests", "n_faulted", "n_failed", "completed_requests",
+        "n_reassigned", "fault_penalty_seconds",
+    ):
+        table.add_row([key, summary[key]])
+    for kind, count in sorted(summary["events_by_kind"].items()):
+        table.add_row([f"events[{kind}]", count])
+    return section("Fault injection", table.render())
 
 
 def _cmd_profiles(_args: argparse.Namespace) -> int:
@@ -104,18 +124,25 @@ def _cmd_synth_family(args: argparse.Namespace) -> int:
 def _cmd_analyze_ms(args: argparse.Namespace) -> int:
     trace = read_request_trace(args.trace)
     drive = _drive(args.drive)
-    study = run_millisecond_study(trace, drive, scheduler=args.scheduler)
+    faults = _fault_profile(args.fault_profile)
+    study = run_millisecond_study(trace, drive, scheduler=args.scheduler, faults=faults)
     print(_render_study(study, drive))
+    if faults is not None:
+        print(_fault_section(study.simulation))
     return 0
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
     drive = _drive(args.drive)
     profile = get_profile(args.profile)
+    faults = _fault_profile(args.fault_profile)
     study = run_millisecond_study(
-        profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler
+        profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler,
+        faults=faults,
     )
     print(_render_study(study, drive))
+    if faults is not None:
+        print(_fault_section(study.simulation))
     return 0
 
 
@@ -224,6 +251,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     unknown = [n for n in names if n not in catalog]
     if unknown:
         raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
+    faults = _fault_profile(args.fault_profile)
     jobs = experiment_matrix(
         profiles=[catalog[n] for n in names],
         drive=drive,
@@ -232,6 +260,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         span=args.span,
         queue_depth=args.queue_depth,
+        faults=faults,
     )
     runner = ExperimentRunner(
         workers=args.workers,
@@ -245,22 +274,31 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         report = exc.report
         print(f"error: {exc}", file=sys.stderr)
 
-    table = Table(
-        [
-            "workload", "scheduler", "seed", "requests", "utilization",
-            "mean_resp_ms", "p95_resp_ms", "replay_req_s",
-        ],
-        title=f"run-suite: {len(jobs)} jobs on {drive.name}",
-        precision=3,
-    )
+    columns = [
+        "workload", "scheduler", "seed", "requests", "utilization",
+        "mean_resp_ms", "p95_resp_ms", "replay_req_s",
+    ]
+    if faults is not None:
+        columns += ["p99_resp_ms", "faulted", "failed"]
+    title = f"run-suite: {len(jobs)} jobs on {drive.name}"
+    if faults is not None:
+        title += f" (faults={faults.name})"
+    table = Table(columns, title=title, precision=3)
     for r in report.results:
-        table.add_row(
-            [
-                r.profile, r.scheduler, r.seed, r.n_requests, r.utilization,
-                r.mean_response * 1e3, r.p95_response * 1e3, round(r.replay_rate),
-            ]
-        )
+        row = [
+            r.profile, r.scheduler, r.seed, r.n_requests, r.utilization,
+            r.mean_response * 1e3, r.p95_response * 1e3, round(r.replay_rate),
+        ]
+        if faults is not None:
+            row += [r.p99_response * 1e3, r.n_faulted, r.n_failed]
+        table.add_row(row)
     print(table.render())
+    if faults is not None:
+        print(
+            f"(fault profile {faults.name!r}: {report.n_faulted} faulted, "
+            f"{report.n_failed_requests} failed requests, "
+            f"{report.fault_penalty_seconds:.3f} s recovery penalty suite-wide)"
+        )
     if report.failures:
         print()
         print(_failure_table(report).render())
@@ -277,6 +315,13 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
             "retries": report.retries,
             "wall_seconds": report.wall_seconds,
         }
+        if faults is not None:
+            payload["fault_profile"] = faults.name
+            payload["fault_summary"] = {
+                "n_faulted": report.n_faulted,
+                "n_failed_requests": report.n_failed_requests,
+                "fault_penalty_seconds": report.fault_penalty_seconds,
+            }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(
@@ -319,6 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="drive model (default: enterprise-10k)",
         )
 
+    def add_faults(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--fault-profile", default=None,
+            choices=sorted(available_fault_profiles()),
+            help="inject drive faults during the replay (default: healthy)",
+        )
+
     p = sub.add_parser("profiles", help="list built-in workload profiles")
     p.set_defaults(func=_cmd_profiles)
 
@@ -349,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
+    add_faults(p)
     p.set_defaults(func=_cmd_analyze_ms)
 
     p = sub.add_parser("study", help="synthesize + simulate + report in one shot")
@@ -357,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
+    add_faults(p)
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser(
@@ -400,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default=None, help="also write results as JSON")
     add_drive(p)
+    add_faults(p)
     p.set_defaults(func=_cmd_run_suite)
 
     p = sub.add_parser("calibrate", help="fit a synthetic profile to a trace file")

@@ -29,9 +29,26 @@ from repro.core.traffic import TrafficDynamics, analyze_traffic
 from repro.core.hour_analysis import HourScaleAnalysis, analyze_hour_scale
 from repro.core.lifetime_analysis import FamilyAnalysis, analyze_family
 from repro.core.timescales import CrossScaleStudy, MillisecondStudy, run_millisecond_study
-from repro.core.background import BackgroundRunReport, BackgroundTask, chunk_size_sweep, run_in_idle
+from repro.core.background import (
+    BackgroundRunReport,
+    BackgroundTask,
+    ScrubPlan,
+    chunk_size_sweep,
+    plan_media_scrub,
+    run_in_idle,
+    scrub_latent_regions,
+)
 from repro.core.comparison import ComparisonResult, compare_studies, feature_vector
-from repro.core.latency import LatencyAnalysis, analyze_latency, queue_depth_series, response_ecdf
+from repro.core.idleness import chunks_available
+from repro.core.latency import (
+    DegradedTailAnalysis,
+    LatencyAnalysis,
+    analyze_degraded_tail,
+    analyze_latency,
+    queue_depth_series,
+    response_ecdf,
+    tail_inflation,
+)
 from repro.core.prediction import IdlePredictor
 from repro.core.dossier import render_family_report, render_hour_report, render_study_report
 from repro.core.spatial_analysis import SpatialAnalysis, analyze_spatial, seek_distance_ecdf, zone_traffic
@@ -76,8 +93,12 @@ __all__ = [
     "render_series",
     "BackgroundTask",
     "BackgroundRunReport",
+    "ScrubPlan",
     "run_in_idle",
     "chunk_size_sweep",
+    "plan_media_scrub",
+    "scrub_latent_regions",
+    "chunks_available",
     "ComparisonResult",
     "compare_studies",
     "feature_vector",
@@ -85,6 +106,9 @@ __all__ = [
     "analyze_latency",
     "queue_depth_series",
     "response_ecdf",
+    "DegradedTailAnalysis",
+    "analyze_degraded_tail",
+    "tail_inflation",
     "IdlePredictor",
     "render_study_report",
     "render_hour_report",

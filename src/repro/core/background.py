@@ -16,11 +16,26 @@ its total) matters, the point the paper's idleness analysis makes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import AnalysisError
+
+
+def _sanitized_idle_intervals(timeline: BusyIdleTimeline) -> List[Tuple[float, float]]:
+    """The timeline's idle intervals in time order with degenerate
+    (zero- or negative-length) entries dropped.
+
+    :class:`BusyIdleTimeline` already produces sorted positive-length
+    intervals, but ``run_in_idle`` accepts any duck-typed timeline (test
+    doubles, pre-computed interval lists); without sanitizing, an
+    unsorted input mis-orders resumptions and mis-states the completion
+    time, and a zero-length interval can divide work by zero downstream.
+    """
+    pairs = [(float(s), float(e)) for s, e in timeline.idle_intervals()]
+    pairs.sort()
+    return [(s, e) for s, e in pairs if e > s]
 
 
 @dataclass(frozen=True)
@@ -106,7 +121,8 @@ def run_in_idle(timeline: BusyIdleTimeline, task: BackgroundTask) -> BackgroundR
     resumptions = 0
     completion_time: Optional[float] = None
 
-    for start, end in timeline.idle_intervals():
+    intervals = _sanitized_idle_intervals(timeline)
+    for start, end in intervals:
         if remaining <= 0:
             break
         available = (end - start) - task.setup_seconds
@@ -126,7 +142,7 @@ def run_in_idle(timeline: BusyIdleTimeline, task: BackgroundTask) -> BackgroundR
             remaining = 0.0
             completion_time = start + task.setup_seconds + work_here
 
-    total_idle = timeline.total_idle
+    total_idle = float(sum(end - start for start, end in intervals))
     completed = min(completed, task.total_work)  # guard float accumulation
     used = completed + setup_spent
     return BackgroundRunReport(
@@ -160,3 +176,148 @@ def chunk_size_sweep(
         )
         reports[float(chunk)] = run_in_idle(timeline, task)
     return reports
+
+
+# ----------------------------------------------------------------------
+# Media scrub: background repair of latent sector errors
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScrubPlan:
+    """A media-scrub schedule laid into a timeline's idle intervals.
+
+    One scrub pass visits each unrepaired latent region of a
+    :class:`~repro.disk.faults.FaultModel` and records *when* each region
+    is verified, so the repair times can be fed back into the fault model
+    (:meth:`~repro.disk.faults.FaultModel.schedule_repairs`) and a re-run
+    of the same workload sees the scrubbed regions as healthy from those
+    points on — the scrub-vs-tail-latency trade-off made measurable.
+
+    Attributes
+    ----------
+    task:
+        The equivalent :class:`BackgroundTask` (one chunk per region), or
+        ``None`` when there was nothing to scrub.
+    repair_times:
+        ``{region_index: completion_time_seconds}`` for every region the
+        plan reaches within the window.
+    regions_total / regions_scrubbed:
+        Latent regions outstanding vs. actually reached by the plan.
+    scrub_seconds:
+        Useful scrub work performed (excludes setup).
+    setup_overhead:
+        Total seconds spent on per-resumption setup.
+    resumptions:
+        Idle intervals in which at least one region was scrubbed.
+    completion_time:
+        Timeline clock at which the last outstanding region was repaired,
+        or ``None`` if the window ended with regions still unscrubbed.
+    """
+
+    task: Optional[BackgroundTask]
+    repair_times: Dict[int, float] = field(default_factory=dict)
+    regions_total: int = 0
+    regions_scrubbed: int = 0
+    scrub_seconds: float = 0.0
+    setup_overhead: float = 0.0
+    resumptions: int = 0
+    completion_time: Optional[float] = None
+
+    @property
+    def completion_fraction(self) -> float:
+        """Scrubbed fraction of the outstanding regions (1.0 when none
+        were outstanding)."""
+        if self.regions_total == 0:
+            return 1.0
+        return self.regions_scrubbed / self.regions_total
+
+
+def plan_media_scrub(
+    timeline: BusyIdleTimeline,
+    faults,
+    seconds_per_region: float,
+    setup_seconds: float = 0.0,
+    name: str = "media-scrub",
+) -> ScrubPlan:
+    """Lay a scrub of ``faults``' unrepaired latent regions into the
+    timeline's idle intervals.
+
+    Uses the same non-clairvoyant policy as :func:`run_in_idle` — pay
+    ``setup_seconds`` once per idle interval, then verify whole regions
+    back-to-back while the next one still fits — but additionally records
+    the completion time of every region, which is what
+    :meth:`~repro.disk.faults.FaultModel.schedule_repairs` needs. The
+    plan does not mutate ``faults``; see :func:`scrub_latent_regions`
+    for the one-call version that does.
+    """
+    if seconds_per_region <= 0:
+        raise AnalysisError(
+            f"seconds_per_region must be > 0, got {seconds_per_region!r}"
+        )
+    if setup_seconds < 0:
+        raise AnalysisError(f"setup_seconds must be >= 0, got {setup_seconds!r}")
+
+    pending = sorted(faults.unrepaired_latent_regions())
+    if not pending:
+        return ScrubPlan(task=None, completion_time=None)
+
+    task = BackgroundTask(
+        name=name,
+        total_work=len(pending) * seconds_per_region,
+        chunk_seconds=seconds_per_region,
+        setup_seconds=setup_seconds,
+    )
+
+    repair_times: Dict[int, float] = {}
+    setup_spent = 0.0
+    resumptions = 0
+    completion_time: Optional[float] = None
+    cursor = 0
+    for start, end in _sanitized_idle_intervals(timeline):
+        if cursor >= len(pending):
+            break
+        clock = start + setup_seconds
+        if end - clock < seconds_per_region:
+            continue  # too short to verify even one region
+        resumptions += 1
+        setup_spent += setup_seconds
+        while cursor < len(pending) and end - clock >= seconds_per_region:
+            clock += seconds_per_region
+            repair_times[pending[cursor]] = clock
+            cursor += 1
+        if cursor >= len(pending):
+            completion_time = clock
+
+    return ScrubPlan(
+        task=task,
+        repair_times=repair_times,
+        regions_total=len(pending),
+        regions_scrubbed=len(repair_times),
+        scrub_seconds=len(repair_times) * seconds_per_region,
+        setup_overhead=setup_spent,
+        resumptions=resumptions,
+        completion_time=completion_time,
+    )
+
+
+def scrub_latent_regions(
+    timeline: BusyIdleTimeline,
+    faults,
+    seconds_per_region: float,
+    setup_seconds: float = 0.0,
+    name: str = "media-scrub",
+) -> ScrubPlan:
+    """Plan a media scrub and feed its repair times into ``faults``.
+
+    After this call a re-run of the same workload against the same fault
+    model sees every scrubbed region as healthy from its repair time on;
+    only latent errors *hit before* the scrub reached them still fire.
+    """
+    plan = plan_media_scrub(
+        timeline, faults, seconds_per_region,
+        setup_seconds=setup_seconds, name=name,
+    )
+    if plan.repair_times:
+        faults.schedule_repairs(plan.repair_times)
+    return plan

@@ -131,3 +131,85 @@ def response_ecdf(result: SimulationResult) -> Ecdf:
     if not len(result.trace):
         raise AnalysisError("simulation served no requests; nothing to analyze")
     return Ecdf(result.response_times)
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode tails (fault injection)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegradedTailAnalysis:
+    """Tail-latency characterization of a (possibly fault-injected) run.
+
+    Fault injection moves the *tail*, not the mean: a handful of
+    retry ladders and reassignment seeks inflate P99/P999 while the bulk
+    of the distribution barely shifts. This analysis reports exactly the
+    quantities that comparison needs, alongside the fault counters that
+    explain them.
+
+    Attributes
+    ----------
+    n_requests / n_faulted / n_failed / completed_requests:
+        Request accounting; ``completed_requests + n_failed`` always
+        equals ``n_requests``.
+    fault_penalty_seconds:
+        Total extra service seconds the fault machinery added.
+    mean_response / p99_response / p999_response / max_response:
+        Response-time statistics, seconds.
+    """
+
+    n_requests: int
+    n_faulted: int
+    n_failed: int
+    completed_requests: int
+    fault_penalty_seconds: float
+    mean_response: float
+    p99_response: float
+    p999_response: float
+    max_response: float
+
+
+def analyze_degraded_tail(result: SimulationResult) -> DegradedTailAnalysis:
+    """Characterize the response-time tail of a run, healthy or degraded.
+
+    Works on any :class:`SimulationResult` — on a healthy run the fault
+    counters are simply zero, which makes the healthy-vs-degraded
+    comparison symmetric.
+    """
+    if not len(result.trace):
+        raise AnalysisError("simulation served no requests; nothing to analyze")
+    responses = np.sort(result.response_times)
+    p99, p999 = np.quantile(responses, [0.99, 0.999])
+    return DegradedTailAnalysis(
+        n_requests=len(result.trace),
+        n_faulted=result.n_faulted,
+        n_failed=result.n_failed,
+        completed_requests=result.completed_requests,
+        fault_penalty_seconds=result.fault_penalty_seconds,
+        mean_response=float(responses.mean()),
+        p99_response=float(p99),
+        p999_response=float(p999),
+        max_response=float(responses[-1]),
+    )
+
+
+def tail_inflation(
+    healthy: DegradedTailAnalysis, degraded: DegradedTailAnalysis
+) -> dict:
+    """Multiplicative tail inflation of a degraded run over its healthy
+    baseline: ``{metric: degraded/healthy}`` for mean, P99, P999 and max.
+
+    A ratio of 1.0 means the fault profile left that statistic alone;
+    latent-error retry ladders typically show up as P999 ratios far above
+    the mean ratio.
+    """
+    def ratio(d: float, h: float) -> float:
+        return d / h if h > 0 else float("nan")
+
+    return {
+        "mean": ratio(degraded.mean_response, healthy.mean_response),
+        "p99": ratio(degraded.p99_response, healthy.p99_response),
+        "p999": ratio(degraded.p999_response, healthy.p999_response),
+        "max": ratio(degraded.max_response, healthy.max_response),
+    }

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.disk.drive import DriveSpec
+from repro.disk.faults import FaultProfile
 from repro.disk.simulator import DiskSimulator
 from repro.errors import SimulationError, SuiteError
 from repro.synth.workload import WorkloadProfile
@@ -53,6 +54,13 @@ class ExperimentJob:
     fast_path:
         Forwarded to :class:`DiskSimulator`; disable to measure the
         reference event loop.
+    faults:
+        Optional :class:`~repro.disk.faults.FaultProfile` to inject
+        during the replay (``None`` = healthy drive). A profile, not a
+        model: each worker materializes its own
+        :class:`~repro.disk.faults.FaultModel` from the profile and the
+        job seed, so fault placement and draws are identical no matter
+        which worker runs the job.
     """
 
     profile: WorkloadProfile
@@ -62,19 +70,27 @@ class ExperimentJob:
     span: float = 300.0
     queue_depth: Optional[int] = None
     fast_path: bool = True
+    faults: Optional[FaultProfile] = None
 
     @property
     def label(self) -> str:
         depth = "inf" if self.queue_depth is None else str(self.queue_depth)
-        return (
+        label = (
             f"{self.profile.name}/{self.drive.name}/{self.scheduler}"
             f"/qd={depth}/seed={self.seed}"
         )
+        if self.faults is not None:
+            label += f"/faults={self.faults.name}"
+        return label
 
 
 @dataclass(frozen=True)
 class JobResult:
-    """Headline numbers of one completed job (cheap to pickle/serialize)."""
+    """Headline numbers of one completed job (cheap to pickle/serialize).
+
+    The fault fields are all-zero (and ``p99_response`` tracks the
+    healthy distribution) when the job ran without a fault profile.
+    """
 
     label: str
     profile: str
@@ -90,6 +106,10 @@ class JobResult:
     max_response: float
     total_busy: float
     wall_seconds: float
+    p99_response: float = float("nan")
+    n_faulted: int = 0
+    n_failed: int = 0
+    fault_penalty_seconds: float = 0.0
 
     @property
     def replay_rate(self) -> float:
@@ -119,6 +139,7 @@ def run_job(job: ExperimentJob) -> JobResult:
         seed=job.seed,
         queue_depth=job.queue_depth,
         fast_path=job.fast_path,
+        faults=job.faults,
     )
     result = simulator.run(trace)
     wall = perf_counter() - wall_start
@@ -126,8 +147,9 @@ def run_job(job: ExperimentJob) -> JobResult:
         response = result.describe_response()
         mean_service = float(result.service_times.mean())
         mean_response, p95, worst = response.mean, response.p95, response.maximum
+        p99 = response.p99
     else:
-        mean_service = mean_response = p95 = worst = float("nan")
+        mean_service = mean_response = p95 = p99 = worst = float("nan")
     return JobResult(
         label=job.label,
         profile=job.profile.name,
@@ -143,6 +165,10 @@ def run_job(job: ExperimentJob) -> JobResult:
         max_response=worst,
         total_busy=float(result.timeline.total_busy),
         wall_seconds=wall,
+        p99_response=p99,
+        n_faulted=result.n_faulted,
+        n_failed=result.n_failed,
+        fault_penalty_seconds=result.fault_penalty_seconds,
     )
 
 
@@ -167,9 +193,14 @@ def experiment_matrix(
     base_seed: int = 0,
     span: float = 300.0,
     queue_depth: Optional[int] = None,
+    faults: Optional[FaultProfile] = None,
 ) -> List[ExperimentJob]:
     """The cross product profiles x schedulers x replicates as a job list,
-    with per-job seeds derived deterministically from ``base_seed``."""
+    with per-job seeds derived deterministically from ``base_seed``.
+
+    ``faults`` applies one fault profile to every job in the matrix
+    (compare two matrices — one healthy, one degraded — rather than
+    mixing modes within a matrix)."""
     if seeds_per_combo < 1:
         raise SimulationError(
             f"seeds_per_combo must be >= 1, got {seeds_per_combo!r}"
@@ -191,6 +222,7 @@ def experiment_matrix(
                     seed=seeds[c * seeds_per_combo + r],
                     span=span,
                     queue_depth=queue_depth,
+                    faults=faults,
                 )
             )
     return jobs
@@ -265,6 +297,21 @@ class SuiteReport:
         """Jobs that resolved either way (< ``n_jobs`` after fail-fast)."""
         return len(self.results) + len(self.failures)
 
+    @property
+    def n_faulted(self) -> int:
+        """Requests that hit at least one fault, across every job."""
+        return sum(r.n_faulted for r in self.results)
+
+    @property
+    def n_failed_requests(self) -> int:
+        """Requests that exhausted recovery, across every job."""
+        return sum(r.n_failed for r in self.results)
+
+    @property
+    def fault_penalty_seconds(self) -> float:
+        """Extra service seconds the fault machinery added, suite-wide."""
+        return float(sum(r.fault_penalty_seconds for r in self.results))
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "n_jobs": self.n_jobs,
@@ -273,6 +320,11 @@ class SuiteReport:
             "wall_seconds": self.wall_seconds,
             "results": [r.as_dict() for r in self.results],
             "failures": [f.as_dict() for f in self.failures],
+            "fault_summary": {
+                "n_faulted": self.n_faulted,
+                "n_failed_requests": self.n_failed_requests,
+                "fault_penalty_seconds": self.fault_penalty_seconds,
+            },
         }
 
 

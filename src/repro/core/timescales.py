@@ -61,6 +61,7 @@ def run_millisecond_study(
     scheduler: str = "fcfs",
     utilization_scales: Sequence[float] = (1.0, 10.0, 60.0),
     burstiness_base_scale: float = 0.01,
+    faults=None,
 ) -> MillisecondStudy:
     """Run the full millisecond-scale pipeline.
 
@@ -70,6 +71,11 @@ def run_millisecond_study(
     for the particular timeline (no idle on a saturated drive, too few
     requests for burstiness) come back as ``None`` rather than failing
     the whole study.
+
+    ``faults`` (a :class:`~repro.disk.faults.FaultProfile` or prepared
+    :class:`~repro.disk.faults.FaultModel`, ``None`` = healthy) runs the
+    replay in degraded mode; the fault record is available on
+    ``study.simulation``.
     """
     if isinstance(trace_or_profile, WorkloadProfile):
         trace = trace_or_profile.synthesize(
@@ -82,7 +88,7 @@ def run_millisecond_study(
             "expected a RequestTrace or WorkloadProfile, got "
             f"{type(trace_or_profile).__name__}"
         )
-    result = DiskSimulator(drive, scheduler=scheduler, seed=seed).run(trace)
+    result = DiskSimulator(drive, scheduler=scheduler, seed=seed, faults=faults).run(trace)
     timeline = result.timeline
 
     def _try(fn, *args, **kwargs):

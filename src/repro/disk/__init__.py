@@ -14,6 +14,16 @@ from repro.disk.mechanics import SeekProfile, rotation_time, transfer_time
 from repro.disk.cache import CacheConfig, DiskCache
 from repro.disk.scheduler import FcfsScheduler, SstfScheduler, ScanScheduler, make_scheduler
 from repro.disk.drive import DiskDrive, DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
+from repro.disk.faults import (
+    FaultEvent,
+    FaultModel,
+    FaultProfile,
+    available_fault_profiles,
+    get_fault_profile,
+    light_faults,
+    moderate_faults,
+    severe_faults,
+)
 from repro.disk.simulator import DiskSimulator, SimulationResult
 from repro.disk.timeline import BusyIdleTimeline
 from repro.disk.power import EnergyReport, PowerProfile, baseline_energy, evaluate_spin_down, sweep_timeouts
@@ -39,6 +49,14 @@ __all__ = [
     "nearline_7200",
     "DiskSimulator",
     "SimulationResult",
+    "FaultEvent",
+    "FaultModel",
+    "FaultProfile",
+    "available_fault_profiles",
+    "get_fault_profile",
+    "light_faults",
+    "moderate_faults",
+    "severe_faults",
     "BusyIdleTimeline",
     "PowerProfile",
     "EnergyReport",

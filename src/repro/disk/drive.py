@@ -138,7 +138,7 @@ class DiskDrive:
     already there.
     """
 
-    def __init__(self, spec: DriveSpec, seed: int = 0) -> None:
+    def __init__(self, spec: DriveSpec, seed: int = 0, faults=None) -> None:
         self.spec = spec
         self.geometry = spec.geometry()
         self.seek = spec.seek_profile()
@@ -147,6 +147,10 @@ class DiskDrive:
         self._seed = seed
         self._head_cylinder = 0
         self._last_media_end: int = -1  # LBA after the previous media access
+        #: Optional :class:`~repro.disk.faults.FaultModel`; when attached,
+        #: every media access runs through its recovery semantics.
+        self.faults = faults
+        self._last_fault = None
 
     def reset(self) -> None:
         """Return the drive to its initial state (fresh RNG included)."""
@@ -154,6 +158,9 @@ class DiskDrive:
         self._rng = np.random.default_rng(self._seed)
         self._head_cylinder = 0
         self._last_media_end = -1
+        self._last_fault = None
+        if self.faults is not None:
+            self.faults.reset()
 
     @property
     def head_cylinder(self) -> int:
@@ -161,8 +168,19 @@ class DiskDrive:
         return self._head_cylinder
 
     def cylinder_of(self, lba: int) -> int:
-        """Delegate to the geometry (used by the scheduler glue)."""
+        """Delegate to the geometry (used by the scheduler glue), through
+        the fault model's reassignment map when one is attached — the
+        scheduler must aim where the heads will actually go."""
+        if self.faults is not None:
+            lba = self.faults.effective_lba(lba)
         return self.geometry.cylinder_of(lba)
+
+    def take_fault_event(self):
+        """Pop the fault event of the most recent ``service_time`` call
+        (``None`` when it ran clean). The simulator collects these."""
+        event = self._last_fault
+        self._last_fault = None
+        return event
 
     def service_time(self, lba: int, nsectors: int, is_write: bool, now: float) -> float:
         """Service time in seconds for one request starting at ``now``,
@@ -179,15 +197,21 @@ class DiskDrive:
                 f"{self.geometry.capacity_sectors}"
             )
 
+        faults = self.faults
+        if faults is not None:
+            self._last_fault = None
+
         if not is_write and self.cache.read_hit(lba, nsectors):
             return self.spec.cache.hit_overhead
 
         if is_write and self.cache.absorb_write(nsectors * SECTOR_BYTES, now):
             return self.spec.cache.hit_overhead
 
-        # Media access: position and transfer.
-        target_cylinder = self.geometry.cylinder_of(lba)
-        contiguous = lba == self._last_media_end
+        # Media access: position and transfer. With a fault model attached
+        # the heads go to the reassigned location, not the logical LBA.
+        media_lba = lba if faults is None else faults.effective_lba(lba, nsectors)
+        target_cylinder = self.geometry.cylinder_of(media_lba)
+        contiguous = media_lba == self._last_media_end
         if contiguous:
             positioning = 0.0
         else:
@@ -195,13 +219,18 @@ class DiskDrive:
             latency = float(self._rng.uniform(0.0, rotation_time(self.spec.rpm)))
             positioning = self.seek.seek_time(distance) + latency
         media = transfer_time(
-            nsectors, self.geometry.sectors_per_track_at(lba), self.spec.rpm
+            nsectors, self.geometry.sectors_per_track_at(media_lba), self.spec.rpm
         )
-        self._head_cylinder = self.geometry.cylinder_of(lba + nsectors - 1)
-        self._last_media_end = lba + nsectors
+        self._head_cylinder = self.geometry.cylinder_of(media_lba + nsectors - 1)
+        self._last_media_end = media_lba + nsectors
         if not is_write:
             self.cache.note_read(lba, nsectors)
-        return self.spec.command_overhead + positioning + media
+        service = self.spec.command_overhead + positioning + media
+        if faults is not None:
+            service, self._last_fault = faults.on_media_access(
+                lba, nsectors, service, now
+            )
+        return service
 
     def media_service_times(self, lbas: np.ndarray, nsectors: np.ndarray) -> np.ndarray:
         """Service times for a batch of requests served back-to-back in

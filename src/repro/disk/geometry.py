@@ -142,6 +142,25 @@ class DiskGeometry:
         """Track density at ``lba`` (determines the media transfer rate)."""
         return self.zone_of(lba).sectors_per_track
 
+    def first_lba_of_cylinder(self, cylinder: int) -> int:
+        """The first LBA of a cylinder — the inverse of :meth:`cylinder_of`.
+
+        Used by the fault model to place reassigned sectors: spare areas
+        live on the innermost cylinders, so relocating a bad sector there
+        changes every later seek to it.
+        """
+        if cylinder < 0 or cylinder >= self.total_cylinders:
+            raise DiskModelError(
+                f"cylinder {cylinder!r} outside drive with "
+                f"{self.total_cylinders} cylinders"
+            )
+        index = int(
+            np.searchsorted(self._zone_first_cyls, cylinder, side="right")
+        ) - 1
+        zone = self.zones[index]
+        per_cylinder = zone.sectors_per_track * self.heads
+        return zone.first_lba + (cylinder - zone.first_cylinder) * per_cylinder
+
     # ------------------------------------------------------------------
     # Vectorized lookups (the simulator's batch fast path)
     # ------------------------------------------------------------------

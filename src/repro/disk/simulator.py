@@ -35,11 +35,13 @@ suite.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import List, Optional, Tuple, Union
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.disk.drive import DiskDrive, DriveSpec
+from repro.disk.faults import FaultEvent, FaultModel, FaultProfile
 from repro.disk.scheduler import FcfsScheduler, Scheduler, SstfScheduler, make_scheduler
 from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import SimulationError
@@ -51,6 +53,10 @@ class SimulationResult:
     """Per-request timings and derived views of one simulation run.
 
     All arrays are aligned with the input trace's request order.
+    ``fault_events`` is empty for a healthy run; with a fault model
+    attached it holds one :class:`~repro.disk.faults.FaultEvent` per
+    degraded media access, and requests whose recovery failed are marked
+    in the ``failed`` mask instead of crashing the run.
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class SimulationResult:
         service_times: np.ndarray,
         drive_name: str,
         scheduler_name: str,
+        fault_events: Sequence[FaultEvent] = (),
     ) -> None:
         self.trace = trace
         self.start_times = start_times
@@ -71,6 +78,49 @@ class SimulationResult:
         self.timeline = BusyIdleTimeline(
             list(zip(self.start_times, self.finish_times)), span=span
         )
+        self.fault_events: Tuple[FaultEvent, ...] = tuple(fault_events)
+        failed = np.zeros(len(trace), dtype=bool)
+        for event in self.fault_events:
+            if not event.recovered:
+                failed[event.index] = True
+        failed.setflags(write=False)
+        self.failed = failed
+
+    @property
+    def n_failed(self) -> int:
+        """Requests whose bounded retries all failed (hard failures)."""
+        return int(self.failed.sum())
+
+    @property
+    def n_faulted(self) -> int:
+        """Requests that hit at least one fault (including slow regions)."""
+        return len({event.index for event in self.fault_events})
+
+    @property
+    def completed_requests(self) -> int:
+        """Requests served successfully; with ``n_failed`` this conserves
+        the submitted count: ``completed_requests + n_failed == len(trace)``."""
+        return len(self.trace) - self.n_failed
+
+    @property
+    def fault_penalty_seconds(self) -> float:
+        """Total service time added by faults across the run, seconds."""
+        return float(sum(event.penalty for event in self.fault_events))
+
+    def fault_summary(self) -> Dict[str, Any]:
+        """Compact degraded-mode accounting for reports and JSON."""
+        by_kind: Dict[str, int] = {}
+        for event in self.fault_events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        return {
+            "n_requests": len(self.trace),
+            "n_faulted": self.n_faulted,
+            "n_failed": self.n_failed,
+            "completed_requests": self.completed_requests,
+            "n_reassigned": sum(1 for e in self.fault_events if e.reassigned),
+            "fault_penalty_seconds": self.fault_penalty_seconds,
+            "events_by_kind": by_kind,
+        }
 
     @property
     def wait_times(self) -> np.ndarray:
@@ -134,6 +184,16 @@ class DiskSimulator:
         where applicable; when false every run goes through the reference
         event loop. Results agree — the flag exists for validation and
         perf-regression measurement.
+    faults:
+        ``None`` (default) replays against a perfect drive —
+        bit-identical to a simulator without the parameter. A
+        :class:`~repro.disk.faults.FaultProfile` builds a fresh
+        :class:`~repro.disk.faults.FaultModel` against the drive's
+        geometry (seeded from ``profile.seed`` or, when that is ``None``,
+        this simulator's ``seed``); a ready ``FaultModel`` is attached
+        directly and reset before each run (its layout and scheduled
+        repairs survive, its access RNG rewinds), so repeated runs are
+        bit-identical.
     """
 
     def __init__(
@@ -144,6 +204,7 @@ class DiskSimulator:
         seed: int = 0,
         queue_depth: Optional[int] = None,
         fast_path: bool = True,
+        faults: Optional[Union[FaultProfile, FaultModel]] = None,
     ) -> None:
         if queue_depth is not None and queue_depth < 1:
             raise SimulationError(
@@ -160,6 +221,7 @@ class DiskSimulator:
         self.seed = int(seed)
         self.queue_depth = queue_depth
         self.fast_path = bool(fast_path)
+        self.faults = faults
 
     def _fresh_drive(self) -> DiskDrive:
         if self._drive is not None:
@@ -167,6 +229,16 @@ class DiskSimulator:
             return self._drive
         assert self._spec is not None
         return DiskDrive(self._spec, seed=self.seed)
+
+    def _attach_faults(self, drive: DiskDrive) -> None:
+        if self.faults is None:
+            return
+        if isinstance(self.faults, FaultModel):
+            model = self.faults
+        else:
+            model = FaultModel(self.faults, drive.geometry, seed=self.seed)
+        model.reset()
+        drive.faults = model
 
     def _fresh_scheduler(self) -> Scheduler:
         if isinstance(self._scheduler_arg, str):
@@ -181,6 +253,7 @@ class DiskSimulator:
         scheduler picks among them.
         """
         drive = self._fresh_drive()
+        self._attach_faults(drive)
         scheduler = self._fresh_scheduler()
         n = len(trace)
         capacity = drive.geometry.capacity_sectors
@@ -202,16 +275,21 @@ class DiskSimulator:
         if n == 0:
             start_times = np.zeros(0, dtype=np.float64)
             service_times = np.zeros(0, dtype=np.float64)
+            fault_events: List[FaultEvent] = []
         elif self.fast_path and type(scheduler) is FcfsScheduler:
             # FCFS serves in arrival order regardless of queue depth, so
             # the queue machinery is pure overhead.
             cache = drive.spec.cache
-            if not cache.read_ahead and not cache.write_back:
+            if not cache.read_ahead and not cache.write_back and drive.faults is None:
+                # The batched path cannot consult the per-access fault
+                # hook; an active fault model falls back to the
+                # bit-identical sequential execution.
                 start_times, service_times = _run_fcfs_vectorized(
                     drive, arrivals, lbas, sizes
                 )
+                fault_events = []
             else:
-                start_times, service_times = _run_fcfs_sequential(
+                start_times, service_times, fault_events = _run_fcfs_sequential(
                     drive, arrivals, lbas, sizes, trace.is_write
                 )
         elif (
@@ -219,11 +297,11 @@ class DiskSimulator:
             and type(scheduler) is SstfScheduler
             and self.queue_depth is None
         ):
-            start_times, service_times = _run_sstf_sorted(
+            start_times, service_times, fault_events = _run_sstf_sorted(
                 drive, arrivals, lbas, sizes, trace.is_write
             )
         else:
-            start_times, service_times = _run_event_loop(
+            start_times, service_times, fault_events = _run_event_loop(
                 drive, scheduler, arrivals, lbas, sizes, trace.is_write,
                 self.queue_depth,
             )
@@ -235,6 +313,7 @@ class DiskSimulator:
             service_times=service_times,
             drive_name=drive_name,
             scheduler_name=getattr(scheduler, "name", type(scheduler).__name__),
+            fault_events=fault_events,
         )
 
 
@@ -271,12 +350,12 @@ def _run_fcfs_sequential(
     lbas: np.ndarray,
     sizes: np.ndarray,
     is_write: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """FCFS with caching enabled: service times depend on the clock (the
-    write buffer drains in wall time), so step the drive request by
-    request — but skip the queue and scheduler entirely. Bit-identical to
-    the event loop: same ``service_time`` calls, in the same order, at
-    the same clocks."""
+) -> Tuple[np.ndarray, np.ndarray, List[FaultEvent]]:
+    """FCFS with caching enabled (or a fault model attached): service
+    times depend on the clock (the write buffer drains in wall time), so
+    step the drive request by request — but skip the queue and scheduler
+    entirely. Bit-identical to the event loop: same ``service_time``
+    calls, in the same order, at the same clocks."""
     n = arrivals.size
     start_times = np.empty(n, dtype=np.float64)
     service_times = np.empty(n, dtype=np.float64)
@@ -285,16 +364,22 @@ def _run_fcfs_sequential(
     size_list = sizes.tolist()
     write_list = is_write.tolist()
     service_time = drive.service_time
+    record_faults = drive.faults is not None
+    events: List[FaultEvent] = []
     clock = 0.0
     for i in range(n):
         arrival = arrival_list[i]
         if arrival > clock:
             clock = arrival
         service = service_time(lba_list[i], size_list[i], write_list[i], clock)
+        if record_faults:
+            event = drive.take_fault_event()
+            if event is not None:
+                events.append(replace(event, index=i))
         start_times[i] = clock
         service_times[i] = service
         clock += service
-    return start_times, service_times
+    return start_times, service_times, events
 
 
 def _run_sstf_sorted(
@@ -303,7 +388,7 @@ def _run_sstf_sorted(
     lbas: np.ndarray,
     sizes: np.ndarray,
     is_write: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, List[FaultEvent]]:
     """SSTF with full queue visibility over an incrementally maintained
     cylinder-sorted queue.
 
@@ -322,6 +407,8 @@ def _run_sstf_sorted(
     write_list = is_write.tolist()
     cylinder_of = drive.cylinder_of
     service_time = drive.service_time
+    record_faults = drive.faults is not None
+    events: List[FaultEvent] = []
 
     pending: List[Tuple[int, int]] = []  # (cylinder, arrival index), sorted
     next_arrival = 0
@@ -357,11 +444,17 @@ def _run_sstf_sorted(
         _, idx = pending.pop(pos)
 
         service = service_time(lba_list[idx], size_list[idx], write_list[idx], clock)
+        if record_faults:
+            event = drive.take_fault_event()
+            if event is not None:
+                events.append(replace(event, index=idx))
         start_times[idx] = clock
         service_times[idx] = service
         clock += service
         completed += 1
-    return start_times, service_times
+    if record_faults:
+        events.sort(key=lambda e: e.index)
+    return start_times, service_times, events
 
 
 def _run_event_loop(
@@ -372,7 +465,7 @@ def _run_event_loop(
     sizes: np.ndarray,
     is_write: np.ndarray,
     queue_depth: Optional[int],
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, List[FaultEvent]]:
     """The reference event loop: admit arrivals, let the scheduler pick,
     serve, repeat. Handles any discipline and any queue depth."""
     n = arrivals.size
@@ -382,6 +475,8 @@ def _run_event_loop(
     lba_list = lbas.tolist()
     size_list = sizes.tolist()
     write_list = is_write.tolist()
+    record_faults = drive.faults is not None
+    events: List[FaultEvent] = []
 
     # Queue entries are (cylinder, arrival_order); the queue is appended
     # to in arrival order and pops preserve relative order, so it stays
@@ -414,8 +509,14 @@ def _run_event_loop(
         service = drive.service_time(
             lba_list[idx], size_list[idx], write_list[idx], clock
         )
+        if record_faults:
+            event = drive.take_fault_event()
+            if event is not None:
+                events.append(replace(event, index=idx))
         start_times[idx] = clock
         service_times[idx] = service
         clock += service
         completed += 1
-    return start_times, service_times
+    if record_faults:
+        events.sort(key=lambda e: e.index)
+    return start_times, service_times, events

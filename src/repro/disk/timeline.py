@@ -92,12 +92,19 @@ class BusyIdleTimeline:
         idle = np.concatenate(pieces) if pieces else np.zeros(0)
         return idle[idle > 0]
 
-    def idle_intervals(self) -> np.ndarray:
+    def idle_intervals(self, min_length: float = 0.0) -> np.ndarray:
         """The idle intervals as an ``(n, 2)`` array of ``(start, end)``
         pairs in time order, including the leading and trailing intervals
-        (positions, where :meth:`idle_periods` gives only lengths)."""
+        (positions, where :meth:`idle_periods` gives only lengths).
+
+        ``min_length`` drops intervals shorter than the given number of
+        seconds — background-work planners only care about intervals a
+        chunk (plus setup) can fit into.
+        """
+        if min_length < 0:
+            raise SimulationError(f"min_length must be >= 0, got {min_length!r}")
         if self.n_busy_periods == 0:
-            if self.span > 0:
+            if self.span > 0 and self.span >= min_length:
                 return np.array([[0.0, self.span]])
             return np.zeros((0, 2))
         pairs = []
@@ -110,6 +117,8 @@ class BusyIdleTimeline:
                 pairs.append((gap_start, gap_end))
         if self._ends[-1] < self.span:
             pairs.append((float(self._ends[-1]), self.span))
+        if min_length > 0:
+            pairs = [(s, e) for s, e in pairs if e - s >= min_length]
         return np.array(pairs) if pairs else np.zeros((0, 2))
 
     @property

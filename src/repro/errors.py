@@ -30,6 +30,11 @@ class DiskModelError(ReproError):
     impossible request (e.g. an LBA beyond the end of the drive)."""
 
 
+class FaultInjectionError(DiskModelError):
+    """The fault-injection subsystem was configured inconsistently
+    (impossible fault layout, repairs scheduled for healthy regions)."""
+
+
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 

@@ -164,4 +164,5 @@ class WorkloadProfile:
             is_write=is_write,
             span=span,
             label=self.name,
+            capacity_sectors=capacity_sectors,
         )

@@ -25,6 +25,7 @@ from repro.traces.hourly import HourlyTrace, HourlyDataset
 from repro.traces.lifetime import LifetimeRecord, DriveFamilyDataset
 from repro.traces.window import TimeWindow, bin_counts, bin_sums, sliding_windows
 from repro.traces.io import (
+    QuarantinedRow,
     read_hourly_dataset,
     read_lifetime_dataset,
     read_request_trace,
@@ -52,6 +53,7 @@ __all__ = [
     "bin_counts",
     "bin_sums",
     "sliding_windows",
+    "QuarantinedRow",
     "read_request_trace",
     "write_request_trace",
     "read_hourly_dataset",

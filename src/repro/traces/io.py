@@ -4,20 +4,32 @@ Formats are deliberately simple and line-oriented so traces survive `grep`
 and version control:
 
 * Millisecond traces — CSV with header ``time,lba,nsectors,op`` where
-  ``op`` is ``R`` or ``W``; a leading comment line carries the span and
-  label (``# span=<seconds> label=<text>``).
+  ``op`` is ``R`` or ``W``; a leading comment line carries the span,
+  label and (when known) drive capacity
+  (``# span=<seconds> label=<text> capacity=<sectors>``).
 * Hour traces — JSON Lines, one drive per line.
 * Lifetime traces — CSV with header
   ``drive_id,power_on_hours,bytes_read,bytes_written,model``.
+
+Every reader runs in one of two modes. ``strict=True`` (the default)
+raises :class:`~repro.errors.TraceFormatError` naming the file and the
+1-based line of the first bad row. ``strict=False`` skips corrupt rows
+instead, recording each skip as a :class:`QuarantinedRow` in the
+caller-supplied ``quarantine`` list — real capture files have truncated
+tails and corrupt rows, and one bad row should not discard a million
+good ones. File-level problems (unreadable header, wrong columns) raise
+in both modes: they mean the whole file is suspect, not one row.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 import shlex
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import TraceFormatError
 from repro.traces.hourly import HourlyDataset, HourlyTrace
@@ -25,6 +37,56 @@ from repro.traces.lifetime import DriveFamilyDataset, LifetimeRecord
 from repro.traces.millisecond import RequestTrace
 
 PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One corrupt row skipped by a permissive (``strict=False``) read.
+
+    Attributes
+    ----------
+    path:
+        The file the row came from.
+    lineno:
+        1-based line number of the row in that file.
+    content:
+        The raw row, as close to its on-disk form as the reader has.
+    reason:
+        Human-readable description of what was wrong.
+    """
+
+    path: str
+    lineno: int
+    content: str
+    reason: str
+
+
+class _RowErrors:
+    """Shared row-error policy: raise with ``path:lineno`` in strict
+    mode, append a :class:`QuarantinedRow` otherwise."""
+
+    def __init__(
+        self,
+        path: Path,
+        strict: bool,
+        quarantine: Optional[List[QuarantinedRow]],
+    ) -> None:
+        self.path = path
+        self.strict = strict
+        self.quarantine = quarantine
+
+    def bad_row(self, lineno: int, content: str, reason: str) -> None:
+        if self.strict:
+            raise TraceFormatError(f"{self.path}:{lineno}: {reason}")
+        if self.quarantine is not None:
+            self.quarantine.append(
+                QuarantinedRow(
+                    path=str(self.path),
+                    lineno=lineno,
+                    content=content,
+                    reason=reason,
+                )
+            )
 
 
 # ----------------------------------------------------------------------
@@ -69,9 +131,10 @@ def write_request_trace(trace: RequestTrace, path: PathLike) -> None:
     """Write a millisecond trace as CSV (see module docstring for format)."""
     path = Path(path)
     with path.open("w", newline="") as fh:
-        fh.write(
-            f"# span={trace.span!r} {_header_value('label', trace.label)}\n"
-        )
+        header = f"# span={trace.span!r} {_header_value('label', trace.label)}"
+        if trace.capacity_sectors is not None:
+            header += f" capacity={int(trace.capacity_sectors)}"
+        fh.write(header + "\n")
         writer = csv.writer(fh)
         writer.writerow(["time", "lba", "nsectors", "op"])
         for i in range(len(trace)):
@@ -85,11 +148,45 @@ def write_request_trace(trace: RequestTrace, path: PathLike) -> None:
             )
 
 
-def read_request_trace(path: PathLike) -> RequestTrace:
-    """Read a millisecond trace written by :func:`write_request_trace`."""
+def _request_row_problem(
+    time: float, lba: int, nsectors: int, capacity: Optional[int]
+) -> Optional[str]:
+    """Why one parsed (time, lba, nsectors) triple violates the request
+    invariants, or ``None`` when it is sound."""
+    if not math.isfinite(time):
+        return f"non-finite time {time!r}"
+    if time < 0:
+        return f"negative time {time!r}"
+    if lba < 0:
+        return f"negative LBA {lba!r}"
+    if nsectors <= 0:
+        return f"non-positive nsectors {nsectors!r}"
+    if capacity is not None and lba + nsectors > capacity:
+        return (
+            f"request [{lba}, {lba + nsectors}) exceeds the header "
+            f"capacity of {capacity} sectors"
+        )
+    return None
+
+
+def read_request_trace(
+    path: PathLike,
+    strict: bool = True,
+    quarantine: Optional[List[QuarantinedRow]] = None,
+) -> RequestTrace:
+    """Read a millisecond trace written by :func:`write_request_trace`.
+
+    Beyond parsing, every row is checked against the request invariants
+    (finite non-negative time, non-negative LBA, positive length, and —
+    when the file header carries a ``capacity`` — addressing within it).
+    ``strict=False`` skips offending rows into ``quarantine`` instead of
+    raising; see the module docstring for the policy.
+    """
     path = Path(path)
+    errors = _RowErrors(path, strict, quarantine)
     span = None
     label = path.stem
+    capacity: Optional[int] = None
     times: List[float] = []
     lbas: List[int] = []
     nsectors: List[int] = []
@@ -98,30 +195,59 @@ def read_request_trace(path: PathLike) -> RequestTrace:
         first = fh.readline()
         if first.startswith("#"):
             fields = _parse_header(first)
-            if "span" in fields:
-                span = float(fields["span"])
+            try:
+                if "span" in fields:
+                    span = float(fields["span"])
+                if "capacity" in fields:
+                    capacity = int(fields["capacity"])
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:1: malformed header: {exc}") from exc
+            if span is not None and not math.isfinite(span):
+                raise TraceFormatError(f"{path}:1: span must be finite, got {span!r}")
+            if capacity is not None and capacity <= 0:
+                raise TraceFormatError(
+                    f"{path}:1: capacity must be > 0, got {capacity!r}"
+                )
             if "label" in fields:
                 label = fields["label"]
             header_line = fh.readline()
+            header_lineno = 2
         else:
             header_line = first
+            header_lineno = 1
         header = [c.strip() for c in header_line.strip().split(",")]
         if header != ["time", "lba", "nsectors", "op"]:
-            raise TraceFormatError(f"{path}: unexpected header {header!r}")
-        for lineno, row in enumerate(csv.reader(fh), start=3):
+            raise TraceFormatError(
+                f"{path}:{header_lineno}: unexpected header {header!r}"
+            )
+        for lineno, row in enumerate(csv.reader(fh), start=header_lineno + 1):
             if not row:
                 continue
             try:
-                times.append(float(row[0]))
-                lbas.append(int(row[1]))
-                nsectors.append(int(row[2]))
+                time = float(row[0])
+                lba = int(row[1])
+                length = int(row[2])
                 op = row[3].strip().upper()
-            except (IndexError, ValueError) as exc:
-                raise TraceFormatError(f"{path}:{lineno}: malformed row {row!r}") from exc
+            except (IndexError, ValueError):
+                errors.bad_row(lineno, ",".join(row), f"malformed row {row!r}")
+                continue
             if op not in ("R", "W"):
-                raise TraceFormatError(f"{path}:{lineno}: op must be R or W, got {op!r}")
+                errors.bad_row(
+                    lineno, ",".join(row), f"op must be R or W, got {op!r}"
+                )
+                continue
+            problem = _request_row_problem(time, lba, length, capacity)
+            if problem is not None:
+                errors.bad_row(lineno, ",".join(row), problem)
+                continue
+            times.append(time)
+            lbas.append(lba)
+            nsectors.append(length)
             is_write.append(op == "W")
-    return RequestTrace(times, lbas, nsectors, is_write, span=span, label=label)
+    return RequestTrace(
+        times, lbas, nsectors, is_write,
+        span=span, label=label, capacity_sectors=capacity,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -142,9 +268,18 @@ def write_hourly_dataset(dataset: HourlyDataset, path: PathLike) -> None:
             fh.write(json.dumps(record) + "\n")
 
 
-def read_hourly_dataset(path: PathLike) -> HourlyDataset:
-    """Read an hourly dataset written by :func:`write_hourly_dataset`."""
+def read_hourly_dataset(
+    path: PathLike,
+    strict: bool = True,
+    quarantine: Optional[List[QuarantinedRow]] = None,
+) -> HourlyDataset:
+    """Read an hourly dataset written by :func:`write_hourly_dataset`.
+
+    ``strict=False`` skips malformed lines into ``quarantine`` instead of
+    raising; see the module docstring for the policy.
+    """
     path = Path(path)
+    errors = _RowErrors(path, strict, quarantine)
     traces: List[HourlyTrace] = []
     with path.open() as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -161,8 +296,8 @@ def read_hourly_dataset(path: PathLike) -> HourlyDataset:
                         start_hour=int(record.get("start_hour", 0)),
                     )
                 )
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise TraceFormatError(f"{path}:{lineno}: malformed record") from exc
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                errors.bad_row(lineno, line, f"malformed record: {exc}")
     return HourlyDataset(traces)
 
 
@@ -187,9 +322,19 @@ def write_lifetime_dataset(dataset: DriveFamilyDataset, path: PathLike) -> None:
             )
 
 
-def read_lifetime_dataset(path: PathLike) -> DriveFamilyDataset:
-    """Read a drive-family dataset written by :func:`write_lifetime_dataset`."""
+def read_lifetime_dataset(
+    path: PathLike,
+    strict: bool = True,
+    quarantine: Optional[List[QuarantinedRow]] = None,
+) -> DriveFamilyDataset:
+    """Read a drive-family dataset written by :func:`write_lifetime_dataset`.
+
+    Counters must be finite and non-negative. ``strict=False`` skips
+    offending rows into ``quarantine`` instead of raising; see the module
+    docstring for the policy.
+    """
     path = Path(path)
+    errors = _RowErrors(path, strict, quarantine)
     family = path.stem
     records: List[LifetimeRecord] = []
     with path.open() as fh:
@@ -197,24 +342,48 @@ def read_lifetime_dataset(path: PathLike) -> DriveFamilyDataset:
         if first.startswith("#"):
             family = _parse_header(first).get("family", family)
             header_line = fh.readline()
+            header_lineno = 2
         else:
             header_line = first
+            header_lineno = 1
         header = [c.strip() for c in header_line.strip().split(",")]
         if header != _LIFETIME_HEADER:
-            raise TraceFormatError(f"{path}: unexpected header {header!r}")
-        for lineno, row in enumerate(csv.reader(fh), start=3):
+            raise TraceFormatError(
+                f"{path}:{header_lineno}: unexpected header {header!r}"
+            )
+        for lineno, row in enumerate(csv.reader(fh), start=header_lineno + 1):
             if not row:
                 continue
             try:
-                records.append(
-                    LifetimeRecord(
-                        drive_id=row[0],
-                        power_on_hours=float(row[1]),
-                        bytes_read=float(row[2]),
-                        bytes_written=float(row[3]),
-                        model=row[4],
-                    )
+                drive_id, model = row[0], row[4]
+                hours = float(row[1])
+                bytes_read = float(row[2])
+                bytes_written = float(row[3])
+            except (IndexError, ValueError):
+                errors.bad_row(lineno, ",".join(row), f"malformed row {row!r}")
+                continue
+            bad = [
+                f"{name} {value!r}"
+                for name, value in (
+                    ("power_on_hours", hours),
+                    ("bytes_read", bytes_read),
+                    ("bytes_written", bytes_written),
                 )
-            except (IndexError, ValueError) as exc:
-                raise TraceFormatError(f"{path}:{lineno}: malformed row {row!r}") from exc
+                if not math.isfinite(value) or value < 0
+            ]
+            if bad:
+                errors.bad_row(
+                    lineno, ",".join(row),
+                    "counters must be finite and >= 0: " + ", ".join(bad),
+                )
+                continue
+            records.append(
+                LifetimeRecord(
+                    drive_id=drive_id,
+                    power_on_hours=hours,
+                    bytes_read=bytes_read,
+                    bytes_written=bytes_written,
+                    model=model,
+                )
+            )
     return DriveFamilyDataset(records, family=family)

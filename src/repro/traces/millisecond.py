@@ -39,9 +39,16 @@ class RequestTrace:
         to arrive.
     label:
         Free-form workload name carried through analyses and reports.
+    capacity_sectors:
+        Capacity of the drive the trace addresses, in sectors, when
+        known (synthesized traces and trace files with a ``capacity``
+        header carry it). When given, every request must fit within it;
+        ``None`` means unknown, and no addressing check is applied.
 
-    The constructor copies and validates its inputs; instances never
-    mutate, so views returned by the filtering methods are safe to share.
+    The constructor copies and validates its inputs — non-finite times
+    and spans (NaN/inf) are rejected outright rather than silently
+    corrupting downstream windowing; instances never mutate, so views
+    returned by the filtering methods are safe to share.
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class RequestTrace:
         is_write: Sequence[bool],
         span: Optional[float] = None,
         label: str = "trace",
+        capacity_sectors: Optional[int] = None,
     ) -> None:
         self._times = np.asarray(times, dtype=np.float64).copy()
         self._lbas = np.asarray(lbas, dtype=np.int64).copy()
@@ -65,6 +73,11 @@ class RequestTrace:
                 "column lengths differ: "
                 f"times={n}, lbas={self._lbas.size}, "
                 f"nsectors={self._nsectors.size}, is_write={self._is_write.size}"
+            )
+        if n and not np.all(np.isfinite(self._times)):
+            bad = int(np.flatnonzero(~np.isfinite(self._times))[0])
+            raise TraceError(
+                f"non-finite arrival time {self._times[bad]!r} at index {bad}"
             )
         if n and np.any(np.diff(self._times) < 0):
             order = np.argsort(self._times, kind="stable")
@@ -81,10 +94,29 @@ class RequestTrace:
 
         last = float(self._times[-1]) if n else 0.0
         self._span = last if span is None else float(span)
+        if not np.isfinite(self._span):
+            raise TraceError(f"span must be finite, got {self._span!r}")
         if self._span < last:
             raise TraceError(
                 f"span {self._span!r} ends before the last arrival at {last!r}"
             )
+
+        self.capacity_sectors: Optional[int] = (
+            None if capacity_sectors is None else int(capacity_sectors)
+        )
+        if self.capacity_sectors is not None:
+            if self.capacity_sectors <= 0:
+                raise TraceError(
+                    f"capacity_sectors must be > 0, got {capacity_sectors!r}"
+                )
+            if n:
+                ends = self._lbas + self._nsectors
+                worst = int(np.argmax(ends))
+                if int(ends[worst]) > self.capacity_sectors:
+                    raise TraceError(
+                        f"request [{int(self._lbas[worst])}, {int(ends[worst])}) "
+                        f"exceeds capacity {self.capacity_sectors} sectors"
+                    )
         for column in (self._times, self._lbas, self._nsectors, self._is_write):
             column.setflags(write=False)
 
@@ -215,6 +247,15 @@ class RequestTrace:
     # Filtering and slicing
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _merged_capacity(traces: Sequence["RequestTrace"]) -> Optional[int]:
+        """Combined capacity metadata: the maximum when every trace knows
+        its capacity, ``None`` (unknown) as soon as one does not."""
+        capacities = [t.capacity_sectors for t in traces]
+        if any(c is None for c in capacities):
+            return None
+        return max(capacities) if capacities else None
+
     def _select(self, mask: np.ndarray, label: str, span: float) -> "RequestTrace":
         return RequestTrace(
             times=self._times[mask],
@@ -223,6 +264,7 @@ class RequestTrace:
             is_write=self._is_write[mask],
             span=span,
             label=label,
+            capacity_sectors=self.capacity_sectors,
         )
 
     def reads(self) -> "RequestTrace":
@@ -257,6 +299,7 @@ class RequestTrace:
             is_write=self._is_write[mask],
             span=span,
             label=f"{self.label}[{start:g},{end:g})",
+            capacity_sectors=self.capacity_sectors,
         )
 
     def concat(self, other: "RequestTrace", gap: float = 0.0) -> "RequestTrace":
@@ -274,6 +317,7 @@ class RequestTrace:
             is_write=np.concatenate([self._is_write, other._is_write]),
             span=offset + other._span,
             label=self.label,
+            capacity_sectors=self._merged_capacity([self, other]),
         )
 
     @staticmethod
@@ -289,6 +333,7 @@ class RequestTrace:
             is_write=np.concatenate([t._is_write for t in traces]),
             span=max(t._span for t in traces),
             label=label,
+            capacity_sectors=RequestTrace._merged_capacity(traces),
         )
 
     # ------------------------------------------------------------------

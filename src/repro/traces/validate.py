@@ -34,7 +34,9 @@ def validate_request_trace(
 
     Raises :class:`TraceValidationError` listing *all* violations if:
 
-    * any request extends past ``capacity_sectors`` (when given),
+    * any arrival time or the span is non-finite (NaN/inf),
+    * any request extends past ``capacity_sectors`` (explicit argument,
+      falling back to the trace's own ``capacity_sectors`` metadata),
     * any request exceeds ``max_request_sectors`` (default 64 Ki sectors,
       i.e. 32 MiB — far above any real disk command),
     * the arrival clock is not non-decreasing (cannot normally happen, it
@@ -42,7 +44,14 @@ def validate_request_trace(
     * the span does not cover the last arrival.
     """
     problems: List[str] = []
+    if capacity_sectors is None:
+        capacity_sectors = trace.capacity_sectors
+    if not np.isfinite(trace.span):
+        problems.append(f"span {trace.span!r} is not finite")
     if len(trace):
+        nonfinite = int(np.sum(~np.isfinite(trace.times)))
+        if nonfinite:
+            problems.append(f"{nonfinite} arrival times are not finite")
         if np.any(np.diff(trace.times) < 0):
             problems.append("arrival times are not non-decreasing")
         if trace.times[-1] > trace.span:

@@ -194,3 +194,54 @@ def test_sequentiality_nan_for_tiny_trace():
 
 def test_repr_contains_label():
     assert "t" in repr(make_trace())
+
+
+def test_nan_time_rejected_explicitly():
+    with pytest.raises(TraceError, match="finite"):
+        RequestTrace(times=[float("nan")], lbas=[0], nsectors=[1], is_write=[False])
+
+
+def test_inf_time_rejected_explicitly():
+    with pytest.raises(TraceError, match="finite"):
+        RequestTrace(times=[float("inf")], lbas=[0], nsectors=[1], is_write=[False])
+
+
+def test_inf_span_rejected():
+    with pytest.raises(TraceError, match="finite"):
+        make_trace(span=float("inf"))
+
+
+class TestCapacityBound:
+    def test_requests_within_capacity_accepted(self):
+        t = make_trace(capacity_sectors=200)
+        assert t.capacity_sectors == 200
+
+    def test_request_past_capacity_rejected(self):
+        # Request [108, 116) needs at least 116 sectors.
+        with pytest.raises(TraceError):
+            make_trace(capacity_sectors=110)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace(capacity_sectors=0)
+
+    def test_capacity_survives_selection_and_slicing(self):
+        t = make_trace(capacity_sectors=200)
+        assert t.reads().capacity_sectors == 200
+        assert t.writes().capacity_sectors == 200
+        assert t.slice_time(1.0, 3.0).capacity_sectors == 200
+
+    def test_concat_keeps_larger_capacity(self):
+        a = make_trace(capacity_sectors=200)
+        b = make_trace(capacity_sectors=300)
+        assert a.concat(b, gap=1.0).capacity_sectors == 300
+
+    def test_concat_with_unknown_capacity_drops_it(self):
+        a = make_trace(capacity_sectors=200)
+        b = make_trace()
+        assert a.concat(b, gap=1.0).capacity_sectors is None
+
+    def test_merge_keeps_larger_capacity(self):
+        a = make_trace(capacity_sectors=200)
+        b = make_trace(capacity_sectors=500)
+        assert RequestTrace.merge([a, b]).capacity_sectors == 500

@@ -121,3 +121,24 @@ class TestUtilizationSeries:
         series = t.utilization_series(3.0)
         assert np.all(series <= 1.0)
         assert np.all(series >= 0.0)
+
+
+class TestIdleIntervalFilter:
+    def test_min_length_drops_short_intervals(self):
+        t = BusyIdleTimeline([(1.0, 2.0), (4.0, 7.0)], span=10.0)
+        # Idle intervals: [0,1], [2,4], [7,10].
+        intervals = t.idle_intervals(min_length=2.0)
+        assert intervals.tolist() == [[2.0, 4.0], [7.0, 10.0]]
+
+    def test_zero_min_length_keeps_everything(self):
+        t = BusyIdleTimeline([(1.0, 2.0)], span=3.0)
+        assert t.idle_intervals(min_length=0.0).tolist() == t.idle_intervals().tolist()
+
+    def test_empty_timeline_respects_min_length(self):
+        t = BusyIdleTimeline([], span=5.0)
+        assert t.idle_intervals(min_length=4.0).tolist() == [[0.0, 5.0]]
+        assert t.idle_intervals(min_length=6.0).size == 0
+
+    def test_negative_min_length_rejected(self):
+        with pytest.raises(SimulationError):
+            BusyIdleTimeline([], span=5.0).idle_intervals(min_length=-1.0)

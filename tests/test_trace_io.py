@@ -6,6 +6,7 @@ import pytest
 from repro.errors import TraceFormatError
 from repro.traces.hourly import HourlyDataset, HourlyTrace
 from repro.traces.io import (
+    QuarantinedRow,
     read_hourly_dataset,
     read_lifetime_dataset,
     read_request_trace,
@@ -191,3 +192,167 @@ class TestLifetimeIo:
         )
         with pytest.raises(TraceFormatError):
             read_lifetime_dataset(path)
+
+
+class TestStrictAndPermissiveModes:
+    GOOD = "time,lba,nsectors,op\n0.5,10,8,R\n"
+
+    def test_strict_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.GOOD + "oops,0,8,R\n")
+        with pytest.raises(TraceFormatError, match=rf"{path}:3"):
+            read_request_trace(path)
+
+    def test_permissive_skips_and_quarantines(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.GOOD + "oops,0,8,R\n1.5,20,8,W\n")
+        quarantine = []
+        loaded = read_request_trace(path, strict=False, quarantine=quarantine)
+        assert len(loaded) == 2
+        assert len(quarantine) == 1
+        row = quarantine[0]
+        assert isinstance(row, QuarantinedRow)
+        assert row.path == str(path)
+        assert row.lineno == 3
+        assert row.content == "oops,0,8,R"
+        assert "malformed" in row.reason
+
+    def test_permissive_without_quarantine_list(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.GOOD + "oops,0,8,R\n")
+        assert len(read_request_trace(path, strict=False)) == 1
+
+    def test_lineno_accounts_for_comment_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# span=5.0 label=x\n" + self.GOOD + "bad,0,8,R\n")
+        quarantine = []
+        read_request_trace(path, strict=False, quarantine=quarantine)
+        assert quarantine[0].lineno == 4
+
+    def test_invariant_violations_quarantined(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            self.GOOD
+            + "nan,0,8,R\n"      # non-finite time
+            + "-1.0,0,8,R\n"     # negative time
+            + "2.0,-5,8,R\n"     # negative LBA
+            + "3.0,0,0,R\n"      # non-positive length
+            + "4.0,0,8,Q\n"      # bad op
+        )
+        quarantine = []
+        loaded = read_request_trace(path, strict=False, quarantine=quarantine)
+        assert len(loaded) == 1
+        reasons = " | ".join(row.reason for row in quarantine)
+        assert "non-finite time" in reasons
+        assert "negative time" in reasons
+        assert "negative LBA" in reasons
+        assert "non-positive nsectors" in reasons
+        assert "op must be R or W" in reasons
+
+    def test_nan_time_rejected_strict(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.GOOD + "nan,0,8,R\n")
+        with pytest.raises(TraceFormatError, match="non-finite time"):
+            read_request_trace(path)
+
+    def test_file_level_problems_raise_in_both_modes(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,2,3,R\n")
+        for strict in (True, False):
+            with pytest.raises(TraceFormatError):
+                read_request_trace(path, strict=strict)
+
+    def test_hourly_permissive_quarantines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            '{"drive_id": "d0", "read_bytes": [1.0], "write_bytes": [2.0]}\n'
+            "{not json}\n"
+        )
+        quarantine = []
+        loaded = read_hourly_dataset(path, strict=False, quarantine=quarantine)
+        assert len(loaded) == 1
+        assert quarantine[0].lineno == 2
+
+    def test_lifetime_permissive_quarantines_negative_counters(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text(
+            "drive_id,power_on_hours,bytes_read,bytes_written,model\n"
+            "a,100.0,1.0,2.0,m\n"
+            "b,-5.0,1.0,2.0,m\n"
+            "c,1.0,inf,2.0,m\n"
+        )
+        quarantine = []
+        loaded = read_lifetime_dataset(path, strict=False, quarantine=quarantine)
+        assert [r.drive_id for r in loaded] == ["a"]
+        assert len(quarantine) == 2
+        assert "finite" in quarantine[0].reason
+
+    def test_lifetime_strict_rejects_negative_counters(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text(
+            "drive_id,power_on_hours,bytes_read,bytes_written,model\n"
+            "b,-5.0,1.0,2.0,m\n"
+        )
+        with pytest.raises(TraceFormatError, match=rf"{path}:2"):
+            read_lifetime_dataset(path)
+
+
+class TestCapacityHeader:
+    def test_capacity_roundtrips(self, tmp_path):
+        trace = RequestTrace(
+            times=[0.0], lbas=[8], nsectors=[8], is_write=[False],
+            span=1.0, capacity_sectors=1024,
+        )
+        path = tmp_path / "cap.csv"
+        write_request_trace(trace, path)
+        assert "capacity=1024" in path.read_text().splitlines()[0]
+        assert read_request_trace(path).capacity_sectors == 1024
+
+    def test_unknown_capacity_omitted(self, tmp_path):
+        path = tmp_path / "nocap.csv"
+        write_request_trace(
+            RequestTrace([0.0], [8], [8], [False], span=1.0), path
+        )
+        assert "capacity" not in path.read_text().splitlines()[0]
+        assert read_request_trace(path).capacity_sectors is None
+
+    def test_row_past_capacity_rejected_strict(self, tmp_path):
+        path = tmp_path / "cap.csv"
+        path.write_text(
+            "# span=5.0 label=x capacity=100\n"
+            "time,lba,nsectors,op\n"
+            "0.0,96,8,R\n"
+        )
+        with pytest.raises(TraceFormatError, match="exceeds the header capacity"):
+            read_request_trace(path)
+
+    def test_row_past_capacity_quarantined_permissive(self, tmp_path):
+        path = tmp_path / "cap.csv"
+        path.write_text(
+            "# span=5.0 label=x capacity=100\n"
+            "time,lba,nsectors,op\n"
+            "0.0,0,8,R\n"
+            "1.0,96,8,R\n"
+        )
+        quarantine = []
+        loaded = read_request_trace(path, strict=False, quarantine=quarantine)
+        assert len(loaded) == 1
+        assert loaded.capacity_sectors == 100
+        assert quarantine[0].lineno == 4
+
+    def test_bad_capacity_header_raises_in_both_modes(self, tmp_path):
+        for value in ("0", "-5", "llama"):
+            path = tmp_path / "cap.csv"
+            path.write_text(
+                f"# span=5.0 label=x capacity={value}\n"
+                "time,lba,nsectors,op\n"
+            )
+            for strict in (True, False):
+                with pytest.raises(TraceFormatError, match=rf"{path}:1"):
+                    read_request_trace(path, strict=strict)
+
+    def test_non_finite_span_header_rejected(self, tmp_path):
+        path = tmp_path / "span.csv"
+        path.write_text("# span=inf label=x\ntime,lba,nsectors,op\n")
+        with pytest.raises(TraceFormatError, match="finite"):
+            read_request_trace(path)
