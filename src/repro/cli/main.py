@@ -36,6 +36,7 @@ from repro.core.timescales import run_millisecond_study
 from repro.disk.drive import DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
 from repro.disk.faults import available_fault_profiles, get_fault_profile
 from repro.errors import CliError, ReproError
+from repro.obs import OBS_LEVELS, Observer
 from repro.synth.family import FamilyModel
 from repro.synth.hourly import HourlyWorkloadModel
 from repro.synth.profiles import available_profiles, get_profile
@@ -66,6 +67,55 @@ def _drive(name: str) -> DriveSpec:
 def _fault_profile(name):
     """Resolve a ``--fault-profile`` value (``None`` = healthy drive)."""
     return None if name is None else get_fault_profile(name)
+
+
+def _obs_level_from_args(args: argparse.Namespace) -> str:
+    """The effective observability level: ``--trace-events PATH``
+    implies ``trace`` (no point dumping an empty file)."""
+    level = getattr(args, "obs", "off")
+    if getattr(args, "trace_events", None) and level != "trace":
+        level = "trace"
+    return level
+
+
+def _observer_from_args(args: argparse.Namespace) -> Optional[Observer]:
+    """Build the run's :class:`~repro.obs.Observer` (``None`` = off)."""
+    level = _obs_level_from_args(args)
+    return None if level == "off" else Observer(level)
+
+
+def _obs_section(obs: Observer) -> str:
+    """Render an observer's metrics (and event summary) for the report."""
+    table = Table(["metric", "value"], precision=6)
+    for name, counter in sorted(obs.metrics.counters.items()):
+        table.add_row([name, counter.value])
+    for name, gauge in sorted(obs.metrics.gauges.items()):
+        table.add_row([name, gauge.last])
+    for name, hist in sorted(obs.metrics.histograms.items()):
+        table.add_row([f"{name}.n", hist.n])
+        table.add_row([f"{name}.mean", hist.moments.mean])
+        table.add_row([f"{name}.p95~", hist.approx_quantile(0.95)])
+    body = table.render()
+    if obs.events is not None:
+        by_kind: dict = {}
+        for event in obs.events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        events = Table(["event_kind", "count"])
+        for kind, count in sorted(by_kind.items()):
+            events.add_row([kind, count])
+        note = f"{obs.events.n_emitted} events emitted"
+        if obs.events.n_dropped:
+            note += f", {obs.events.n_dropped} dropped (ring full)"
+        body += "\n" + events.render() + f"\n({note})"
+    return section(f"Observability (level={obs.level})", body)
+
+
+def _dump_trace_events(obs: Optional[Observer], path: Optional[str]) -> None:
+    """Write the observer's retained events to ``path`` as JSONL."""
+    if path is None or obs is None or obs.events is None:
+        return
+    written = obs.events.dump_jsonl(path)
+    print(f"wrote {written} trace events to {path}")
 
 
 def _fault_section(result) -> str:
@@ -125,10 +175,16 @@ def _cmd_analyze_ms(args: argparse.Namespace) -> int:
     trace = read_request_trace(args.trace)
     drive = _drive(args.drive)
     faults = _fault_profile(args.fault_profile)
-    study = run_millisecond_study(trace, drive, scheduler=args.scheduler, faults=faults)
+    obs = _observer_from_args(args)
+    study = run_millisecond_study(
+        trace, drive, scheduler=args.scheduler, faults=faults, obs=obs
+    )
     print(_render_study(study, drive))
     if faults is not None:
         print(_fault_section(study.simulation))
+    if obs is not None:
+        print(_obs_section(obs))
+        _dump_trace_events(obs, args.trace_events)
     return 0
 
 
@@ -136,13 +192,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
     drive = _drive(args.drive)
     profile = get_profile(args.profile)
     faults = _fault_profile(args.fault_profile)
+    obs = _observer_from_args(args)
     study = run_millisecond_study(
         profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler,
-        faults=faults,
+        faults=faults, obs=obs,
     )
     print(_render_study(study, drive))
     if faults is not None:
         print(_fault_section(study.simulation))
+    if obs is not None:
+        print(_obs_section(obs))
+        _dump_trace_events(obs, args.trace_events)
     return 0
 
 
@@ -252,6 +312,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     if unknown:
         raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
     faults = _fault_profile(args.fault_profile)
+    obs_level = _obs_level_from_args(args)
     jobs = experiment_matrix(
         profiles=[catalog[n] for n in names],
         drive=drive,
@@ -261,6 +322,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         span=args.span,
         queue_depth=args.queue_depth,
         faults=faults,
+        obs_level=obs_level,
     )
     runner = ExperimentRunner(
         workers=args.workers,
@@ -304,6 +366,35 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         print(_failure_table(report).render())
     if report.retries:
         print(f"({report.retries} retried attempt(s) across the suite)")
+    if obs_level != "off":
+        breakdown = report.phase_breakdown()
+        if breakdown:
+            phases = Table(
+                ["phase", "wall_s", "cpu_s", "jobs"],
+                title=f"per-phase breakdown (obs={obs_level})",
+                precision=4,
+            )
+            for name, entry in sorted(breakdown.items()):
+                phases.add_row(
+                    [name, entry["wall_seconds"], entry["cpu_seconds"],
+                     int(entry["jobs"])]
+                )
+            print(phases.render())
+        merged = report.merged_metrics()
+        if merged is not None:
+            print(
+                f"(suite-wide metrics: {len(merged)} series merged across "
+                f"{len(report.results)} jobs)"
+            )
+    if args.trace_events:
+        written = 0
+        with open(args.trace_events, "w") as fh:
+            for r in report.results:
+                for event in r.trace_events or ():
+                    json.dump({**event, "job": r.label}, fh, sort_keys=True)
+                    fh.write("\n")
+                    written += 1
+        print(f"wrote {written} trace events to {args.trace_events}")
     if args.json:
         payload = {
             "drive": drive.name,
@@ -315,6 +406,11 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
             "retries": report.retries,
             "wall_seconds": report.wall_seconds,
         }
+        if obs_level != "off":
+            payload["obs_level"] = obs_level
+            payload["phase_breakdown"] = report.phase_breakdown()
+            merged = report.merged_metrics()
+            payload["metrics"] = None if merged is None else merged.as_dict()
         if faults is not None:
             payload["fault_profile"] = faults.name
             payload["fault_summary"] = {
@@ -371,6 +467,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="inject drive faults during the replay (default: healthy)",
         )
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--obs", default="off", choices=list(OBS_LEVELS),
+            help="observability level: metrics alone, or metrics + event "
+            "trace (default: off; results are bit-identical at every level)",
+        )
+        p.add_argument(
+            "--trace-events", default=None, metavar="PATH",
+            help="dump the event trace as JSONL to PATH (implies --obs trace)",
+        )
+
     p = sub.add_parser("profiles", help="list built-in workload profiles")
     p.set_defaults(func=_cmd_profiles)
 
@@ -402,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
     add_faults(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_analyze_ms)
 
     p = sub.add_parser("study", help="synthesize + simulate + report in one shot")
@@ -411,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
     add_faults(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser(
@@ -455,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write results as JSON")
     add_drive(p)
     add_faults(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_run_suite)
 
     p = sub.add_parser("calibrate", help="fit a synthetic profile to a trace file")

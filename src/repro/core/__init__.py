@@ -52,7 +52,7 @@ from repro.core.latency import (
 from repro.core.prediction import IdlePredictor
 from repro.core.dossier import render_family_report, render_hour_report, render_study_report
 from repro.core.spatial_analysis import SpatialAnalysis, analyze_spatial, seek_distance_ecdf, zone_traffic
-from repro.core.streaming import StreamingCharacterizer
+from repro.core.streaming import StreamingCharacterizer, characterize_events
 from repro.core.forecast import ForecastScore, flat_mean_forecast, score_forecast, seasonal_ewma_forecast, seasonal_naive_forecast
 from repro.core.anomaly import DriveAnomaly, inject_regime_change, population_anomalies, self_anomalies
 from repro.core.suite import run_suite, suite_table
@@ -118,6 +118,7 @@ __all__ = [
     "zone_traffic",
     "seek_distance_ecdf",
     "StreamingCharacterizer",
+    "characterize_events",
     "ForecastScore",
     "seasonal_naive_forecast",
     "seasonal_ewma_forecast",

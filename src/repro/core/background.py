@@ -239,6 +239,7 @@ def plan_media_scrub(
     seconds_per_region: float,
     setup_seconds: float = 0.0,
     name: str = "media-scrub",
+    obs=None,
 ) -> ScrubPlan:
     """Lay a scrub of ``faults``' unrepaired latent regions into the
     timeline's idle intervals.
@@ -250,6 +251,10 @@ def plan_media_scrub(
     :meth:`~repro.disk.faults.FaultModel.schedule_repairs` needs. The
     plan does not mutate ``faults``; see :func:`scrub_latent_regions`
     for the one-call version that does.
+
+    ``obs`` (an :class:`~repro.obs.Observer`, optional) records one
+    ``scrub_chunk`` event per verified region at its repair clock, plus
+    plan-level counters; the plan itself is unaffected.
     """
     if seconds_per_region <= 0:
         raise AnalysisError(
@@ -285,9 +290,23 @@ def plan_media_scrub(
         while cursor < len(pending) and end - clock >= seconds_per_region:
             clock += seconds_per_region
             repair_times[pending[cursor]] = clock
+            if obs is not None and obs.tracing:
+                obs.emit(
+                    "scrub_chunk", clock, "scrub",
+                    region=int(pending[cursor]),
+                    resumption=resumptions,
+                    name=name,
+                )
             cursor += 1
         if cursor >= len(pending):
             completion_time = clock
+
+    if obs is not None and obs.enabled:
+        obs.metrics.counter("scrub.regions_scrubbed").inc(len(repair_times))
+        obs.metrics.counter("scrub.resumptions").inc(resumptions)
+        obs.metrics.gauge("scrub.completion_fraction").set(
+            len(repair_times) / len(pending)
+        )
 
     return ScrubPlan(
         task=task,
@@ -307,16 +326,18 @@ def scrub_latent_regions(
     seconds_per_region: float,
     setup_seconds: float = 0.0,
     name: str = "media-scrub",
+    obs=None,
 ) -> ScrubPlan:
     """Plan a media scrub and feed its repair times into ``faults``.
 
     After this call a re-run of the same workload against the same fault
     model sees every scrubbed region as healthy from its repair time on;
     only latent errors *hit before* the scrub reached them still fire.
+    ``obs`` is forwarded to :func:`plan_media_scrub`.
     """
     plan = plan_media_scrub(
         timeline, faults, seconds_per_region,
-        setup_seconds=setup_seconds, name=name,
+        setup_seconds=setup_seconds, name=name, obs=obs,
     )
     if plan.repair_times:
         faults.schedule_repairs(plan.repair_times)

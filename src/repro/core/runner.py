@@ -17,20 +17,27 @@ is the simulation itself, not inter-process traffic.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import traceback as traceback_module
-from dataclasses import asdict, dataclass
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, fields as dataclass_fields
 from time import perf_counter, sleep
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.disk.drive import DriveSpec
 from repro.disk.faults import FaultProfile
 from repro.disk.simulator import DiskSimulator
-from repro.errors import SimulationError, SuiteError
+from repro.errors import ObservabilityError, SimulationError, SuiteError
+from repro.obs import OBS_LEVELS, MetricsRegistry, Observer
 from repro.synth.workload import WorkloadProfile
+
+#: Version stamp written by :meth:`SuiteReport.to_json`; bump on any
+#: backwards-incompatible change to the serialized layout.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -61,6 +68,14 @@ class ExperimentJob:
         :class:`~repro.disk.faults.FaultModel` from the profile and the
         job seed, so fault placement and draws are identical no matter
         which worker runs the job.
+    obs_level:
+        Observability for this job: ``"off"`` (default, bit-identical to
+        the uninstrumented runner), ``"metrics"`` (the job's
+        :class:`~repro.obs.MetricsRegistry` snapshot and phase timings
+        come back on the :class:`JobResult`), or ``"trace"`` (typed
+        events too). A level, not an :class:`~repro.obs.Observer`: each
+        worker builds its own observer, and the shards merge in the
+        parent via :meth:`SuiteReport.merged_metrics`.
     """
 
     profile: WorkloadProfile
@@ -71,6 +86,14 @@ class ExperimentJob:
     queue_depth: Optional[int] = None
     fast_path: bool = True
     faults: Optional[FaultProfile] = None
+    obs_level: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.obs_level not in OBS_LEVELS:
+            raise ObservabilityError(
+                f"unknown obs_level {self.obs_level!r}; "
+                f"expected one of {OBS_LEVELS}"
+            )
 
     @property
     def label(self) -> str:
@@ -110,6 +133,17 @@ class JobResult:
     n_faulted: int = 0
     n_failed: int = 0
     fault_penalty_seconds: float = 0.0
+    #: Per-phase wall/CPU seconds (``None`` when the job ran with
+    #: ``obs_level="off"``); keys are phase names like ``"simulate"``.
+    phase_wall: Optional[Dict[str, float]] = None
+    phase_cpu: Optional[Dict[str, float]] = None
+    #: :meth:`~repro.obs.MetricsRegistry.as_dict` snapshot (``None`` at
+    #: ``obs_level="off"``) — merge shards with
+    #: :meth:`SuiteReport.merged_metrics`.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Retained :class:`~repro.obs.TraceEvent` dicts (``None`` below
+    #: ``obs_level="trace"``).
+    trace_events: Optional[List[Dict[str, Any]]] = None
 
     @property
     def replay_rate(self) -> float:
@@ -126,13 +160,28 @@ class JobResult:
 
 def run_job(job: ExperimentJob) -> JobResult:
     """Synthesize the job's trace, replay it, summarize. Module-level so
-    worker processes can unpickle it."""
+    worker processes can unpickle it.
+
+    With ``job.obs_level != "off"`` an :class:`~repro.obs.Observer` is
+    built for the job: phases (``synthesize`` / ``simulate`` /
+    ``describe``) are timed through its :class:`~repro.obs.ProfileScope`
+    and the registry/event snapshots travel back on the result. At
+    ``"off"`` no observer exists at all — the phase context managers are
+    :func:`~contextlib.nullcontext` — so the job runs exactly as it did
+    before observability existed.
+    """
     wall_start = perf_counter()
-    trace = job.profile.synthesize(
-        span=job.span,
-        capacity_sectors=job.drive.capacity_sectors,
-        seed=job.seed,
-    )
+    obs = Observer(job.obs_level) if job.obs_level != "off" else None
+
+    def phase(name: str):
+        return obs.profile.phase(name) if obs is not None else nullcontext()
+
+    with phase("synthesize"):
+        trace = job.profile.synthesize(
+            span=job.span,
+            capacity_sectors=job.drive.capacity_sectors,
+            seed=job.seed,
+        )
     simulator = DiskSimulator(
         job.drive,
         scheduler=job.scheduler,
@@ -140,16 +189,27 @@ def run_job(job: ExperimentJob) -> JobResult:
         queue_depth=job.queue_depth,
         fast_path=job.fast_path,
         faults=job.faults,
+        obs=obs,
     )
-    result = simulator.run(trace)
+    with phase("simulate"):
+        result = simulator.run(trace)
+    with phase("describe"):
+        if len(trace):
+            response = result.describe_response()
+            mean_service = float(result.service_times.mean())
+            mean_response, p95, worst = response.mean, response.p95, response.maximum
+            p99 = response.p99
+        else:
+            mean_service = mean_response = p95 = p99 = worst = float("nan")
     wall = perf_counter() - wall_start
-    if len(trace):
-        response = result.describe_response()
-        mean_service = float(result.service_times.mean())
-        mean_response, p95, worst = response.mean, response.p95, response.maximum
-        p99 = response.p99
+    if obs is not None:
+        phase_wall, phase_cpu = obs.profile.as_dicts()
+        metrics = obs.metrics.as_dict()
+        trace_events = (
+            [e.as_dict() for e in obs.events] if obs.events is not None else None
+        )
     else:
-        mean_service = mean_response = p95 = p99 = worst = float("nan")
+        phase_wall = phase_cpu = metrics = trace_events = None
     return JobResult(
         label=job.label,
         profile=job.profile.name,
@@ -169,6 +229,10 @@ def run_job(job: ExperimentJob) -> JobResult:
         n_faulted=result.n_faulted,
         n_failed=result.n_failed,
         fault_penalty_seconds=result.fault_penalty_seconds,
+        phase_wall=phase_wall,
+        phase_cpu=phase_cpu,
+        metrics=metrics,
+        trace_events=trace_events,
     )
 
 
@@ -194,13 +258,15 @@ def experiment_matrix(
     span: float = 300.0,
     queue_depth: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
+    obs_level: str = "off",
 ) -> List[ExperimentJob]:
     """The cross product profiles x schedulers x replicates as a job list,
     with per-job seeds derived deterministically from ``base_seed``.
 
     ``faults`` applies one fault profile to every job in the matrix
     (compare two matrices — one healthy, one degraded — rather than
-    mixing modes within a matrix)."""
+    mixing modes within a matrix); ``obs_level`` likewise applies one
+    observability level to every job."""
     if seeds_per_combo < 1:
         raise SimulationError(
             f"seeds_per_combo must be >= 1, got {seeds_per_combo!r}"
@@ -223,6 +289,7 @@ def experiment_matrix(
                     span=span,
                     queue_depth=queue_depth,
                     faults=faults,
+                    obs_level=obs_level,
                 )
             )
     return jobs
@@ -312,6 +379,39 @@ class SuiteReport:
         """Extra service seconds the fault machinery added, suite-wide."""
         return float(sum(r.fault_penalty_seconds for r in self.results))
 
+    def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Suite-wide per-phase totals from the jobs that ran observed.
+
+        Returns ``phase -> {"wall_seconds", "cpu_seconds", "jobs"}``,
+        summed across every result carrying phase timings; empty when
+        the whole suite ran at ``obs_level="off"``.
+        """
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for result in self.results:
+            if result.phase_wall is None:
+                continue
+            cpu = result.phase_cpu or {}
+            for name, wall in result.phase_wall.items():
+                entry = breakdown.setdefault(
+                    name, {"wall_seconds": 0.0, "cpu_seconds": 0.0, "jobs": 0}
+                )
+                entry["wall_seconds"] += float(wall)
+                entry["cpu_seconds"] += float(cpu.get(name, 0.0))
+                entry["jobs"] += 1
+        return breakdown
+
+    def merged_metrics(self) -> Optional[MetricsRegistry]:
+        """Every observed job's registry folded into one
+        :class:`~repro.obs.MetricsRegistry` (Chan-style, order-safe), or
+        ``None`` when no job recorded metrics."""
+        merged: Optional[MetricsRegistry] = None
+        for result in self.results:
+            if result.metrics is None:
+                continue
+            shard = MetricsRegistry.from_dict(result.metrics)
+            merged = shard if merged is None else merged.merge(shard)
+        return merged
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "n_jobs": self.n_jobs,
@@ -326,6 +426,71 @@ class SuiteReport:
                 "fault_penalty_seconds": self.fault_penalty_seconds,
             },
         }
+
+    # ------------------------------------------------------------------
+    # Versioned serialization (golden files, archived suite runs)
+    # ------------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the report with a schema version stamp.
+
+        The payload is :meth:`as_dict` plus ``schema_version``;
+        :meth:`from_json` refuses payloads from a different schema, so
+        archived reports fail loudly instead of deserializing wrongly.
+        NaN fields (e.g. ``p99_response`` of an empty job) round-trip
+        via Python's JSON extension literals.
+        """
+        payload = {"schema_version": SCHEMA_VERSION, **self.as_dict()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteReport":
+        """Rebuild a report serialized by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"invalid SuiteReport JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ObservabilityError(
+                f"SuiteReport JSON must be an object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"SuiteReport schema_version {version!r} is not supported "
+                f"(this library reads version {SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                results=tuple(
+                    _dataclass_from_record(JobResult, record)
+                    for record in payload.get("results", [])
+                ),
+                failures=tuple(
+                    _dataclass_from_record(JobFailure, record)
+                    for record in payload.get("failures", [])
+                ),
+                n_jobs=int(payload["n_jobs"]),
+                workers=int(payload["workers"]),
+                retries=int(payload["retries"]),
+                wall_seconds=float(payload["wall_seconds"]),
+            )
+        except KeyError as exc:
+            raise ObservabilityError(
+                f"SuiteReport JSON is missing field {exc}"
+            ) from exc
+
+
+def _dataclass_from_record(cls: type, record: Mapping[str, Any]) -> Any:
+    """Build a frozen record dataclass from a JSON object, ignoring
+    derived extras (``replay_rate``) and rejecting missing fields."""
+    names = {f.name for f in dataclass_fields(cls)}
+    try:
+        return cls(**{k: v for k, v in record.items() if k in names})
+    except TypeError as exc:
+        raise ObservabilityError(
+            f"malformed {cls.__name__} record: {exc}"
+        ) from exc
 
 
 def _execute_job(

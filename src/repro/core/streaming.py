@@ -184,6 +184,17 @@ class StreamingCharacterizer:
         self._prev_end = int(ends[-1])
         self._span_end = max(self._span_end, float(chunk.span), self._prev_time)
 
+    def observe_span(self, end: float) -> None:
+        """Extend the observation window to absolute clock ``end``.
+
+        A stream sliced from a longer run can end with idle time past the
+        last arrival; callers that know the true window end (a trace's
+        ``span``, or an event stream's ``run_end`` event) declare it here
+        so rates are computed over the real window, not just up to the
+        last request. Moving the end *backwards* is ignored.
+        """
+        self._span_end = max(self._span_end, float(end))
+
     # ------------------------------------------------------------------
     # Accumulated state
     # ------------------------------------------------------------------
@@ -242,3 +253,51 @@ class StreamingCharacterizer:
                 f"only {self._counts.size} count bins; Hurst needs >= 64"
             )
         return hurst_aggregate_variance(self._counts.astype(np.float64))
+
+
+def characterize_events(
+    events,
+    label: str = "events",
+    count_scale: float = 1.0,
+    start: Optional[float] = 0.0,
+) -> StreamingCharacterizer:
+    """Fold a dumped event trace into a :class:`StreamingCharacterizer`.
+
+    ``events`` is an iterable of :class:`~repro.obs.TraceEvent` objects
+    or their dicts (e.g. straight from
+    :func:`repro.obs.load_events_jsonl`). Each ``serve`` event carries
+    the request's arrival, LBA, size and direction, so replaying them in
+    trace order (by the ``index`` payload — service order can differ
+    under seek-aware disciplines) reconstructs exactly the request
+    stream the simulator consumed; a ``run_end`` event extends the
+    observation window to the run's true span. The result matches the
+    batch characterization of the replayed trace (tested to 1e-9),
+    closing the loop: a simulated run is itself analyzable at every
+    time-scale.
+
+    ``start`` defaults to ``0.0`` — a simulated run's observation window
+    opens at clock zero — unlike :class:`StreamingCharacterizer`'s
+    default of rebasing to the first arrival; pass ``start=None`` to get
+    that rebasing behaviour for sliced captures.
+    """
+    from repro.obs.events import TraceEvent, serve_events
+
+    materialized = [
+        e if isinstance(e, TraceEvent) else TraceEvent.from_dict(e)
+        for e in events
+    ]
+    served = serve_events(materialized)
+    if not served:
+        raise AnalysisError("event stream holds no 'serve' events")
+    characterizer = StreamingCharacterizer(
+        label=label, count_scale=count_scale, start=start
+    )
+    for event in served:
+        data = event.data
+        characterizer.add_request(
+            data["arrival"], data["lba"], data["nsectors"], data["write"]
+        )
+    for event in materialized:
+        if event.kind == "run_end":
+            characterizer.observe_span(event.time)
+    return characterizer

@@ -62,6 +62,7 @@ def run_millisecond_study(
     utilization_scales: Sequence[float] = (1.0, 10.0, 60.0),
     burstiness_base_scale: float = 0.01,
     faults=None,
+    obs=None,
 ) -> MillisecondStudy:
     """Run the full millisecond-scale pipeline.
 
@@ -76,6 +77,10 @@ def run_millisecond_study(
     :class:`~repro.disk.faults.FaultModel`, ``None`` = healthy) runs the
     replay in degraded mode; the fault record is available on
     ``study.simulation``.
+
+    ``obs`` (an :class:`~repro.obs.Observer`, ``None`` = unobserved) is
+    forwarded to the :class:`DiskSimulator`; results are bit-identical
+    either way.
     """
     if isinstance(trace_or_profile, WorkloadProfile):
         trace = trace_or_profile.synthesize(
@@ -88,7 +93,9 @@ def run_millisecond_study(
             "expected a RequestTrace or WorkloadProfile, got "
             f"{type(trace_or_profile).__name__}"
         )
-    result = DiskSimulator(drive, scheduler=scheduler, seed=seed, faults=faults).run(trace)
+    result = DiskSimulator(
+        drive, scheduler=scheduler, seed=seed, faults=faults, obs=obs
+    ).run(trace)
     timeline = result.timeline
 
     def _try(fn, *args, **kwargs):

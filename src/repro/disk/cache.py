@@ -84,9 +84,17 @@ class DiskCache:
         self._segments: deque = deque(maxlen=config.segment_count)
         self._dirty_bytes = 0.0
         self._last_drain_time = 0.0
+        #: Optional :class:`~repro.obs.Observer`; attached by the
+        #: simulator. Hit/absorb accounting only — never changes what the
+        #: cache decides, so observed runs stay bit-identical.
+        self.obs = None
 
     def reset(self) -> None:
-        """Forget all cached state (used between simulator runs)."""
+        """Forget all cached state (used between simulator runs).
+
+        The attached observer (if any) survives: it describes who is
+        watching, not one run's history.
+        """
         self._segments.clear()
         self._dirty_bytes = 0.0
         self._last_drain_time = 0.0
@@ -101,7 +109,10 @@ class DiskCache:
         if not self.config.read_ahead:
             return False
         end = lba + nsectors
-        return any(start <= lba and end <= stop for start, stop in self._segments)
+        hit = any(start <= lba and end <= stop for start, stop in self._segments)
+        if hit and self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("cache.read_hits").inc()
+        return hit
 
     def note_read(self, lba: int, nsectors: int) -> None:
         """Record the extent a read (plus prefetch) leaves in the cache."""
@@ -125,9 +136,18 @@ class DiskCache:
         if not self.config.write_back:
             return False
         self._drain_to(now)
+        obs = self.obs
         if self._dirty_bytes + nbytes > self.config.write_buffer_bytes:
+            if obs is not None and obs.enabled:
+                obs.metrics.counter("cache.writes_fallthrough").inc()
             return False
         self._dirty_bytes += nbytes
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("cache.writes_absorbed").inc()
+            obs.emit(
+                "write_absorbed", now, "cache",
+                nbytes=int(nbytes), dirty_bytes=self._dirty_bytes,
+            )
         return True
 
     def _drain_to(self, now: float) -> None:

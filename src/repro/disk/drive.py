@@ -151,6 +151,11 @@ class DiskDrive:
         #: every media access runs through its recovery semantics.
         self.faults = faults
         self._last_fault = None
+        #: Optional :class:`~repro.obs.Observer`; attached by the
+        #: simulator at trace level so seeks are recorded as events.
+        #: Never consulted on the vectorized path and never touches the
+        #: RNG, so observed and unobserved runs are bit-identical.
+        self.obs = None
 
     def reset(self) -> None:
         """Return the drive to its initial state (fresh RNG included)."""
@@ -217,7 +222,20 @@ class DiskDrive:
         else:
             distance = abs(target_cylinder - self._head_cylinder)
             latency = float(self._rng.uniform(0.0, rotation_time(self.spec.rpm)))
-            positioning = self.seek.seek_time(distance) + latency
+            seek_seconds = self.seek.seek_time(distance)
+            positioning = seek_seconds + latency
+            obs = self.obs
+            if obs is not None and obs.tracing and distance > 0:
+                obs.emit(
+                    "seek_start", now, "drive",
+                    from_cylinder=self._head_cylinder,
+                    to_cylinder=target_cylinder,
+                    distance=distance,
+                )
+                obs.emit(
+                    "seek_end", now + seek_seconds, "drive",
+                    to_cylinder=target_cylinder,
+                )
         media = transfer_time(
             nsectors, self.geometry.sectors_per_track_at(media_lba), self.spec.rpm
         )

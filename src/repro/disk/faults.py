@@ -279,6 +279,10 @@ class FaultModel:
         self._rng = np.random.default_rng(self._access_ss)
         self._reassigned: Dict[int, int] = {}
         self._next_spare = 0
+        #: Optional :class:`~repro.obs.Observer`; attached by the
+        #: simulator. Pure accounting — fault decisions and RNG draws are
+        #: identical with or without it (asserted by tests).
+        self.obs = None
 
     def reset(self) -> None:
         """Rewind per-run state: the access RNG and the reassignment map.
@@ -407,9 +411,18 @@ class FaultModel:
             kind = "transient"
             fault_region = touched[0]
 
+        obs = self.obs
+        observing = obs is not None and obs.enabled
         if kind is None:
             if slow_hit is None:
                 return service, None
+            if observing:
+                obs.metrics.counter("faults.slow_hits").inc()
+                obs.emit(
+                    "slow_region", now, "faults",
+                    lba=int(lba), region=int(slow_hit),
+                    penalty=service - float(base_service),
+                )
             return service, FaultEvent(
                 kind="slow",
                 lba=int(lba),
@@ -434,6 +447,27 @@ class FaultModel:
         reassigned = False
         if kind == "latent" and recovered:
             reassigned = self._reassign(fault_region)
+
+        if observing:
+            obs.metrics.counter("faults.retries").inc(retries)
+            if slow_hit is not None:
+                obs.metrics.counter("faults.slow_hits").inc()
+            obs.metrics.counter(
+                "faults.recovered" if recovered else "faults.hard_failures"
+            ).inc()
+            obs.emit(
+                "retry", now, "faults",
+                fault_kind=kind, lba=int(lba), region=int(fault_region),
+                retries=retries, recovered=recovered,
+                penalty=service - float(base_service),
+            )
+            if reassigned:
+                obs.metrics.counter("faults.reassignments").inc()
+                obs.emit(
+                    "reassignment", now, "faults",
+                    region=int(fault_region),
+                    spare_slot=self._reassigned[fault_region],
+                )
 
         return service, FaultEvent(
             kind=kind,

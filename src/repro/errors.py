@@ -70,5 +70,10 @@ class ProfileError(SynthesisError):
     """An unknown or malformed workload profile was requested."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused (unknown metric kind, merging
+    incompatible registries, malformed event-trace files)."""
+
+
 class CliError(ReproError):
     """Invalid command-line usage detected after argument parsing."""

@@ -1,0 +1,246 @@
+"""Typed event traces: what happened inside a run, and when.
+
+:class:`EventTrace` is a bounded ring-buffer recorder the instrumented
+subsystems emit into: the replay engines record every served request and
+every queue-depth change, the drive records seeks, the fault model
+records retries and reassignments, and the scrub planner records each
+verified region. Events are plain ``(time, kind, source, data)`` rows,
+dumpable to JSONL and loadable back, so a *simulated* run becomes a
+trace in its own right — :func:`request_trace_from_events` and
+:func:`timeline_from_events` rebuild the
+:class:`~repro.traces.millisecond.RequestTrace` /
+:class:`~repro.disk.timeline.BusyIdleTimeline` views that
+:mod:`repro.core.timescales` analyzes, closing the loop the paper drew
+between observation and analysis.
+
+Within one run, each emitting source appends in its own clock order, so
+per-source event streams are time-ordered (a property test asserts
+this); the global buffer interleaves sources in emission order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+#: Default ring capacity: enough for every event of a mid-size run.
+DEFAULT_EVENT_CAPACITY = 1 << 16
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    time:
+        Simulation-clock seconds at which the event happened.
+    kind:
+        The event type (``'serve'``, ``'queue_depth'``, ``'seek_start'``,
+        ``'seek_end'``, ``'retry'``, ``'reassignment'``, ``'slow_region'``,
+        ``'scrub_chunk'``, ``'write_absorbed'``, ``'cache_hit'``,
+        ``'run_end'``, ...).
+    source:
+        The emitting subsystem (``'sim'``, ``'queue'``, ``'drive'``,
+        ``'faults'``, ``'cache'``, ``'scrub'``).
+    data:
+        Kind-specific payload fields.
+    """
+
+    time: float
+    kind: str
+    source: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "source": self.source,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TraceEvent":
+        try:
+            return cls(
+                time=float(record["time"]),
+                kind=str(record["kind"]),
+                source=str(record["source"]),
+                data=dict(record.get("data", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed event record: {exc}") from exc
+
+
+class EventTrace:
+    """A bounded recorder: keeps the newest ``capacity`` events.
+
+    The ring never blocks an emitting hot path — when full, the oldest
+    events are dropped and counted in :attr:`n_dropped`, so the recorder
+    degrades by forgetting history rather than by slowing the run.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._emitted = 0
+
+    def emit(self, kind: str, time: float, source: str, **data: Any) -> None:
+        """Record one event (oldest events fall off a full ring)."""
+        self._ring.append(TraceEvent(float(time), kind, source, data))
+        self._emitted += 1
+
+    @property
+    def n_emitted(self) -> int:
+        """Events ever emitted, including any since dropped."""
+        return self._emitted
+
+    @property
+    def n_dropped(self) -> int:
+        """Events the ring has forgotten (emitted minus retained)."""
+        return self._emitted - len(self._ring)
+
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """The retained events in emission order."""
+        return tuple(self._ring)
+
+    def clear(self) -> None:
+        """Drop every retained event and reset the counters."""
+        self._ring.clear()
+        self._emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the retained events as one JSON object per line.
+
+        Returns the number of events written.
+        """
+        with open(path, "w") as fh:
+            for event in self._ring:
+                fh.write(json.dumps(event.as_dict()) + "\n")
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventTrace(retained={len(self._ring)}, emitted={self._emitted}, "
+            f"capacity={self.capacity})"
+        )
+
+
+def load_events_jsonl(path: str) -> List[TraceEvent]:
+    """Read an event trace dumped by :meth:`EventTrace.dump_jsonl`.
+
+    Malformed lines raise :class:`~repro.errors.ObservabilityError` with
+    the offending ``path:lineno`` rather than silently skipping.
+    """
+    events: List[TraceEvent] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: invalid JSON: {exc}"
+                ) from exc
+            events.append(TraceEvent.from_dict(record))
+    return events
+
+
+EventLike = Union[TraceEvent, Mapping[str, Any]]
+
+
+def _as_event(event: EventLike) -> TraceEvent:
+    if isinstance(event, TraceEvent):
+        return event
+    return TraceEvent.from_dict(event)
+
+
+def serve_events(events: Iterable[EventLike]) -> List[TraceEvent]:
+    """The ``serve`` events of a stream, in original request order.
+
+    Serve events carry the request's trace index, so re-sorting by it
+    recovers arrival order regardless of the discipline that reordered
+    service.
+    """
+    picked = [e for e in map(_as_event, events) if e.kind == "serve"]
+    picked.sort(key=lambda e: e.data.get("index", 0))
+    return picked
+
+
+def request_trace_from_events(
+    events: Iterable[EventLike],
+    label: str = "events",
+    span: Optional[float] = None,
+):
+    """Rebuild the replayed :class:`~repro.traces.millisecond.RequestTrace`
+    from a run's ``serve`` events.
+
+    ``span`` defaults to the ``run_end`` event's time when the stream
+    has one (the simulator emits it at the observation-window end), else
+    to the last arrival. The result feeds directly into
+    :func:`repro.core.timescales.run_millisecond_study` — a simulated
+    run re-analyzed at every time scale.
+    """
+    from repro.traces.millisecond import RequestTrace
+
+    materialized = [_as_event(e) for e in events]
+    served = serve_events(materialized)
+    if span is None:
+        for event in materialized:
+            if event.kind == "run_end":
+                span = float(event.time)
+                break
+    if not served:
+        raise ObservabilityError("event stream holds no 'serve' events")
+    return RequestTrace(
+        times=[e.data["arrival"] for e in served],
+        lbas=[e.data["lba"] for e in served],
+        nsectors=[e.data["nsectors"] for e in served],
+        is_write=[e.data["write"] for e in served],
+        span=span,
+        label=label,
+    )
+
+
+def timeline_from_events(events: Iterable[EventLike], span: Optional[float] = None):
+    """Rebuild the busy/idle timeline from a run's ``serve`` events.
+
+    Each serve event contributes the busy interval
+    ``[time, time + service)``; ``span`` defaults to the ``run_end``
+    event's time, else the last completion.
+    """
+    from repro.disk.timeline import BusyIdleTimeline
+
+    materialized = [_as_event(e) for e in events]
+    served = serve_events(materialized)
+    if span is None:
+        for event in materialized:
+            if event.kind == "run_end":
+                span = float(event.time)
+                break
+    if not served:
+        raise ObservabilityError("event stream holds no 'serve' events")
+    intervals = [(e.time, e.time + float(e.data["service"])) for e in served]
+    last_finish = max(end for _, end in intervals)
+    return BusyIdleTimeline(
+        intervals, span=last_finish if span is None else max(span, last_finish)
+    )

@@ -1,0 +1,88 @@
+"""Phase-level wall/CPU profiling for experiment jobs.
+
+:class:`ProfileScope` is a tiny, dependency-free accumulator the
+:class:`~repro.core.runner.ExperimentRunner` wraps around each job's
+phases (``synthesize``, ``simulate``, ``describe``). Wall time comes
+from :func:`time.perf_counter`, CPU time from :func:`time.process_time`;
+the gap between them is time spent off-CPU (I/O, scheduler), which is
+exactly the signal the ROADMAP's perf work needs before optimizing.
+
+Phases nest: entering ``simulate`` inside ``job`` records the inner span
+under ``"job/simulate"``, so breakdowns keep their call structure
+without any global state.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class PhaseTiming:
+    """Accumulated timings of one (possibly re-entered) phase."""
+
+    calls: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+
+class ProfileScope:
+    """Accumulates per-phase wall and CPU time.
+
+    >>> scope = ProfileScope()
+    >>> with scope.phase("simulate"):
+    ...     pass
+    >>> scope.phases["simulate"].calls
+    1
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseTiming] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; nested phases record as ``outer/inner``."""
+        if not name or "/" in name:
+            raise ObservabilityError(
+                f"phase name must be non-empty and '/'-free, got {name!r}"
+            )
+        self._stack.append(name)
+        key = "/".join(self._stack)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall_start
+            cpu = time.process_time() - cpu_start
+            timing = self.phases.setdefault(key, PhaseTiming())
+            timing.calls += 1
+            timing.wall_seconds += wall
+            timing.cpu_seconds += cpu
+            self._stack.pop()
+
+    def as_dicts(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """``(phase_wall, phase_cpu)`` as plain ``name -> seconds`` maps."""
+        wall = {name: t.wall_seconds for name, t in sorted(self.phases.items())}
+        cpu = {name: t.cpu_seconds for name, t in sorted(self.phases.items())}
+        return wall, cpu
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Full breakdown: ``name -> {calls, wall_seconds, cpu_seconds}``."""
+        return {name: t.as_dict() for name, t in sorted(self.phases.items())}
+
+    def __repr__(self) -> str:
+        return f"ProfileScope(phases={sorted(self.phases)})"

@@ -111,7 +111,8 @@ class StreamingMoments:
         batch = StreamingMoments()
         batch._n = int(batch_values.size)
         batch._mean = float(batch_values.mean())
-        batch._m2 = float(np.square(batch_values - batch._mean).sum())
+        centered = batch_values - batch._mean
+        batch._m2 = float(np.dot(centered, centered))
         batch._min = float(batch_values.min())
         batch._max = float(batch_values.max())
         merged = self.merge(batch)
@@ -136,6 +137,32 @@ class StreamingMoments:
         merged._min = min(self._min, other._min)
         merged._max = max(self._max, other._max)
         return merged
+
+    def state_dict(self) -> dict:
+        """The accumulator's full state as a JSON-friendly dict.
+
+        Together with :meth:`from_state_dict` this lets moment
+        accumulators travel across process boundaries (runner workers)
+        and serialization formats without losing merge-ability.
+        """
+        return {
+            "n": self._n,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min if self._n else None,
+            "max": self._max if self._n else None,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StreamingMoments":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        moments = cls()
+        moments._n = int(state["n"])
+        moments._mean = float(state["mean"])
+        moments._m2 = float(state["m2"])
+        moments._min = float("inf") if state["min"] is None else float(state["min"])
+        moments._max = float("-inf") if state["max"] is None else float(state["max"])
+        return moments
 
     @property
     def n(self) -> int:

@@ -16,6 +16,18 @@ from repro.synth.profiles import get_profile
 from repro.units import ms
 
 
+def pytest_addoption(parser):
+    """``--update-golden``: rewrite the committed expectations under
+    ``tests/golden/data/`` instead of diffing against them (see
+    ``tests/golden/golden_harness.py`` for the workflow)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden regression files instead of comparing",
+    )
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG, fresh per test."""

@@ -1,0 +1,15 @@
+"""Fixtures for the golden-trace regression harness."""
+
+from pathlib import Path
+
+import pytest
+
+from golden_harness import GoldenChecker
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+@pytest.fixture
+def golden(request) -> GoldenChecker:
+    """A checker bound to the committed data dir and --update-golden."""
+    return GoldenChecker(DATA_DIR, update=request.config.getoption("--update-golden"))

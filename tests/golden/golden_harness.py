@@ -1,0 +1,111 @@
+"""Golden-trace regression harness.
+
+Pins the end-to-end CLI outputs (reports, JSON payloads) for small
+committed synthetic traces, so an innocent-looking change anywhere in
+the synthesize → simulate → analyze → render pipeline that shifts a
+single number fails loudly with a diff instead of drifting silently.
+
+Workflow
+--------
+* ``pytest tests/golden`` regenerates every pinned output in a temp
+  location and diffs it against the committed expectation under
+  ``tests/golden/data/``. Any mismatch raises :class:`GoldenMismatch`
+  with a unified diff.
+* After an *intentional* behaviour change, rerun with
+  ``pytest tests/golden --update-golden`` to rewrite the expectations,
+  then review the diff in version control like any other code change.
+
+Volatile fields — anything timing-derived (wall seconds, replay rates,
+profiling breakdowns) — are scrubbed before comparison by
+:func:`scrub_volatile`, so goldens stay byte-stable across machines.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any
+
+#: Keys whose values depend on wall-clock timing, not on the pipeline's
+#: deterministic math. Dropped (recursively) before comparison.
+VOLATILE_KEYS = frozenset(
+    {"wall_seconds", "replay_rate", "phase_wall", "phase_cpu", "phase_breakdown"}
+)
+
+
+class GoldenMismatch(AssertionError):
+    """A regenerated output no longer matches its committed golden."""
+
+
+def scrub_volatile(payload: Any) -> Any:
+    """Recursively drop timing-derived keys from a JSON-like payload."""
+    if isinstance(payload, dict):
+        return {
+            key: scrub_volatile(value)
+            for key, value in payload.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(payload, list):
+        return [scrub_volatile(item) for item in payload]
+    return payload
+
+
+def canonical_json(payload: Any) -> str:
+    """The scrubbed, key-sorted text form a JSON golden is stored as.
+
+    Comparison happens on *text*, not parsed values: NaN != NaN would
+    make value-level comparison silently skip NaN fields, while the
+    serialized literal ``NaN`` compares exactly.
+    """
+    return json.dumps(scrub_volatile(payload), indent=2, sort_keys=True) + "\n"
+
+
+class GoldenChecker:
+    """Compare regenerated outputs against committed expectations.
+
+    Parameters
+    ----------
+    directory:
+        Where the golden files live (``tests/golden/data``).
+    update:
+        When true (``--update-golden``), rewrite expectations instead of
+        comparing — the test then passes and the diff shows up in git.
+    """
+
+    def __init__(self, directory: Path, update: bool = False) -> None:
+        self.directory = Path(directory)
+        self.update = bool(update)
+        self.updated: list = []
+
+    def check_text(self, name: str, actual: str) -> None:
+        """Diff ``actual`` against the committed golden ``name``."""
+        path = self.directory / name
+        if self.update:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual)
+            self.updated.append(name)
+            return
+        if not path.exists():
+            raise GoldenMismatch(
+                f"no golden at {path}; run pytest with --update-golden to "
+                "record it, then commit the new file"
+            )
+        expected = path.read_text()
+        if actual != expected:
+            diff = "".join(
+                difflib.unified_diff(
+                    expected.splitlines(keepends=True),
+                    actual.splitlines(keepends=True),
+                    fromfile=f"golden/{name}",
+                    tofile="regenerated",
+                )
+            )
+            raise GoldenMismatch(
+                f"output diverged from golden {name!r} "
+                f"(--update-golden rewrites it if intentional):\n{diff}"
+            )
+
+    def check_json(self, name: str, payload: Any) -> None:
+        """Scrub, canonicalize and diff a JSON-like payload."""
+        self.check_text(name, canonical_json(payload))

@@ -1,0 +1,107 @@
+"""Golden regression tests over the CLI's end-to-end outputs.
+
+Each test regenerates one pinned output from a small committed input and
+diffs it against ``tests/golden/data/`` (see ``golden_harness.py`` for
+the update workflow). Two self-tests guard the harness itself: the
+pipeline must be deterministic run-to-run, and an injected perturbation
+must fail the comparison loudly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from golden_harness import GoldenChecker, GoldenMismatch, canonical_json
+from repro.cli.main import main
+
+DATA_DIR = Path(__file__).parent / "data"
+WEB_TRACE = DATA_DIR / "web_small.csv"
+
+
+def _run_cli(capsys, *argv):
+    """Run the CLI in-process; returns (exit_code, stdout)."""
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def _suite_payload(tmp_path, name="suite.json"):
+    """One deterministic single-worker run-suite invocation's JSON."""
+    out = tmp_path / name
+    code = main(
+        [
+            "run-suite", "--profiles", "web", "--schedulers", "fcfs",
+            "--span", "20", "--seeds", "1", "--workers", "1",
+            "--obs", "metrics", "--json", str(out),
+        ]
+    )
+    assert code == 0
+    return json.loads(out.read_text())
+
+
+def test_analyze_ms_golden(capsys, golden):
+    """The full ms-scale report for the committed web trace is pinned."""
+    code, text = _run_cli(
+        capsys, "analyze-ms", str(WEB_TRACE), "--obs", "metrics"
+    )
+    assert code == 0
+    golden.check_text("analyze_ms_web_small.txt", text)
+
+
+def test_study_golden(capsys, golden):
+    """The one-shot study report (synthesize + simulate) is pinned."""
+    code, text = _run_cli(
+        capsys, "study", "--profile", "database", "--span", "15",
+        "--seed", "7", "--scheduler", "sstf",
+    )
+    assert code == 0
+    golden.check_text("study_database.txt", text)
+
+
+def test_run_suite_json_golden(tmp_path, capsys, golden):
+    """The run-suite JSON payload (with metrics) is pinned, modulo
+    timing-derived fields."""
+    payload = _suite_payload(tmp_path)
+    capsys.readouterr()
+    golden.check_json("run_suite_web.json", payload)
+
+
+def test_pipeline_is_deterministic(tmp_path, capsys):
+    """Two consecutive identical invocations must agree byte-for-byte
+    on every non-volatile field — the property the goldens rely on."""
+    first = _suite_payload(tmp_path, "first.json")
+    second = _suite_payload(tmp_path, "second.json")
+    capsys.readouterr()
+    assert canonical_json(first) == canonical_json(second)
+
+    _, text_a = _run_cli(capsys, "analyze-ms", str(WEB_TRACE))
+    _, text_b = _run_cli(capsys, "analyze-ms", str(WEB_TRACE))
+    assert text_a == text_b
+
+
+def test_harness_fails_on_perturbation(tmp_path, capsys):
+    """Self-test: a single perturbed metric must fail the comparison
+    (never silently pass), even in --update-golden runs."""
+    payload = _suite_payload(tmp_path)
+    capsys.readouterr()
+    payload["jobs"][0]["n_requests"] += 1
+    checker = GoldenChecker(DATA_DIR, update=False)
+    with pytest.raises(GoldenMismatch):
+        checker.check_json("run_suite_web.json", payload)
+
+
+def test_harness_reports_missing_golden(tmp_path):
+    """A brand-new golden name fails with the recording instruction."""
+    checker = GoldenChecker(DATA_DIR, update=False)
+    with pytest.raises(GoldenMismatch, match="--update-golden"):
+        checker.check_text("does_not_exist.txt", "anything\n")
+
+
+def test_update_mode_writes_instead_of_comparing(tmp_path):
+    """--update-golden records the new expectation and passes."""
+    checker = GoldenChecker(tmp_path, update=True)
+    checker.check_text("fresh.txt", "recorded\n")
+    assert (tmp_path / "fresh.txt").read_text() == "recorded\n"
+    assert checker.updated == ["fresh.txt"]
+    # A second, non-updating checker now agrees with what was recorded.
+    GoldenChecker(tmp_path, update=False).check_text("fresh.txt", "recorded\n")

@@ -1,0 +1,100 @@
+"""Unit tests for the event-trace ring buffer and its serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    EventTrace,
+    TraceEvent,
+    load_events_jsonl,
+    request_trace_from_events,
+    serve_events,
+    timeline_from_events,
+)
+
+
+class TestTraceEvent:
+    def test_dict_round_trip(self):
+        event = TraceEvent(1.5, "serve", "sim", {"index": 3, "lba": 100})
+        assert TraceEvent.from_dict(event.as_dict()) == event
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(ObservabilityError):
+            TraceEvent.from_dict({"kind": "serve"})  # no time
+        with pytest.raises(ObservabilityError):
+            TraceEvent.from_dict({"time": "not-a-number", "kind": "x", "source": "s"})
+
+
+class TestEventTrace:
+    def test_ring_drops_oldest_when_full(self):
+        trace = EventTrace(capacity=3)
+        for i in range(5):
+            trace.emit("tick", float(i), "test", i=i)
+        assert len(trace) == 3
+        assert trace.n_emitted == 5
+        assert trace.n_dropped == 2
+        assert [e.data["i"] for e in trace] == [2, 3, 4]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ObservabilityError):
+            EventTrace(capacity=0)
+
+    def test_clear_resets_counters(self):
+        trace = EventTrace(capacity=4)
+        trace.emit("tick", 0.0, "test")
+        trace.clear()
+        assert len(trace) == 0 and trace.n_emitted == 0 and trace.n_dropped == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.emit("serve", 0.25, "sim", index=0, lba=7)
+        trace.emit("run_end", 1.0, "sim", n_requests=1)
+        path = tmp_path / "events.jsonl"
+        assert trace.dump_jsonl(str(path)) == 2
+        loaded = load_events_jsonl(str(path))
+        assert loaded == list(trace.events())
+
+    def test_load_reports_offending_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 0, "kind": "a", "source": "s"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match="bad.jsonl:2"):
+            load_events_jsonl(str(path))
+
+
+class TestReconstruction:
+    def _events(self):
+        # Service order (by time) intentionally differs from trace order
+        # (by index), as under a seek-aware discipline.
+        return [
+            TraceEvent(0.1, "serve", "sim",
+                       {"index": 1, "arrival": 0.05, "lba": 10, "nsectors": 8,
+                        "write": False, "service": 0.02}),
+            TraceEvent(0.2, "serve", "sim",
+                       {"index": 0, "arrival": 0.01, "lba": 99, "nsectors": 16,
+                        "write": True, "service": 0.03}),
+            TraceEvent(2.0, "run_end", "sim", {"n_requests": 2}),
+        ]
+
+    def test_serve_events_sorted_by_trace_index(self):
+        ordered = serve_events(self._events())
+        assert [e.data["index"] for e in ordered] == [0, 1]
+
+    def test_request_trace_rebuilt_in_arrival_order(self):
+        trace = request_trace_from_events(self._events(), label="rebuilt")
+        assert trace.label == "rebuilt"
+        assert trace.span == 2.0  # from run_end
+        assert np.array_equal(trace.times, [0.01, 0.05])
+        assert np.array_equal(trace.lbas, [99, 10])
+        assert np.array_equal(trace.is_write, [True, False])
+
+    def test_timeline_covers_serve_intervals(self):
+        timeline = timeline_from_events(self._events())
+        assert timeline.span == 2.0
+        assert timeline.total_busy == pytest.approx(0.05)
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ObservabilityError):
+            request_trace_from_events([TraceEvent(0.0, "run_end", "sim")])
+        with pytest.raises(ObservabilityError):
+            timeline_from_events([])

@@ -1,0 +1,48 @@
+"""Unit tests for the phase-profiling hooks."""
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import ProfileScope
+
+
+def test_phase_accumulates_calls_and_time():
+    scope = ProfileScope()
+    for _ in range(3):
+        with scope.phase("simulate"):
+            time.sleep(0.001)
+    wall, cpu = scope.as_dicts()
+    assert set(wall) == {"simulate"}
+    assert wall["simulate"] >= 0.003
+    assert cpu["simulate"] >= 0.0
+    assert scope.as_dict()["simulate"]["calls"] == 3
+
+
+def test_nested_phases_get_slash_joined_names():
+    scope = ProfileScope()
+    with scope.phase("outer"):
+        with scope.phase("inner"):
+            pass
+    wall, _ = scope.as_dicts()
+    assert set(wall) == {"outer", "outer/inner"}
+    assert wall["outer"] >= wall["outer/inner"]
+
+
+def test_rejects_bad_phase_names():
+    scope = ProfileScope()
+    with pytest.raises(ObservabilityError):
+        with scope.phase(""):
+            pass
+    with pytest.raises(ObservabilityError):
+        with scope.phase("a/b"):
+            pass
+
+
+def test_exception_inside_phase_still_recorded():
+    scope = ProfileScope()
+    with pytest.raises(RuntimeError):
+        with scope.phase("boom"):
+            raise RuntimeError("boom")
+    assert scope.as_dict()["boom"]["calls"] == 1

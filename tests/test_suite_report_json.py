@@ -1,0 +1,61 @@
+"""SuiteReport schema-versioned JSON round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runner import (
+    SCHEMA_VERSION,
+    ExperimentJob,
+    ExperimentRunner,
+    SuiteReport,
+)
+from repro.errors import ObservabilityError
+from repro.synth.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def report(tiny_spec):
+    job = ExperimentJob(
+        profile=get_profile("web"), drive=tiny_spec, scheduler="fcfs",
+        seed=11, span=8.0, obs_level="metrics",
+    )
+    jobs = [job, dataclasses.replace(job, seed=12, obs_level="off")]
+    return ExperimentRunner(workers=1).run_suite(jobs)
+
+
+def test_round_trip_is_byte_exact(report):
+    text = report.to_json()
+    rebuilt = SuiteReport.from_json(text)
+    assert rebuilt.to_json() == text
+
+
+def test_round_trip_preserves_results_and_obs_payloads(report):
+    rebuilt = SuiteReport.from_json(report.to_json())
+    assert rebuilt.n_jobs == report.n_jobs
+    assert len(rebuilt.results) == len(report.results)
+    for original, copy in zip(report.results, rebuilt.results):
+        assert copy.label == original.label
+        assert copy.n_requests == original.n_requests
+        assert copy.metrics == original.metrics  # dict or None, as run
+        assert copy.phase_wall == original.phase_wall
+    # Derived views keep working on the rebuilt report.
+    assert rebuilt.phase_breakdown().keys() == report.phase_breakdown().keys()
+    merged = rebuilt.merged_metrics()
+    assert merged is not None
+    assert merged.counters["sim.requests"].value == report.results[0].n_requests
+
+
+def test_schema_version_is_embedded_and_checked(report):
+    import json
+
+    payload = json.loads(report.to_json())
+    assert payload["schema_version"] == SCHEMA_VERSION
+    payload["schema_version"] = 99
+    with pytest.raises(ObservabilityError, match="schema"):
+        SuiteReport.from_json(json.dumps(payload))
+
+
+def test_malformed_payload_rejected(report):
+    with pytest.raises(ObservabilityError):
+        SuiteReport.from_json("{\"schema_version\": 1}")
