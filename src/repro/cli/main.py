@@ -40,6 +40,7 @@ from repro.obs import OBS_LEVELS, Observer
 from repro.synth.family import FamilyModel
 from repro.synth.hourly import HourlyWorkloadModel
 from repro.synth.profiles import available_profiles, get_profile
+from repro.tier import TIER_MODES, TierConfig, available_heat_policies
 from repro.traces.io import (
     read_hourly_dataset,
     read_lifetime_dataset,
@@ -67,6 +68,14 @@ def _drive(name: str) -> DriveSpec:
 def _fault_profile(name):
     """Resolve a ``--fault-profile`` value (``None`` = healthy drive)."""
     return None if name is None else get_fault_profile(name)
+
+
+def _tier_config(args: argparse.Namespace) -> Optional[TierConfig]:
+    """Resolve ``--tier``/``--tier-policy`` (``None`` = bare drive)."""
+    mode = getattr(args, "tier", "off")
+    if mode == "off":
+        return None
+    return TierConfig(mode=mode, policy=getattr(args, "tier_policy", "lru"))
 
 
 def _obs_level_from_args(args: argparse.Namespace) -> str:
@@ -132,6 +141,35 @@ def _fault_section(result) -> str:
     return section("Fault injection", table.render())
 
 
+def _tier_section(result) -> str:
+    """Render the tier summary and hit/miss tail split of a tiered run."""
+    from repro.core.latency import analyze_tier_tail
+
+    summary = result.tier_summary
+    table = Table(["metric", "value"], precision=4)
+    for key in (
+        "mode", "policy", "requests", "read_hits", "write_hits", "hit_rate",
+        "hdd_offload", "flushed_bytes", "evictions", "dirty_evictions",
+        "promoted_chunks", "demoted_chunks",
+    ):
+        table.add_row([key, summary[key]])
+    body = table.render()
+    tail = analyze_tier_tail(result)
+    if tail.n_hits and tail.n_misses:
+        split = Table(["statistic", "hit", "miss", "miss/hit"], precision=4)
+        for name in ("mean", "p99", "p999", "max"):
+            split.add_row([
+                f"{name}_response_ms",
+                getattr(tail.hit, f"{name}_response") * 1e3,
+                getattr(tail.miss, f"{name}_response") * 1e3,
+                tail.miss_inflation[name],
+            ])
+        body += "\n" + split.render()
+    return section(
+        f"SSD tier ({summary['mode']}:{summary['policy']})", body
+    )
+
+
 def _cmd_profiles(_args: argparse.Namespace) -> int:
     table = Table(["name", "rate_req_s", "arrival", "spatial", "description"])
     for name, profile in sorted(available_profiles().items()):
@@ -175,13 +213,16 @@ def _cmd_analyze_ms(args: argparse.Namespace) -> int:
     trace = read_request_trace(args.trace)
     drive = _drive(args.drive)
     faults = _fault_profile(args.fault_profile)
+    tier = _tier_config(args)
     obs = _observer_from_args(args)
     study = run_millisecond_study(
-        trace, drive, scheduler=args.scheduler, faults=faults, obs=obs
+        trace, drive, scheduler=args.scheduler, faults=faults, tier=tier, obs=obs
     )
     print(_render_study(study, drive))
     if faults is not None:
         print(_fault_section(study.simulation))
+    if tier is not None:
+        print(_tier_section(study.simulation))
     if obs is not None:
         print(_obs_section(obs))
         _dump_trace_events(obs, args.trace_events)
@@ -192,14 +233,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
     drive = _drive(args.drive)
     profile = get_profile(args.profile)
     faults = _fault_profile(args.fault_profile)
+    tier = _tier_config(args)
     obs = _observer_from_args(args)
     study = run_millisecond_study(
         profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler,
-        faults=faults, obs=obs,
+        faults=faults, tier=tier, obs=obs,
     )
     print(_render_study(study, drive))
     if faults is not None:
         print(_fault_section(study.simulation))
+    if tier is not None:
+        print(_tier_section(study.simulation))
     if obs is not None:
         print(_obs_section(obs))
         _dump_trace_events(obs, args.trace_events)
@@ -312,6 +356,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     if unknown:
         raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
     faults = _fault_profile(args.fault_profile)
+    tier = _tier_config(args)
     obs_level = _obs_level_from_args(args)
     jobs = experiment_matrix(
         profiles=[catalog[n] for n in names],
@@ -322,6 +367,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         span=args.span,
         queue_depth=args.queue_depth,
         faults=faults,
+        tier=tier,
         obs_level=obs_level,
     )
     runner = ExperimentRunner(
@@ -342,9 +388,13 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     ]
     if faults is not None:
         columns += ["p99_resp_ms", "faulted", "failed"]
+    if tier is not None:
+        columns += ["tier_hit_rate", "hdd_offload"]
     title = f"run-suite: {len(jobs)} jobs on {drive.name}"
     if faults is not None:
         title += f" (faults={faults.name})"
+    if tier is not None:
+        title += f" (tier={tier.name})"
     table = Table(columns, title=title, precision=3)
     for r in report.results:
         row = [
@@ -353,8 +403,17 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         ]
         if faults is not None:
             row += [r.p99_response * 1e3, r.n_faulted, r.n_failed]
+        if tier is not None:
+            row += [r.tier_hit_rate, r.tier_hdd_offload]
         table.add_row(row)
     print(table.render())
+    if tier is not None and report.tiered_results:
+        print(
+            f"(tier {tier.name!r}: hit rate {report.tier_hit_rate:.3f}, "
+            f"HDD offload {report.tier_hdd_offload:.3f}, "
+            f"{report.tier_flushed_bytes} bytes destaged, "
+            f"{report.tier_migrated_chunks} chunks migrated suite-wide)"
+        )
     if faults is not None:
         print(
             f"(fault profile {faults.name!r}: {report.n_faulted} faulted, "
@@ -418,6 +477,15 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
                 "n_failed_requests": report.n_failed_requests,
                 "fault_penalty_seconds": report.fault_penalty_seconds,
             }
+        if tier is not None:
+            payload["tier"] = tier.name
+            payload["tier_summary"] = {
+                "n_tiered_jobs": len(report.tiered_results),
+                "hit_rate": report.tier_hit_rate,
+                "hdd_offload": report.tier_hdd_offload,
+                "flushed_bytes": report.tier_flushed_bytes,
+                "migrated_chunks": report.tier_migrated_chunks,
+            }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(
@@ -467,6 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="inject drive faults during the replay (default: healthy)",
         )
 
+    def add_tier(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--tier", default="off", choices=["off"] + list(TIER_MODES),
+            help="front the drive with an SSD cache tier: wt=write-through, "
+            "wb=write-back (default: off, bit-identical to no tier)",
+        )
+        p.add_argument(
+            "--tier-policy", default="lru",
+            choices=list(available_heat_policies()),
+            help="chunk-heat policy driving eviction and migration "
+            "(default: lru)",
+        )
+
     def add_obs(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--obs", default="off", choices=list(OBS_LEVELS),
@@ -509,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
     add_faults(p)
+    add_tier(p)
     add_obs(p)
     p.set_defaults(func=_cmd_analyze_ms)
 
@@ -519,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
     add_drive(p)
     add_faults(p)
+    add_tier(p)
     add_obs(p)
     p.set_defaults(func=_cmd_study)
 
@@ -564,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write results as JSON")
     add_drive(p)
     add_faults(p)
+    add_tier(p)
     add_obs(p)
     p.set_defaults(func=_cmd_run_suite)
 

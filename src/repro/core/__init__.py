@@ -43,8 +43,10 @@ from repro.core.idleness import chunks_available
 from repro.core.latency import (
     DegradedTailAnalysis,
     LatencyAnalysis,
+    TierTailAnalysis,
     analyze_degraded_tail,
     analyze_latency,
+    analyze_tier_tail,
     queue_depth_series,
     response_ecdf,
     tail_inflation,
@@ -108,6 +110,8 @@ __all__ = [
     "response_ecdf",
     "DegradedTailAnalysis",
     "analyze_degraded_tail",
+    "TierTailAnalysis",
+    "analyze_tier_tail",
     "tail_inflation",
     "IdlePredictor",
     "render_study_report",

@@ -170,27 +170,36 @@ class DegradedTailAnalysis:
     max_response: float
 
 
+def _tail_stats(responses: np.ndarray) -> tuple:
+    """(mean, p99, p999, max) of a response sample; all-NaN when empty."""
+    if responses.size == 0:
+        nan = float("nan")
+        return nan, nan, nan, nan
+    ordered = np.sort(responses)
+    p99, p999 = np.quantile(ordered, [0.99, 0.999])
+    return float(ordered.mean()), float(p99), float(p999), float(ordered[-1])
+
+
 def analyze_degraded_tail(result: SimulationResult) -> DegradedTailAnalysis:
     """Characterize the response-time tail of a run, healthy or degraded.
 
     Works on any :class:`SimulationResult` — on a healthy run the fault
     counters are simply zero, which makes the healthy-vs-degraded
-    comparison symmetric.
+    comparison symmetric. A zero-request run yields a well-defined empty
+    analysis (all counters zero, all response statistics NaN) rather
+    than raising, so sweep code can analyze every cell uniformly.
     """
-    if not len(result.trace):
-        raise AnalysisError("simulation served no requests; nothing to analyze")
-    responses = np.sort(result.response_times)
-    p99, p999 = np.quantile(responses, [0.99, 0.999])
+    mean, p99, p999, peak = _tail_stats(result.response_times)
     return DegradedTailAnalysis(
         n_requests=len(result.trace),
         n_faulted=result.n_faulted,
         n_failed=result.n_failed,
         completed_requests=result.completed_requests,
         fault_penalty_seconds=result.fault_penalty_seconds,
-        mean_response=float(responses.mean()),
-        p99_response=float(p99),
-        p999_response=float(p999),
-        max_response=float(responses[-1]),
+        mean_response=mean,
+        p99_response=p99,
+        p999_response=p999,
+        max_response=peak,
     )
 
 
@@ -202,10 +211,20 @@ def tail_inflation(
 
     A ratio of 1.0 means the fault profile left that statistic alone;
     latent-error retry ladders typically show up as P999 ratios far above
-    the mean ratio.
+    the mean ratio. Degenerate inputs get a sentinel instead of a
+    misleading number or a ``ZeroDivisionError``: both sides zero means
+    nothing changed (1.0); a zero, negative or non-finite baseline — or
+    a non-finite numerator, e.g. the NaN statistics of an empty analysis
+    — yields NaN.
     """
     def ratio(d: float, h: float) -> float:
-        return d / h if h > 0 else float("nan")
+        if not (np.isfinite(d) and np.isfinite(h)):
+            return float("nan")
+        if d == 0.0 and h == 0.0:
+            return 1.0
+        if h <= 0.0:
+            return float("nan")
+        return d / h
 
     return {
         "mean": ratio(degraded.mean_response, healthy.mean_response),
@@ -213,3 +232,89 @@ def tail_inflation(
         "p999": ratio(degraded.p999_response, healthy.p999_response),
         "max": ratio(degraded.max_response, healthy.max_response),
     }
+
+
+# ----------------------------------------------------------------------
+# Tier-split tails (SSD cache tier)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TierTailAnalysis:
+    """Hit/miss-split tail characterization of a tiered run.
+
+    A cache tier does to latency what fault injection does, in reverse:
+    it deflates the *bulk* (hits complete at flash speed) while the
+    misses keep — and under write-back eviction destages, inflate — the
+    mechanical tail. This reuses the degraded-tail machinery on the two
+    request subsets, and ``miss_inflation`` is
+    :func:`tail_inflation` of the miss subset over the hit subset: how
+    many times worse a tier miss is than a hit at each statistic.
+
+    Attributes
+    ----------
+    n_requests / n_hits / n_misses:
+        Request accounting (``n_hits + n_misses == n_requests``).
+    hit_rate:
+        ``n_hits / n_requests`` (NaN on an empty run).
+    hit / miss:
+        :class:`DegradedTailAnalysis` of each subset; an empty subset
+        carries NaN statistics.
+    miss_inflation:
+        ``{mean, p99, p999, max}`` ratios of miss over hit tails.
+    """
+
+    n_requests: int
+    n_hits: int
+    n_misses: int
+    hit_rate: float
+    hit: DegradedTailAnalysis
+    miss: DegradedTailAnalysis
+    miss_inflation: dict
+
+
+def _subset_tail(result: SimulationResult, mask: np.ndarray) -> DegradedTailAnalysis:
+    """Degraded-tail statistics of one request subset of a run."""
+    indices = set(np.flatnonzero(mask).tolist())
+    subset_events = [e for e in result.fault_events if e.index in indices]
+    n_failed = int(result.failed[mask].sum())
+    mean, p99, p999, peak = _tail_stats(result.response_times[mask])
+    return DegradedTailAnalysis(
+        n_requests=int(mask.sum()),
+        n_faulted=len({e.index for e in subset_events}),
+        n_failed=n_failed,
+        completed_requests=int(mask.sum()) - n_failed,
+        fault_penalty_seconds=float(sum(e.penalty for e in subset_events)),
+        mean_response=mean,
+        p99_response=p99,
+        p999_response=p999,
+        max_response=peak,
+    )
+
+
+def analyze_tier_tail(result: SimulationResult) -> TierTailAnalysis:
+    """Split a tiered run's response tail into flash hits and HDD misses.
+
+    Requires a run produced with a tier attached (``result.tier_hits``
+    is set); raises :class:`AnalysisError` otherwise. Zero-request runs
+    and all-hit/all-miss runs are well-defined: the empty subset carries
+    NaN statistics and the inflation ratios degrade to NaN through
+    :func:`tail_inflation`'s guards.
+    """
+    if result.tier_hits is None:
+        raise AnalysisError(
+            "result has no tier hit log; run the simulator with a TierConfig"
+        )
+    hits = result.tier_hits
+    n = len(result.trace)
+    hit_analysis = _subset_tail(result, hits)
+    miss_analysis = _subset_tail(result, ~hits)
+    return TierTailAnalysis(
+        n_requests=n,
+        n_hits=int(hits.sum()),
+        n_misses=n - int(hits.sum()),
+        hit_rate=float(hits.sum()) / n if n else float("nan"),
+        hit=hit_analysis,
+        miss=miss_analysis,
+        miss_inflation=tail_inflation(hit_analysis, miss_analysis),
+    )

@@ -34,6 +34,7 @@ from repro.disk.simulator import DiskSimulator
 from repro.errors import ObservabilityError, SimulationError, SuiteError
 from repro.obs import OBS_LEVELS, MetricsRegistry, Observer
 from repro.synth.workload import WorkloadProfile
+from repro.tier import TierConfig
 
 #: Version stamp written by :meth:`SuiteReport.to_json`; bump on any
 #: backwards-incompatible change to the serialized layout.
@@ -68,6 +69,13 @@ class ExperimentJob:
         :class:`~repro.disk.faults.FaultModel` from the profile and the
         job seed, so fault placement and draws are identical no matter
         which worker runs the job.
+    tier:
+        Optional :class:`~repro.tier.TierConfig` placing an SSD cache
+        tier in front of the drive (``None`` = bare drive,
+        bit-identical to a runner without the field). A config, not a
+        device: each worker materializes its own
+        :class:`~repro.tier.TieredDevice`, so flash placement is
+        identical no matter which worker runs the job.
     obs_level:
         Observability for this job: ``"off"`` (default, bit-identical to
         the uninstrumented runner), ``"metrics"`` (the job's
@@ -86,6 +94,7 @@ class ExperimentJob:
     queue_depth: Optional[int] = None
     fast_path: bool = True
     faults: Optional[FaultProfile] = None
+    tier: Optional[TierConfig] = None
     obs_level: str = "off"
 
     def __post_init__(self) -> None:
@@ -104,6 +113,8 @@ class ExperimentJob:
         )
         if self.faults is not None:
             label += f"/faults={self.faults.name}"
+        if self.tier is not None:
+            label += f"/tier={self.tier.name}"
         return label
 
 
@@ -133,6 +144,13 @@ class JobResult:
     n_faulted: int = 0
     n_failed: int = 0
     fault_penalty_seconds: float = 0.0
+    #: Tier accounting, all ``None`` when the job ran untiered; the
+    #: serialized record then omits them entirely, so untiered suites
+    #: (and their golden files) look exactly as they did pre-tier.
+    tier_hit_rate: Optional[float] = None
+    tier_hdd_offload: Optional[float] = None
+    tier_flushed_bytes: Optional[int] = None
+    tier_migrated_chunks: Optional[int] = None
     #: Per-phase wall/CPU seconds (``None`` when the job ran with
     #: ``obs_level="off"``); keys are phase names like ``"simulate"``.
     phase_wall: Optional[Dict[str, float]] = None
@@ -155,6 +173,14 @@ class JobResult:
     def as_dict(self) -> Dict[str, Any]:
         record = asdict(self)
         record["replay_rate"] = self.replay_rate
+        for key in (
+            "tier_hit_rate",
+            "tier_hdd_offload",
+            "tier_flushed_bytes",
+            "tier_migrated_chunks",
+        ):
+            if record[key] is None:
+                del record[key]
         return record
 
 
@@ -189,6 +215,7 @@ def run_job(job: ExperimentJob) -> JobResult:
         queue_depth=job.queue_depth,
         fast_path=job.fast_path,
         faults=job.faults,
+        tier=job.tier,
         obs=obs,
     )
     with phase("simulate"):
@@ -210,6 +237,17 @@ def run_job(job: ExperimentJob) -> JobResult:
         )
     else:
         phase_wall = phase_cpu = metrics = trace_events = None
+    if result.tier_summary is not None:
+        summary = result.tier_summary
+        tier_hit_rate: Optional[float] = float(summary["hit_rate"])
+        tier_hdd_offload: Optional[float] = float(summary["hdd_offload"])
+        tier_flushed_bytes: Optional[int] = int(summary["flushed_bytes"])
+        tier_migrated_chunks: Optional[int] = int(
+            summary["promoted_chunks"] + summary["demoted_chunks"]
+        )
+    else:
+        tier_hit_rate = tier_hdd_offload = None
+        tier_flushed_bytes = tier_migrated_chunks = None
     return JobResult(
         label=job.label,
         profile=job.profile.name,
@@ -229,6 +267,10 @@ def run_job(job: ExperimentJob) -> JobResult:
         n_faulted=result.n_faulted,
         n_failed=result.n_failed,
         fault_penalty_seconds=result.fault_penalty_seconds,
+        tier_hit_rate=tier_hit_rate,
+        tier_hdd_offload=tier_hdd_offload,
+        tier_flushed_bytes=tier_flushed_bytes,
+        tier_migrated_chunks=tier_migrated_chunks,
         phase_wall=phase_wall,
         phase_cpu=phase_cpu,
         metrics=metrics,
@@ -258,6 +300,7 @@ def experiment_matrix(
     span: float = 300.0,
     queue_depth: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
+    tier: Optional[TierConfig] = None,
     obs_level: str = "off",
 ) -> List[ExperimentJob]:
     """The cross product profiles x schedulers x replicates as a job list,
@@ -265,8 +308,9 @@ def experiment_matrix(
 
     ``faults`` applies one fault profile to every job in the matrix
     (compare two matrices — one healthy, one degraded — rather than
-    mixing modes within a matrix); ``obs_level`` likewise applies one
-    observability level to every job."""
+    mixing modes within a matrix); ``tier`` and ``obs_level`` likewise
+    apply one tier configuration and one observability level to every
+    job."""
     if seeds_per_combo < 1:
         raise SimulationError(
             f"seeds_per_combo must be >= 1, got {seeds_per_combo!r}"
@@ -289,6 +333,7 @@ def experiment_matrix(
                     span=span,
                     queue_depth=queue_depth,
                     faults=faults,
+                    tier=tier,
                     obs_level=obs_level,
                 )
             )
@@ -379,6 +424,44 @@ class SuiteReport:
         """Extra service seconds the fault machinery added, suite-wide."""
         return float(sum(r.fault_penalty_seconds for r in self.results))
 
+    @property
+    def tiered_results(self) -> Tuple[JobResult, ...]:
+        """The results that ran with an SSD tier attached."""
+        return tuple(r for r in self.results if r.tier_hit_rate is not None)
+
+    def _tier_weighted(self, attr: str) -> float:
+        """Request-weighted mean of one per-job tier rate, skipping jobs
+        whose rate is undefined (zero-request runs report NaN)."""
+        total = 0.0
+        weight = 0
+        for result in self.tiered_results:
+            value = getattr(result, attr)
+            if value is None or not np.isfinite(value):
+                continue
+            total += value * result.n_requests
+            weight += result.n_requests
+        return total / weight if weight else float("nan")
+
+    @property
+    def tier_hit_rate(self) -> float:
+        """Request-weighted flash hit rate across the tiered jobs."""
+        return self._tier_weighted("tier_hit_rate")
+
+    @property
+    def tier_hdd_offload(self) -> float:
+        """Request-weighted HDD byte-offload across the tiered jobs."""
+        return self._tier_weighted("tier_hdd_offload")
+
+    @property
+    def tier_flushed_bytes(self) -> int:
+        """Dirty bytes destaged to the HDD, suite-wide."""
+        return sum(r.tier_flushed_bytes or 0 for r in self.tiered_results)
+
+    @property
+    def tier_migrated_chunks(self) -> int:
+        """Chunks moved by migration epochs, suite-wide."""
+        return sum(r.tier_migrated_chunks or 0 for r in self.tiered_results)
+
     def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
         """Suite-wide per-phase totals from the jobs that ran observed.
 
@@ -413,7 +496,7 @@ class SuiteReport:
         return merged
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "n_jobs": self.n_jobs,
             "workers": self.workers,
             "retries": self.retries,
@@ -426,6 +509,17 @@ class SuiteReport:
                 "fault_penalty_seconds": self.fault_penalty_seconds,
             },
         }
+        # Only when some job actually ran tiered — untiered suites
+        # serialize exactly as they did before the tier existed.
+        if self.tiered_results:
+            payload["tier_summary"] = {
+                "n_tiered_jobs": len(self.tiered_results),
+                "hit_rate": self.tier_hit_rate,
+                "hdd_offload": self.tier_hdd_offload,
+                "flushed_bytes": self.tier_flushed_bytes,
+                "migrated_chunks": self.tier_migrated_chunks,
+            }
+        return payload
 
     # ------------------------------------------------------------------
     # Versioned serialization (golden files, archived suite runs)

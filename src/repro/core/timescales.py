@@ -62,6 +62,7 @@ def run_millisecond_study(
     utilization_scales: Sequence[float] = (1.0, 10.0, 60.0),
     burstiness_base_scale: float = 0.01,
     faults=None,
+    tier=None,
     obs=None,
 ) -> MillisecondStudy:
     """Run the full millisecond-scale pipeline.
@@ -77,6 +78,10 @@ def run_millisecond_study(
     :class:`~repro.disk.faults.FaultModel`, ``None`` = healthy) runs the
     replay in degraded mode; the fault record is available on
     ``study.simulation``.
+
+    ``tier`` (a :class:`~repro.tier.TierConfig`, ``None`` = bare drive)
+    replays through an SSD cache tier; the hit log and tier accounting
+    are available on ``study.simulation``.
 
     ``obs`` (an :class:`~repro.obs.Observer`, ``None`` = unobserved) is
     forwarded to the :class:`DiskSimulator`; results are bit-identical
@@ -94,7 +99,7 @@ def run_millisecond_study(
             f"{type(trace_or_profile).__name__}"
         )
     result = DiskSimulator(
-        drive, scheduler=scheduler, seed=seed, faults=faults, obs=obs
+        drive, scheduler=scheduler, seed=seed, faults=faults, tier=tier, obs=obs
     ).run(trace)
     timeline = result.timeline
 

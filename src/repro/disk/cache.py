@@ -83,6 +83,8 @@ class DiskCache:
         self.config = config
         self._segments: deque = deque(maxlen=config.segment_count)
         self._dirty_bytes = 0.0
+        self._absorbed_bytes = 0.0
+        self._drained_bytes = 0.0
         self._last_drain_time = 0.0
         #: Optional :class:`~repro.obs.Observer`; attached by the
         #: simulator. Hit/absorb accounting only — never changes what the
@@ -97,6 +99,8 @@ class DiskCache:
         """
         self._segments.clear()
         self._dirty_bytes = 0.0
+        self._absorbed_bytes = 0.0
+        self._drained_bytes = 0.0
         self._last_drain_time = 0.0
 
     # ------------------------------------------------------------------
@@ -129,6 +133,22 @@ class DiskCache:
         """Bytes currently waiting in the write buffer (pre-drain view)."""
         return self._dirty_bytes
 
+    @property
+    def absorbed_bytes(self) -> float:
+        """Total bytes ever completed in the buffer this run."""
+        return self._absorbed_bytes
+
+    @property
+    def drained_bytes(self) -> float:
+        """Total bytes destaged to media this run.
+
+        Conservation invariant (asserted by property tests):
+        ``absorbed_bytes == drained_bytes + dirty_bytes`` to within float
+        rounding — the buffer neither invents nor loses write data at
+        drain boundaries.
+        """
+        return self._drained_bytes
+
     def absorb_write(self, nbytes: int, now: float) -> bool:
         """Try to complete a write of ``nbytes`` at time ``now`` in the
         buffer. Returns ``True`` on success; ``False`` means the buffer is
@@ -142,6 +162,7 @@ class DiskCache:
                 obs.metrics.counter("cache.writes_fallthrough").inc()
             return False
         self._dirty_bytes += nbytes
+        self._absorbed_bytes += nbytes
         if obs is not None and obs.enabled:
             obs.metrics.counter("cache.writes_absorbed").inc()
             obs.emit(
@@ -158,5 +179,12 @@ class DiskCache:
                 f"cache clock moved backwards: {now} < {self._last_drain_time}"
             )
         elapsed = now - self._last_drain_time
-        self._dirty_bytes = max(0.0, self._dirty_bytes - elapsed * self.config.drain_rate)
+        # Destage exactly what is there, never more: clamping the
+        # *decrement* (not just the result) keeps the absorbed ==
+        # drained + dirty ledger balanced at every drain boundary —
+        # crediting the full elapsed * rate would count bytes the buffer
+        # never held as drained.
+        drained = min(self._dirty_bytes, elapsed * self.config.drain_rate)
+        self._dirty_bytes -= drained
+        self._drained_bytes += drained
         self._last_drain_time = now

@@ -47,6 +47,7 @@ from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import SimulationError
 from repro.obs import Observer
 from repro.stats.moments import describe, SampleDescription
+from repro.tier import TierConfig, TieredDevice
 from repro.traces.millisecond import RequestTrace
 
 
@@ -68,6 +69,8 @@ class SimulationResult:
         drive_name: str,
         scheduler_name: str,
         fault_events: Sequence[FaultEvent] = (),
+        tier_hits: Optional[np.ndarray] = None,
+        tier_summary: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.trace = trace
         self.start_times = start_times
@@ -86,6 +89,20 @@ class SimulationResult:
                 failed[event.index] = True
         failed.setflags(write=False)
         self.failed = failed
+        # Tier views: None on untiered runs (so a tier-less result is
+        # indistinguishable from one produced before the tier existed).
+        if tier_hits is not None:
+            tier_hits = np.asarray(tier_hits, dtype=bool)
+            tier_hits.setflags(write=False)
+        self.tier_hits = tier_hits
+        self.tier_summary = tier_summary
+
+    @property
+    def tier_hit_rate(self) -> float:
+        """Fraction of requests served at flash speed (nan if untiered)."""
+        if self.tier_hits is None or not len(self.tier_hits):
+            return float("nan")
+        return float(self.tier_hits.mean())
 
     @property
     def n_failed(self) -> int:
@@ -195,6 +212,18 @@ class DiskSimulator:
         directly and reset before each run (its layout and scheduled
         repairs survive, its access RNG rewinds), so repeated runs are
         bit-identical.
+    tier:
+        ``None`` (default) replays against the bare drive —
+        bit-identical to a simulator without the parameter (asserted by
+        property tests and the golden harness). A
+        :class:`~repro.tier.TierConfig` materializes a fresh
+        :class:`~repro.tier.TieredDevice` around the drive each run, so
+        reads that hit flash complete at SSD latency, misses pay the
+        drive (plus any synchronous dirty destage), and the result grows
+        ``tier_hits`` / ``tier_summary``. A tier always replays through
+        a per-request engine — the batched FCFS path cannot consult
+        residency, so it falls back to the bit-identical sequential
+        execution.
     obs:
         ``None`` (default) records nothing and is bit-identical to a
         simulator without the parameter. An
@@ -222,11 +251,16 @@ class DiskSimulator:
         queue_depth: Optional[int] = None,
         fast_path: bool = True,
         faults: Optional[Union[FaultProfile, FaultModel]] = None,
+        tier: Optional[TierConfig] = None,
         obs: Optional[Observer] = None,
     ) -> None:
         if queue_depth is not None and queue_depth < 1:
             raise SimulationError(
                 f"queue_depth must be >= 1, got {queue_depth!r}"
+            )
+        if tier is not None and not isinstance(tier, TierConfig):
+            raise SimulationError(
+                f"tier must be a TierConfig or None, got {type(tier).__name__}"
             )
         if isinstance(drive, DiskDrive):
             self._spec: Optional[DriveSpec] = None
@@ -240,6 +274,7 @@ class DiskSimulator:
         self.queue_depth = queue_depth
         self.fast_path = bool(fast_path)
         self.faults = faults
+        self.tier = tier
         if obs is not None and not isinstance(obs, Observer):
             raise SimulationError(
                 f"obs must be an Observer or None, got {type(obs).__name__}"
@@ -280,6 +315,9 @@ class DiskSimulator:
         scheduler = self._fresh_scheduler()
         n = len(trace)
         capacity = drive.geometry.capacity_sectors
+        # A fresh TieredDevice per run keeps runs independent; the
+        # engines drive it through the same surface as the bare drive.
+        device = TieredDevice(drive, self.tier) if self.tier is not None else drive
 
         obs = self.obs
         observing = obs is not None and obs.enabled
@@ -290,6 +328,8 @@ class DiskSimulator:
         drive.cache.obs = obs if observing else None
         if drive.faults is not None:
             drive.faults.obs = obs if observing else None
+        if device is not drive:
+            device.obs = obs if tracing else None
 
         arrivals = trace.times
         lbas = trace.lbas
@@ -313,9 +353,14 @@ class DiskSimulator:
             # FCFS serves in arrival order regardless of queue depth, so
             # the queue machinery is pure overhead.
             cache = drive.spec.cache
-            if not cache.read_ahead and not cache.write_back and drive.faults is None:
+            if (
+                not cache.read_ahead
+                and not cache.write_back
+                and drive.faults is None
+                and device is drive
+            ):
                 # The batched path cannot consult the per-access fault
-                # hook; an active fault model falls back to the
+                # hook or tier residency; either one falls back to the
                 # bit-identical sequential execution.
                 start_times, service_times = _run_fcfs_vectorized(
                     drive, arrivals, lbas, sizes
@@ -323,7 +368,7 @@ class DiskSimulator:
                 fault_events = []
             else:
                 start_times, service_times, fault_events = _run_fcfs_sequential(
-                    drive, arrivals, lbas, sizes, trace.is_write
+                    device, arrivals, lbas, sizes, trace.is_write
                 )
         elif (
             self.fast_path
@@ -331,15 +376,27 @@ class DiskSimulator:
             and self.queue_depth is None
         ):
             start_times, service_times, fault_events = _run_sstf_sorted(
-                drive, arrivals, lbas, sizes, trace.is_write
+                device, arrivals, lbas, sizes, trace.is_write
             )
         else:
             start_times, service_times, fault_events = _run_event_loop(
-                drive, scheduler, arrivals, lbas, sizes, trace.is_write,
+                device, scheduler, arrivals, lbas, sizes, trace.is_write,
                 self.queue_depth,
             )
 
         drive_name = drive.spec.name
+        tier_hits: Optional[np.ndarray] = None
+        tier_summary: Optional[Dict[str, Any]] = None
+        if device is not drive:
+            # The hit log is in service order; service times are strictly
+            # positive, so start times are strictly increasing in serve
+            # order and a stable argsort recovers the permutation back to
+            # trace order.
+            tier_hits = np.zeros(n, dtype=bool)
+            if n:
+                order = np.argsort(start_times, kind="stable")
+                tier_hits[order] = np.asarray(device.hit_log, dtype=bool)
+            tier_summary = device.summary()
         result = SimulationResult(
             trace=trace,
             start_times=start_times,
@@ -347,6 +404,8 @@ class DiskSimulator:
             drive_name=drive_name,
             scheduler_name=getattr(scheduler, "name", type(scheduler).__name__),
             fault_events=fault_events,
+            tier_hits=tier_hits,
+            tier_summary=tier_summary,
         )
         if observing:
             _record_metrics(obs, result, lbas, sizes)
@@ -391,7 +450,7 @@ def _run_fcfs_vectorized(
 
 
 def _run_fcfs_sequential(
-    drive: DiskDrive,
+    drive: Union[DiskDrive, TieredDevice],
     arrivals: np.ndarray,
     lbas: np.ndarray,
     sizes: np.ndarray,
@@ -429,7 +488,7 @@ def _run_fcfs_sequential(
 
 
 def _run_sstf_sorted(
-    drive: DiskDrive,
+    drive: Union[DiskDrive, TieredDevice],
     arrivals: np.ndarray,
     lbas: np.ndarray,
     sizes: np.ndarray,
@@ -535,6 +594,22 @@ def _record_metrics(
         # Zero waits (idle-arrival requests, the common case at low
         # utilization) land in the histogram's underflow bucket.
         metrics.histogram("sim.wait_time").observe_many(result.wait_times)
+    if result.tier_summary is not None:
+        summary = result.tier_summary
+        metrics.counter("tier.requests").inc(summary["requests"])
+        metrics.counter("tier.read_hits").inc(summary["read_hits"])
+        metrics.counter("tier.write_hits").inc(summary["write_hits"])
+        metrics.counter("tier.bytes_to_hdd").inc(summary["bytes_to_hdd"])
+        metrics.counter("tier.flushed_bytes").inc(summary["flushed_bytes"])
+        metrics.counter("tier.evictions").inc(summary["evictions"])
+        metrics.counter("tier.promoted_chunks").inc(summary["promoted_chunks"])
+        metrics.counter("tier.demoted_chunks").inc(summary["demoted_chunks"])
+        hit_rate = summary["hit_rate"]
+        if np.isfinite(hit_rate):
+            metrics.gauge("tier.hit_rate").set(hit_rate)
+        offload = summary["hdd_offload"]
+        if np.isfinite(offload):
+            metrics.gauge("tier.hdd_offload").set(offload)
 
 
 def _emit_serve_events(
@@ -600,7 +675,7 @@ def _emit_queue_depth_events(
 
 
 def _run_event_loop(
-    drive: DiskDrive,
+    drive: Union[DiskDrive, TieredDevice],
     scheduler: Scheduler,
     arrivals: np.ndarray,
     lbas: np.ndarray,

@@ -35,6 +35,11 @@ class FaultInjectionError(DiskModelError):
     (impossible fault layout, repairs scheduled for healthy regions)."""
 
 
+class TierError(DiskModelError):
+    """The SSD cache tier was configured inconsistently (unknown
+    admission mode or heat policy, capacity smaller than one chunk)."""
+
+
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 

@@ -1,0 +1,40 @@
+"""Hybrid SSD/HDD tiered storage: an SSD cache tier fronting the drive.
+
+The package provides the flash latency model (:class:`SsdSpec`),
+pluggable chunk-heat policies (:func:`make_heat_policy`), the epoch
+migration planner (:class:`MigrationEngine`) and the engine-compatible
+:class:`TieredDevice` the simulator drives. Configure a tier with
+:class:`TierConfig` and hand it to :class:`~repro.disk.simulator
+.DiskSimulator` (``tier=``) or :class:`~repro.core.runner.ExperimentJob`.
+"""
+
+from repro.tier.device import TIER_MODES, TierConfig, TieredDevice, TierStats
+from repro.tier.migration import MigrationEngine, MigrationPlan
+from repro.tier.policy import (
+    HeatPolicy,
+    LearnedPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RecencyFrequencyPolicy,
+    available_heat_policies,
+    make_heat_policy,
+)
+from repro.tier.ssd import SsdSpec, datacenter_ssd
+
+__all__ = [
+    "TIER_MODES",
+    "TierConfig",
+    "TierStats",
+    "TieredDevice",
+    "MigrationEngine",
+    "MigrationPlan",
+    "HeatPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "RecencyFrequencyPolicy",
+    "LearnedPolicy",
+    "available_heat_policies",
+    "make_heat_policy",
+    "SsdSpec",
+    "datacenter_ssd",
+]

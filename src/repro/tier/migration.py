@@ -1,0 +1,134 @@
+"""Chunk-granularity migration planning for the SSD tier.
+
+Admission-on-miss alone only promotes what the *read* path happens to
+touch; a tier also needs a background loop that periodically reshapes
+flash residency toward the currently hot set — promoting chunks that got
+hot without ever missing (write-through writes never allocate) and
+demoting residents that cooled off. That loop is the
+:class:`MigrationEngine`: at every epoch it ranks all tracked chunks
+with the heat policy, computes the desired resident set (the hottest
+``capacity`` chunks), and plans a bounded batch of promotions and
+demotions toward it. The shape mirrors the epoch-driven chunk-migration
+loops of learned-tiering systems (observe stats, rank, move K chunks),
+which is exactly why :class:`~repro.tier.policy.LearnedPolicy` plugs in
+here unchanged.
+
+Planning is pure (no tier state is mutated), so it is independently
+testable and the caller decides how moves are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, List, Tuple
+
+from repro.errors import TierError
+from repro.tier.policy import HeatPolicy
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """One epoch's planned moves, hottest promotions first.
+
+    ``promote`` chunks are to be copied HDD→flash; ``demote`` chunks
+    leave flash (dirty ones must be destaged by the caller). The two
+    lists never overlap and respect capacity: applying both leaves the
+    resident count at most ``capacity``.
+    """
+
+    promote: Tuple[int, ...]
+    demote: Tuple[int, ...]
+
+    @property
+    def moves(self) -> int:
+        return len(self.promote) + len(self.demote)
+
+
+class MigrationEngine:
+    """Plan bounded per-epoch chunk moves toward the policy's hot set.
+
+    Parameters
+    ----------
+    policy:
+        The heat policy whose scores define hot and cold.
+    capacity_chunks:
+        Flash capacity in chunks.
+    chunks_per_epoch:
+        Upper bound on ``promote + demote`` moves per plan — migration
+        bandwidth is not free, so one epoch never reshapes the whole
+        tier.
+    min_score_margin:
+        A promotion must beat the victim it displaces by more than this
+        score margin, preventing churn between near-equal chunks.
+    """
+
+    def __init__(
+        self,
+        policy: HeatPolicy,
+        capacity_chunks: int,
+        chunks_per_epoch: int = 64,
+        min_score_margin: float = 0.0,
+    ) -> None:
+        if capacity_chunks < 1:
+            raise TierError(
+                f"capacity_chunks must be >= 1, got {capacity_chunks!r}"
+            )
+        if chunks_per_epoch < 1:
+            raise TierError(
+                f"chunks_per_epoch must be >= 1, got {chunks_per_epoch!r}"
+            )
+        if min_score_margin < 0:
+            raise TierError(
+                f"min_score_margin must be >= 0, got {min_score_margin!r}"
+            )
+        self.policy = policy
+        self.capacity_chunks = capacity_chunks
+        self.chunks_per_epoch = chunks_per_epoch
+        self.min_score_margin = min_score_margin
+        self.epochs_run = 0
+
+    def plan(self, resident: AbstractSet[int], now: float) -> MigrationPlan:
+        """The epoch's moves given the current resident set.
+
+        Deterministic: rankings tie-break on chunk id (see
+        :meth:`HeatPolicy.ranked`), so identical histories yield
+        identical plans.
+        """
+        self.epochs_run += 1
+        ranked = self.policy.ranked(self.policy.tracked, now)
+        desired = ranked[: self.capacity_chunks]
+        desired_set = set(desired)
+
+        # Coldest-first candidates to leave flash; hottest-first to enter.
+        demote_pool = [c for c in reversed(ranked) if c in resident and c not in desired_set]
+        promote_pool = [c for c in desired if c not in resident]
+
+        budget = self.chunks_per_epoch
+        promote: List[int] = []
+        demote: List[int] = []
+        free = self.capacity_chunks - len(resident)
+        for chunk in promote_pool:
+            if budget <= 0:
+                break
+            if free > 0:
+                free -= 1
+            else:
+                if not demote_pool or budget < 2:
+                    break
+                victim = demote_pool.pop(0)
+                gain = self.policy.score(chunk, now) - self.policy.score(victim, now)
+                if gain <= self.min_score_margin:
+                    break  # pools are sorted: later swaps are worse
+                demote.append(victim)
+                budget -= 1
+            promote.append(chunk)
+            budget -= 1
+        # Spend leftover budget shedding residents that fell out of the
+        # hot set even when nothing replaces them (frees space for the
+        # next admission burst).
+        for victim in demote_pool:
+            if budget <= 0:
+                break
+            demote.append(victim)
+            budget -= 1
+        return MigrationPlan(promote=tuple(promote), demote=tuple(demote))

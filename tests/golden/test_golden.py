@@ -25,14 +25,14 @@ def _run_cli(capsys, *argv):
     return code, capsys.readouterr().out
 
 
-def _suite_payload(tmp_path, name="suite.json"):
+def _suite_payload(tmp_path, name="suite.json", extra=()):
     """One deterministic single-worker run-suite invocation's JSON."""
     out = tmp_path / name
     code = main(
         [
             "run-suite", "--profiles", "web", "--schedulers", "fcfs",
             "--span", "20", "--seeds", "1", "--workers", "1",
-            "--obs", "metrics", "--json", str(out),
+            "--obs", "metrics", "--json", str(out), *extra,
         ]
     )
     assert code == 0
@@ -64,6 +64,18 @@ def test_run_suite_json_golden(tmp_path, capsys, golden):
     payload = _suite_payload(tmp_path)
     capsys.readouterr()
     golden.check_json("run_suite_web.json", payload)
+
+
+def test_run_suite_tier_wb_json_golden(tmp_path, capsys, golden):
+    """The same suite fronted by the write-back SSD tier is pinned
+    separately; the untiered golden above must stay byte-identical."""
+    payload = _suite_payload(
+        tmp_path, "tier.json", extra=["--tier", "wb", "--tier-policy", "lru"]
+    )
+    capsys.readouterr()
+    assert payload["tier"] == "wb:lru"
+    assert "tier_summary" in payload
+    golden.check_json("run_suite_web_tier_wb.json", payload)
 
 
 def test_pipeline_is_deterministic(tmp_path, capsys):

@@ -1,6 +1,8 @@
 """On-board cache model: read-ahead and write-back behavior."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.disk.cache import CacheConfig, DiskCache
 from repro.errors import DiskModelError
@@ -117,3 +119,63 @@ class TestWriteBack:
         cache.reset()
         assert cache.dirty_bytes == 0.0
         assert cache.absorb_write(MIB, now=0.0)
+
+
+class TestDrainConservation:
+    """The write buffer neither invents nor loses bytes at drain
+    boundaries: absorbed == drained + dirty remainder, always."""
+
+    def _check(self, cache):
+        assert cache.absorbed_bytes == pytest.approx(
+            cache.drained_bytes + cache.dirty_bytes, rel=1e-9, abs=1e-6
+        )
+
+    def test_counters_start_zero(self):
+        cache = make_cache()
+        assert cache.absorbed_bytes == 0.0
+        assert cache.drained_bytes == 0.0
+        self._check(cache)
+
+    def test_full_drain_never_over_credits(self):
+        cache = make_cache()  # drains 1 MiB/s
+        assert cache.absorb_write(MIB // 4, now=0.0)
+        # A long idle gap could drain far more than was ever absorbed;
+        # drained must stop at what the buffer actually held.
+        assert cache.absorb_write(1024, now=100.0)
+        assert cache.drained_bytes == pytest.approx(MIB // 4)
+        self._check(cache)
+
+    def test_reset_clears_ledger(self):
+        cache = make_cache()
+        cache.absorb_write(MIB, now=0.0)
+        cache.reset()
+        assert cache.absorbed_bytes == 0.0
+        assert cache.drained_bytes == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=2 * MIB),
+                st.floats(min_value=0.0, max_value=2.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_conservation_over_arbitrary_schedules(self, steps):
+        """Property: for any interleaving of absorbs and clock advances,
+        every absorbed byte is either drained or still dirty."""
+        cache = make_cache()
+        now = 0.0
+        for nbytes, gap in steps:
+            now += gap
+            absorbed_before = cache.absorbed_bytes
+            accepted = cache.absorb_write(nbytes, now=now)
+            # The ledger moves only when the write is accepted.
+            expected = absorbed_before + (nbytes if accepted else 0)
+            assert cache.absorbed_bytes == pytest.approx(expected)
+            assert 0.0 <= cache.dirty_bytes <= cache.config.write_buffer_bytes
+            assert cache.drained_bytes <= cache.absorbed_bytes + 1e-6
+            self._check(cache)

@@ -422,12 +422,25 @@ class TestDegradedTail:
         assert tail.mean_response <= tail.p99_response
         assert tail.p99_response <= tail.p999_response <= tail.max_response
 
-    def test_empty_trace_rejected(self, tiny_spec):
+    def test_empty_trace_yields_empty_analysis(self, tiny_spec):
+        # A zero-request run is analyzable: zero counters, NaN response
+        # statistics — sweep cells never blow up on an empty trace.
         empty = DiskSimulator(tiny_spec, scheduler="fcfs", seed=0).run(
             RequestTrace.empty(span=1.0)
         )
-        with pytest.raises(AnalysisError):
-            analyze_degraded_tail(empty)
+        tail = analyze_degraded_tail(empty)
+        assert tail.n_requests == 0
+        assert tail.n_faulted == 0 and tail.n_failed == 0
+        assert tail.completed_requests == 0
+        assert tail.fault_penalty_seconds == 0.0
+        for stat in (
+            tail.mean_response, tail.p99_response,
+            tail.p999_response, tail.max_response,
+        ):
+            assert np.isnan(stat)
+        # Inflation against a real baseline degrades to NaN, not a crash.
+        inflation = tail_inflation(tail, tail)
+        assert all(np.isnan(v) for v in inflation.values())
 
     def test_inflation_ratios(self, tiny_spec, short_trace):
         healthy = analyze_degraded_tail(

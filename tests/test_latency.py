@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.latency import analyze_latency, queue_depth_series, response_ecdf
+from repro.core.latency import (
+    DegradedTailAnalysis,
+    analyze_latency,
+    queue_depth_series,
+    response_ecdf,
+    tail_inflation,
+)
 from repro.disk.simulator import DiskSimulator
 from repro.errors import AnalysisError
 from repro.synth.profiles import get_profile
@@ -102,3 +108,56 @@ def test_response_ecdf(web_result):
     e = response_ecdf(web_result)
     assert e.n == len(web_result.trace)
     assert e.quantile(0.5) <= e.quantile(0.99)
+
+
+class TestTailInflationGuards:
+    """Degenerate inputs to tail_inflation get sentinels, not crashes."""
+
+    def _analysis(self, **stats):
+        defaults = dict(
+            n_requests=1, n_faulted=0, n_failed=0, completed_requests=1,
+            fault_penalty_seconds=0.0, mean_response=1.0, p99_response=1.0,
+            p999_response=1.0, max_response=1.0,
+        )
+        defaults.update(stats)
+        return DegradedTailAnalysis(**defaults)
+
+    def test_identical_tails_are_unity(self):
+        a = self._analysis()
+        inflation = tail_inflation(a, a)
+        assert all(v == pytest.approx(1.0) for v in inflation.values())
+
+    def test_zero_over_zero_is_unity(self):
+        zero = self._analysis(
+            mean_response=0.0, p99_response=0.0,
+            p999_response=0.0, max_response=0.0,
+        )
+        inflation = tail_inflation(zero, zero)
+        assert all(v == 1.0 for v in inflation.values())
+
+    def test_zero_baseline_is_nan_sentinel(self):
+        zero = self._analysis(
+            mean_response=0.0, p99_response=0.0,
+            p999_response=0.0, max_response=0.0,
+        )
+        degraded = self._analysis(mean_response=2.0)
+        inflation = tail_inflation(zero, degraded)
+        assert all(np.isnan(v) for v in inflation.values())
+
+    def test_nan_input_is_nan_sentinel(self):
+        nan = self._analysis(mean_response=float("nan"))
+        healthy = self._analysis()
+        assert np.isnan(tail_inflation(healthy, nan)["mean"])
+        assert np.isnan(tail_inflation(nan, healthy)["mean"])
+        # The untouched statistics still divide through.
+        assert tail_inflation(healthy, nan)["p99"] == pytest.approx(1.0)
+
+    def test_infinite_input_is_nan_sentinel(self):
+        inf = self._analysis(max_response=float("inf"))
+        healthy = self._analysis()
+        assert np.isnan(tail_inflation(healthy, inf)["max"])
+
+    def test_negative_baseline_is_nan_sentinel(self):
+        negative = self._analysis(mean_response=-1.0)
+        healthy = self._analysis()
+        assert np.isnan(tail_inflation(negative, healthy)["mean"])

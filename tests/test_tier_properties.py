@@ -1,0 +1,194 @@
+"""Property tests of the tier subsystem's three core guarantees:
+``tier=None`` bit-identity, write-back byte conservation, and
+migration determinism."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.cache import CacheConfig
+from repro.disk.drive import DiskDrive, DriveSpec
+from repro.disk.simulator import DiskSimulator
+from repro.synth.profiles import get_profile
+from repro.tier import TierConfig, TieredDevice
+from repro.units import SECTOR_BYTES, ms
+
+
+def small_spec(cache: CacheConfig) -> DriveSpec:
+    return DriveSpec(
+        name="prop-tiny",
+        rpm=10_000,
+        heads=2,
+        cylinders=3_000,  # big enough for the "severe" fault profile
+        nzones=2,
+        outer_spt=200,
+        inner_spt=150,
+        single_cylinder_seek=ms(0.5),
+        full_stroke_seek=ms(4.0),
+        cache=cache,
+    )
+
+
+def small_tier(**kwargs):
+    defaults = dict(
+        mode="wb",
+        policy="lru",
+        capacity_bytes=8 * 128 * SECTOR_BYTES,
+        chunk_sectors=128,
+        flush_interval=0.5,
+        migrate_interval=2.0,
+        migrate_chunks_per_epoch=8,
+    )
+    defaults.update(kwargs)
+    return TierConfig(**defaults)
+
+
+class TestTierNoneBitIdentity:
+    """``tier=None`` must be byte-identical to a pre-tier simulator on
+    every engine — the refactor's non-negotiable invariant."""
+
+    @given(
+        scheduler=st.sampled_from(["fcfs", "sstf", "scan"]),
+        cache_on=st.booleans(),
+        fault_profile=st.sampled_from([None, "light", "moderate", "severe"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        fast_path=st.booleans(),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_tier_none_bit_identical(
+        self, scheduler, cache_on, fault_profile, seed, fast_path
+    ):
+        from repro.disk.faults import get_fault_profile
+
+        cache = CacheConfig() if cache_on else CacheConfig.disabled()
+        spec = small_spec(cache)
+        trace = get_profile("web").synthesize(
+            span=5.0, capacity_sectors=spec.capacity_sectors, seed=seed
+        )
+        faults = None if fault_profile is None else get_fault_profile(fault_profile)
+
+        def run(**kwargs):
+            return DiskSimulator(
+                spec, scheduler, seed=seed, fast_path=fast_path,
+                faults=faults, **kwargs
+            ).run(trace)
+
+        implicit = run()                 # tier parameter never mentioned
+        explicit = run(tier=None)        # tier explicitly off
+        assert np.array_equal(implicit.start_times, explicit.start_times)
+        assert np.array_equal(implicit.service_times, explicit.service_times)
+        assert implicit.fault_events == explicit.fault_events
+        assert explicit.tier_hits is None and explicit.tier_summary is None
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(deadline=None, max_examples=10)
+    def test_tiered_run_is_repeatable(self, seed):
+        spec = small_spec(CacheConfig.disabled())
+        trace = get_profile("database").synthesize(
+            span=5.0, capacity_sectors=spec.capacity_sectors, seed=seed
+        )
+        first = DiskSimulator(spec, seed=seed, tier=small_tier()).run(trace)
+        second = DiskSimulator(spec, seed=seed, tier=small_tier()).run(trace)
+        assert np.array_equal(first.service_times, second.service_times)
+        assert np.array_equal(first.tier_hits, second.tier_hits)
+        assert first.tier_summary == second.tier_summary
+
+
+class TestWriteBackConservation:
+    """Every byte dirtied on flash is either destaged or still dirty."""
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),   # chunk index
+                st.integers(min_value=1, max_value=128),  # sectors
+                st.booleans(),                            # write?
+                st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        policy=st.sampled_from(["lru", "lfu", "rf", "learned"]),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_flush_conservation(self, steps, policy):
+        spec = small_spec(CacheConfig.disabled())
+        device = TieredDevice(
+            DiskDrive(spec, seed=3), small_tier(policy=policy)
+        )
+        now = 0.0
+        for chunk, nsectors, is_write, gap in steps:
+            now += gap
+            lba = chunk * 128
+            nsectors = min(nsectors, 128)
+            device.service_time(lba, nsectors, is_write, now)
+            assert (
+                device.stats.dirtied_bytes
+                == device.stats.flushed_bytes + device.dirty_bytes
+            )
+        # And the ledger is still balanced after a final full flush.
+        device._flush(now + 10.0)
+        assert device.dirty_bytes == 0
+        assert device.stats.dirtied_bytes == device.stats.flushed_bytes
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(deadline=None, max_examples=10)
+    def test_wt_never_dirties(self, seed):
+        spec = small_spec(CacheConfig.disabled())
+        trace = get_profile("database").synthesize(
+            span=5.0, capacity_sectors=spec.capacity_sectors, seed=seed
+        )
+        result = DiskSimulator(
+            spec, seed=seed, tier=small_tier(mode="wt")
+        ).run(trace)
+        assert result.tier_summary["dirtied_bytes"] == 0
+        assert result.tier_summary["dirty_evictions"] == 0
+
+
+class TestMigrationDeterminism:
+    """Same seed, same trace -> same chunk placement, on every policy."""
+
+    @given(
+        policy=st.sampled_from(["lru", "lfu", "rf", "learned"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scheduler=st.sampled_from(["fcfs", "sstf"]),
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_placement_is_deterministic(self, policy, seed, scheduler):
+        spec = small_spec(CacheConfig.disabled())
+        trace = get_profile("database").synthesize(
+            span=6.0, capacity_sectors=spec.capacity_sectors, seed=seed
+        )
+        config = small_tier(policy=policy, migrate_interval=1.0)
+
+        def placement():
+            sim = DiskSimulator(spec, scheduler, seed=seed, tier=config)
+            result = sim.run(trace)
+            return result.tier_hits, result.tier_summary
+
+        hits_a, summary_a = placement()
+        hits_b, summary_b = placement()
+        assert np.array_equal(hits_a, hits_b)
+        assert summary_a == summary_b
+        assert summary_a["migration_epochs"] > 0
+
+    def test_resident_set_identical_across_reruns(self):
+        spec = small_spec(CacheConfig.disabled())
+        trace = get_profile("database").synthesize(
+            span=6.0, capacity_sectors=spec.capacity_sectors, seed=42
+        )
+        config = small_tier(policy="rf", migrate_interval=1.0)
+
+        def final_residency():
+            device = TieredDevice(DiskDrive(spec, seed=42), config)
+            clock = 0.0
+            for t, lba, n, w in zip(
+                trace.times.tolist(), trace.lbas.tolist(),
+                trace.nsectors.tolist(), trace.is_write.tolist(),
+            ):
+                clock = max(clock, t)
+                clock += device.service_time(int(lba), int(n), bool(w), clock)
+            return device.resident_chunks
+
+        assert final_residency() == final_residency()
