@@ -15,6 +15,14 @@ One-shot study (synthesize + simulate + report)::
 
     repro-workloads study --profile database --span 300
 
+Ingest a real trace (MSR Cambridge format), fit its synthetic twin, and
+replay it::
+
+    repro-workloads ingest proj_0.csv --format msr --permissive \
+        --calibrate-out fit.json -o proj_0.native.csv
+    repro-workloads analyze-ms proj_0.csv --format msr
+    repro-workloads run-suite --trace proj_0.csv --trace-format msr
+
 Hour- and lifetime-granularity data sets::
 
     repro-workloads synth-hourly --drives 50 --weeks 4 -o hourly.jsonl
@@ -68,6 +76,23 @@ def _drive(name: str) -> DriveSpec:
 def _fault_profile(name):
     """Resolve a ``--fault-profile`` value (``None`` = healthy drive)."""
     return None if name is None else get_fault_profile(name)
+
+
+def _load_trace(args: argparse.Namespace):
+    """Read ``args.trace`` honoring ``--format``/``--permissive``.
+
+    ``native`` (the default everywhere) is the library's own CSV via
+    :func:`~repro.traces.io.read_request_trace`; any other value goes
+    through the ingest parser registry, normalizing that format's units
+    on the way in.
+    """
+    fmt = getattr(args, "format", "native")
+    strict = not getattr(args, "permissive", False)
+    if fmt == "native":
+        return read_request_trace(args.trace, strict=strict)
+    from repro.traces.ingest import get_parser
+
+    return get_parser(fmt).parse(args.trace, strict=strict)
 
 
 def _tier_config(args: argparse.Namespace) -> Optional[TierConfig]:
@@ -210,7 +235,7 @@ def _cmd_synth_family(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze_ms(args: argparse.Namespace) -> int:
-    trace = read_request_trace(args.trace)
+    trace = _load_trace(args)
     drive = _drive(args.drive)
     faults = _fault_profile(args.fault_profile)
     tier = _tier_config(args)
@@ -231,14 +256,23 @@ def _cmd_analyze_ms(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     drive = _drive(args.drive)
-    profile = get_profile(args.profile)
+    if (args.profile is None) == (args.trace is None):
+        raise CliError("study needs exactly one of --profile or --trace")
     faults = _fault_profile(args.fault_profile)
     tier = _tier_config(args)
     obs = _observer_from_args(args)
-    study = run_millisecond_study(
-        profile, drive, span=args.span, seed=args.seed, scheduler=args.scheduler,
-        faults=faults, tier=tier, obs=obs,
-    )
+    if args.trace is not None:
+        workload = _load_trace(args)
+        study = run_millisecond_study(
+            workload, drive, scheduler=args.scheduler,
+            faults=faults, tier=tier, obs=obs,
+        )
+    else:
+        profile = get_profile(args.profile)
+        study = run_millisecond_study(
+            profile, drive, span=args.span, seed=args.seed,
+            scheduler=args.scheduler, faults=faults, tier=tier, obs=obs,
+        )
     print(_render_study(study, drive))
     if faults is not None:
         print(_fault_section(study.simulation))
@@ -279,7 +313,7 @@ def _cmd_analyze_family(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.synth.calibrate import calibrate_profile, calibration_report, fingerprint
 
-    trace = read_request_trace(args.trace)
+    trace = _load_trace(args)
     drive = _drive(args.drive)
     fp = fingerprint(trace)
     profile = calibrate_profile(trace)
@@ -302,11 +336,92 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.synth.calibrate import fit_from_trace, validate_twin
+    from repro.traces.ingest import get_parser
+
+    parser = get_parser(args.format)
+    strict = not args.permissive
+    quarantine: list = []
+    trace = parser.parse(
+        args.trace,
+        strict=strict,
+        quarantine=None if strict else quarantine,
+        max_requests=args.max_requests,
+    )
+
+    table = Table(["statistic", "value"], precision=4)
+    table.add_row(["format", args.format])
+    table.add_row(["mode", "strict" if strict else "permissive"])
+    table.add_row(["requests", len(trace)])
+    table.add_row(["span", format_duration(trace.span)])
+    table.add_row(["request rate (req/s)", trace.request_rate])
+    table.add_row(["write fraction", trace.write_fraction])
+    table.add_row(["mean request (sectors)", float(trace.nsectors.mean())])
+    table.add_row(["footprint (sectors)", int((trace.lbas + trace.nsectors).max())])
+    table.add_row(["quarantined rows", len(quarantine)])
+    # Render the basename so reports are identical wherever the trace
+    # (and the repo) happens to live on disk.
+    print(section(f"Ingest: {Path(args.trace).name}", table.render()))
+
+    if quarantine:
+        bad = Table(["location", "reason"])
+        for row in quarantine[:8]:
+            bad.add_row([f"{Path(row.path).name}:{row.lineno}", row.reason])
+        note = "" if len(quarantine) <= 8 else f"\n(+{len(quarantine) - 8} more)"
+        print(section("Quarantined rows", bad.render() + note))
+
+    if args.output:
+        write_request_trace(trace, args.output)
+        print(f"wrote {len(trace)} requests to {args.output}")
+
+    if args.calibrate_out:
+        fit = fit_from_trace(trace)
+        validation = validate_twin(trace, fit, scales=args.scales, seed=args.seed)
+        fit_table = Table(["parameter", "value"])
+        fit_table.add_row(["arrival model", fit.arrival["model"]])
+        fit_table.add_row(["spatial model", fit.spatial["kind"]])
+        fit_table.add_row(["size model", fit.sizes["type"]])
+        fit_table.add_row(["mix model", fit.mix["type"]])
+        print(section("Fitted twin", fit_table.render()))
+        div = Table(
+            ["scale_s", "rate", "count_cv", "idc", "idle_fraction"],
+            title="real vs twin divergence per timescale",
+            precision=4,
+        )
+        for scale in validation.scales:
+            stats = validation.per_scale[scale]
+            div.add_row(
+                [scale, stats["rate"], stats["count_cv"], stats["idc"],
+                 stats["idle_fraction"]]
+            )
+        print(div.render())
+        print(f"(max divergence {validation.max_divergence:.4f})")
+        payload = {
+            "source": {
+                "path": args.trace,
+                "format": args.format,
+                "strict": strict,
+                "requests": len(trace),
+                "quarantined": len(quarantine),
+            },
+            "fit": fit.to_dict(),
+            "twin_validation": validation.to_dict(),
+        }
+        with open(args.calibrate_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote calibration to {args.calibrate_out}")
+    return 0
+
+
 def _cmd_power(args: argparse.Namespace) -> int:
     from repro.core.timescales import run_millisecond_study
     from repro.disk.power import PowerProfile, sweep_timeouts
 
-    trace = read_request_trace(args.trace)
+    trace = _load_trace(args)
     drive = _drive(args.drive)
     power = PowerProfile()
     study = run_millisecond_study(trace, drive)
@@ -345,31 +460,66 @@ def _failure_table(report) -> Table:
 def _cmd_run_suite(args: argparse.Namespace) -> int:
     import json
 
-    from repro.core.runner import ExperimentRunner, experiment_matrix
+    from repro.core.runner import (
+        ExperimentJob,
+        ExperimentRunner,
+        derive_seeds,
+        experiment_matrix,
+    )
     from repro.errors import SuiteError
     from repro.synth.profiles import available_profiles
 
     drive = _drive(args.drive)
-    catalog = available_profiles()
-    names = args.profiles if args.profiles else sorted(catalog)
-    unknown = [n for n in names if n not in catalog]
-    if unknown:
-        raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
     faults = _fault_profile(args.fault_profile)
     tier = _tier_config(args)
     obs_level = _obs_level_from_args(args)
-    jobs = experiment_matrix(
-        profiles=[catalog[n] for n in names],
-        drive=drive,
-        schedulers=args.schedulers,
-        seeds_per_combo=args.seeds,
-        base_seed=args.base_seed,
-        span=args.span,
-        queue_depth=args.queue_depth,
-        faults=faults,
-        tier=tier,
-        obs_level=obs_level,
-    )
+    if args.traces:
+        if args.profiles:
+            raise CliError("--trace and --profiles are mutually exclusive")
+        from repro.traces.ingest import TraceSource
+
+        sources = [
+            TraceSource(
+                path,
+                format=args.trace_format,
+                strict=not getattr(args, "permissive", False),
+            )
+            for path in args.traces
+        ]
+        combos = [(src, sched) for src in sources for sched in args.schedulers]
+        seeds = derive_seeds(args.base_seed, len(combos))
+        jobs = [
+            ExperimentJob(
+                profile=None,
+                drive=drive,
+                scheduler=scheduler,
+                seed=seeds[i],
+                queue_depth=args.queue_depth,
+                faults=faults,
+                tier=tier,
+                obs_level=obs_level,
+                trace=source,
+            )
+            for i, (source, scheduler) in enumerate(combos)
+        ]
+    else:
+        catalog = available_profiles()
+        names = args.profiles if args.profiles else sorted(catalog)
+        unknown = [n for n in names if n not in catalog]
+        if unknown:
+            raise CliError(f"unknown profiles {unknown}; available: {sorted(catalog)}")
+        jobs = experiment_matrix(
+            profiles=[catalog[n] for n in names],
+            drive=drive,
+            schedulers=args.schedulers,
+            seeds_per_combo=args.seeds,
+            base_seed=args.base_seed,
+            span=args.span,
+            queue_depth=args.queue_depth,
+            faults=faults,
+            tier=tier,
+            obs_level=obs_level,
+        )
     runner = ExperimentRunner(
         workers=args.workers,
         max_retries=args.max_retries,
@@ -548,6 +698,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: lru)",
         )
 
+    def add_format(p: argparse.ArgumentParser) -> None:
+        from repro.traces.ingest import available_formats
+
+        p.add_argument(
+            "--format", default="native",
+            choices=["native"] + sorted(available_formats()),
+            help="trace file format (default: native, this library's CSV)",
+        )
+        p.add_argument(
+            "--permissive", action="store_true",
+            help="quarantine corrupt rows instead of failing on the first "
+            "(default: strict)",
+        )
+
     def add_obs(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--obs", default="off", choices=list(OBS_LEVELS),
@@ -588,17 +752,61 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze-ms", help="analyze a millisecond trace file")
     p.add_argument("trace")
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
+    add_format(p)
     add_drive(p)
     add_faults(p)
     add_tier(p)
     add_obs(p)
     p.set_defaults(func=_cmd_analyze_ms)
 
+    p = sub.add_parser(
+        "ingest",
+        help="parse a foreign trace, optionally converting it and fitting "
+        "a synthetic twin",
+    )
+    p.add_argument("trace")
+    from repro.traces.ingest import available_formats as _available_formats
+
+    p.add_argument(
+        "--format", required=True, choices=sorted(_available_formats()),
+        help="source trace format",
+    )
+    p.add_argument(
+        "--permissive", action="store_true",
+        help="quarantine corrupt rows instead of failing on the first "
+        "(default: strict)",
+    )
+    p.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop after this many accepted records (default: whole file)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="also write the normalized trace as native CSV",
+    )
+    p.add_argument(
+        "--calibrate-out", default=None, metavar="PATH",
+        help="fit a synthetic twin and write fit + per-timescale "
+        "divergence JSON to PATH",
+    )
+    p.add_argument(
+        "--scales", type=float, nargs="+", default=[0.1, 1.0, 10.0],
+        help="timescales (seconds) for twin validation (default: 0.1 1 10)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="twin synthesis seed")
+    p.set_defaults(func=_cmd_ingest)
+
     p = sub.add_parser("study", help="synthesize + simulate + report in one shot")
-    p.add_argument("--profile", required=True)
+    p.add_argument("--profile", default=None, help="workload profile to synthesize")
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay this trace file instead of synthesizing "
+        "(mutually exclusive with --profile)",
+    )
     p.add_argument("--span", type=float, default=300.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"])
+    add_format(p)
     add_drive(p)
     add_faults(p)
     add_tier(p)
@@ -612,6 +820,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profiles", nargs="+", default=None,
         help="profile names (default: every built-in profile)",
+    )
+    p.add_argument(
+        "--trace", dest="traces", nargs="+", default=None, metavar="PATH",
+        help="replay these trace files instead of synthesizing profiles "
+        "(mutually exclusive with --profiles)",
+    )
+    p.add_argument(
+        "--trace-format", default="native",
+        help="format of the --trace files: native or any ingest format "
+        "(default: native)",
+    )
+    p.add_argument(
+        "--permissive", action="store_true",
+        help="quarantine-drop corrupt rows when loading --trace files "
+        "(default: strict)",
     )
     p.add_argument(
         "--schedulers", nargs="+", default=["fcfs"],
@@ -654,11 +877,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", help="fit a synthetic profile to a trace file")
     p.add_argument("trace")
     p.add_argument("--seed", type=int, default=0)
+    add_format(p)
     add_drive(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("power", help="spin-down energy sweep over a trace file")
     p.add_argument("trace")
+    add_format(p)
     p.add_argument(
         "--timeouts", type=float, nargs="+", default=[1.0, 5.0, 60.0],
         help="spin-down timeouts in seconds (break-even added automatically)",

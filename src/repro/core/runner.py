@@ -35,6 +35,7 @@ from repro.errors import ObservabilityError, SimulationError, SuiteError
 from repro.obs import OBS_LEVELS, MetricsRegistry, Observer
 from repro.synth.workload import WorkloadProfile
 from repro.tier import TierConfig
+from repro.traces.ingest.source import TraceSource
 
 #: Version stamp written by :meth:`SuiteReport.to_json`; bump on any
 #: backwards-incompatible change to the serialized layout.
@@ -48,7 +49,8 @@ class ExperimentJob:
     Attributes
     ----------
     profile:
-        The workload recipe to synthesize the trace from.
+        The workload recipe to synthesize the trace from. ``None`` when
+        the job replays an ingested trace instead (see ``trace``).
     drive:
         The drive model to replay against.
     scheduler:
@@ -84,9 +86,17 @@ class ExperimentJob:
         events too). A level, not an :class:`~repro.obs.Observer`: each
         worker builds its own observer, and the shards merge in the
         parent via :meth:`SuiteReport.merged_metrics`.
+    trace:
+        Optional :class:`~repro.traces.ingest.source.TraceSource`
+        replacing synthesis with a replay of an on-disk trace (``None``
+        = synthesize from ``profile``; exactly one of the two must be
+        set). A pointer, not a trace: each worker loads the file itself,
+        so the job stays cheap to pickle however large the capture is.
+        Trace jobs ignore ``span`` (the capture's own span rules) and
+        use ``seed`` only for the drive RNG.
     """
 
-    profile: WorkloadProfile
+    profile: Optional[WorkloadProfile]
     drive: DriveSpec
     scheduler: str = "fcfs"
     seed: int = 0
@@ -96,6 +106,7 @@ class ExperimentJob:
     faults: Optional[FaultProfile] = None
     tier: Optional[TierConfig] = None
     obs_level: str = "off"
+    trace: Optional[TraceSource] = None
 
     def __post_init__(self) -> None:
         if self.obs_level not in OBS_LEVELS:
@@ -103,12 +114,24 @@ class ExperimentJob:
                 f"unknown obs_level {self.obs_level!r}; "
                 f"expected one of {OBS_LEVELS}"
             )
+        if (self.profile is None) == (self.trace is None):
+            raise SimulationError(
+                "an ExperimentJob needs exactly one workload source: "
+                "either a profile to synthesize or a trace to replay"
+            )
+
+    @property
+    def workload_name(self) -> str:
+        """Name of whatever drives the job: profile name or trace stem."""
+        if self.profile is not None:
+            return self.profile.name
+        return self.trace.label
 
     @property
     def label(self) -> str:
         depth = "inf" if self.queue_depth is None else str(self.queue_depth)
         label = (
-            f"{self.profile.name}/{self.drive.name}/{self.scheduler}"
+            f"{self.workload_name}/{self.drive.name}/{self.scheduler}"
             f"/qd={depth}/seed={self.seed}"
         )
         if self.faults is not None:
@@ -203,11 +226,14 @@ def run_job(job: ExperimentJob) -> JobResult:
         return obs.profile.phase(name) if obs is not None else nullcontext()
 
     with phase("synthesize"):
-        trace = job.profile.synthesize(
-            span=job.span,
-            capacity_sectors=job.drive.capacity_sectors,
-            seed=job.seed,
-        )
+        if job.trace is not None:
+            trace = job.trace.load()
+        else:
+            trace = job.profile.synthesize(
+                span=job.span,
+                capacity_sectors=job.drive.capacity_sectors,
+                seed=job.seed,
+            )
     simulator = DiskSimulator(
         job.drive,
         scheduler=job.scheduler,
@@ -250,11 +276,11 @@ def run_job(job: ExperimentJob) -> JobResult:
         tier_flushed_bytes = tier_migrated_chunks = None
     return JobResult(
         label=job.label,
-        profile=job.profile.name,
+        profile=job.workload_name,
         drive=job.drive.name,
         scheduler=job.scheduler,
         seed=job.seed,
-        span=job.span,
+        span=trace.span if job.trace is not None else job.span,
         n_requests=len(trace),
         utilization=result.utilization,
         mean_service=mean_service,

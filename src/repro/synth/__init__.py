@@ -34,7 +34,16 @@ from repro.synth.workload import ArrivalSpec, WorkloadProfile
 from repro.synth.profiles import available_profiles, get_profile
 from repro.synth.hourly import HourlyWorkloadModel
 from repro.synth.family import FamilyModel
-from repro.synth.calibrate import TraceFingerprint, calibrate_profile, calibration_report, fingerprint
+from repro.synth.calibrate import (
+    TraceFingerprint,
+    TraceFit,
+    TwinValidation,
+    calibrate_profile,
+    calibration_report,
+    fingerprint,
+    fit_from_trace,
+    validate_twin,
+)
 from repro.synth.diurnal import DiurnalDay, default_day_curve, hourly_from_trace
 
 __all__ = [
@@ -61,9 +70,13 @@ __all__ = [
     "HourlyWorkloadModel",
     "FamilyModel",
     "TraceFingerprint",
+    "TraceFit",
+    "TwinValidation",
     "fingerprint",
+    "fit_from_trace",
     "calibrate_profile",
     "calibration_report",
+    "validate_twin",
     "DiurnalDay",
     "default_day_curve",
     "hourly_from_trace",

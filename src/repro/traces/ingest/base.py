@@ -1,0 +1,280 @@
+"""The streaming parser base class every trace format plugs into.
+
+A concrete parser implements exactly one method —
+:meth:`TraceParser.parse_fields`, taking one non-empty line and
+returning the normalized ``(time_seconds, lba, nsectors, is_write)``
+tuple — and inherits the whole ingestion pipeline: chunked streaming
+reads, the strict/permissive quarantine policy shared with
+:mod:`repro.traces.io`, physical-invariant checks, and first-arrival
+clock normalization.
+
+Normalization contract
+----------------------
+Whatever the on-disk units, ``parse_fields`` returns:
+
+* ``time_seconds`` — the record's timestamp converted to seconds, still
+  on the capture's absolute clock (the pipeline rebases to the first
+  arrival);
+* ``lba`` — the starting address in 512-byte sectors;
+* ``nsectors`` — the transfer length in sectors (byte lengths round up,
+  minimum 1);
+* ``is_write`` — the direction flag.
+
+Returning ``None`` *skips* the record silently — the line is valid for
+the format but not a transfer this parser should keep (a filtered
+device, a non-dispatch blktrace event, a barrier). Raising
+:class:`ParseRowError` marks the row *corrupt*: strict mode raises
+:class:`~repro.errors.TraceFormatError` naming ``path:lineno``,
+permissive mode appends a :class:`~repro.traces.io.QuarantinedRow` and
+moves on.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traces.io import QuarantinedRow, _RowErrors
+from repro.traces.millisecond import RequestTrace
+
+PathLike = Union[str, Path]
+
+#: One normalized record: (time_seconds, lba, nsectors, is_write).
+Row = Tuple[float, int, int, bool]
+
+
+class ParseRowError(ValueError):
+    """One row of a foreign trace is corrupt (see module docstring)."""
+
+
+class TraceParser:
+    """Base class for format-specific trace parsers.
+
+    Subclasses set :attr:`format` (the registry key) and
+    :attr:`description`, and implement :meth:`parse_fields`. Everything
+    else — streaming, quarantine, invariants, normalization — is shared.
+    """
+
+    #: Registry key (``get_parser(format)``); set by each subclass.
+    format: str = ""
+    #: One line for ``available_formats()`` listings and ``--help``.
+    description: str = ""
+    #: Rows per streaming chunk when the caller does not choose.
+    default_chunk_rows: int = 65536
+
+    # ------------------------------------------------------------------
+    # The one method a format implements
+    # ------------------------------------------------------------------
+
+    def parse_fields(self, line: str) -> Optional[Row]:
+        """Parse one stripped, non-empty, non-comment line.
+
+        Returns the normalized row, ``None`` to skip a valid-but-
+        filtered record, or raises :class:`ParseRowError` with a
+        human-readable reason for a corrupt one.
+        """
+        raise NotImplementedError
+
+    def is_noise(self, line: str) -> bool:
+        """Whether ``line`` is non-record noise to skip silently in both
+        modes (comments by default; formats add headers/summaries)."""
+        return line.startswith("#")
+
+    # ------------------------------------------------------------------
+    # Shared pipeline
+    # ------------------------------------------------------------------
+
+    def iter_rows(
+        self,
+        path: PathLike,
+        strict: bool = True,
+        quarantine: Optional[List[QuarantinedRow]] = None,
+        max_requests: Optional[int] = None,
+    ) -> Iterator[Row]:
+        """Stream normalized rows off disk, one at a time.
+
+        Applies the strict/permissive policy per row and checks the
+        physical invariants (finite non-negative time, non-negative LBA,
+        positive length) on every accepted record. Times are the
+        capture's absolute clock — no rebasing happens at this layer.
+        """
+        path = Path(path)
+        errors = _RowErrors(path, strict, quarantine)
+        accepted = 0
+        with path.open() as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or self.is_noise(line):
+                    continue
+                try:
+                    row = self.parse_fields(line)
+                except ParseRowError as exc:
+                    errors.bad_row(lineno, line, str(exc))
+                    continue
+                if row is None:
+                    continue
+                problem = self._row_problem(row)
+                if problem is not None:
+                    errors.bad_row(lineno, line, problem)
+                    continue
+                yield row
+                accepted += 1
+                if max_requests is not None and accepted >= max_requests:
+                    return
+
+    @staticmethod
+    def _row_problem(row: Row) -> Optional[str]:
+        time, lba, nsectors, _ = row
+        if not math.isfinite(time):
+            return f"non-finite timestamp {time!r}"
+        if time < 0:
+            return f"negative timestamp {time!r}"
+        if lba < 0:
+            return f"negative LBA {lba!r}"
+        if nsectors <= 0:
+            return f"non-positive length {nsectors!r} sectors"
+        return None
+
+    def _iter_column_chunks(
+        self,
+        path: PathLike,
+        chunk_rows: int,
+        strict: bool,
+        quarantine: Optional[List[QuarantinedRow]],
+        max_requests: Optional[int],
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Batch streamed rows into numpy column chunks of ``chunk_rows``."""
+        if chunk_rows <= 0:
+            raise TraceFormatError(f"chunk_rows must be > 0, got {chunk_rows!r}")
+        times: List[float] = []
+        lbas: List[int] = []
+        nsectors: List[int] = []
+        is_write: List[bool] = []
+
+        def drain():
+            chunk = (
+                np.asarray(times, dtype=np.float64),
+                np.asarray(lbas, dtype=np.int64),
+                np.asarray(nsectors, dtype=np.int64),
+                np.asarray(is_write, dtype=bool),
+            )
+            times.clear()
+            lbas.clear()
+            nsectors.clear()
+            is_write.clear()
+            return chunk
+
+        for time, lba, length, write in self.iter_rows(
+            path, strict=strict, quarantine=quarantine, max_requests=max_requests
+        ):
+            times.append(time)
+            lbas.append(lba)
+            nsectors.append(length)
+            is_write.append(write)
+            if len(times) >= chunk_rows:
+                yield drain()
+        if times:
+            yield drain()
+
+    def parse(
+        self,
+        path: PathLike,
+        strict: bool = True,
+        quarantine: Optional[List[QuarantinedRow]] = None,
+        max_requests: Optional[int] = None,
+        label: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> RequestTrace:
+        """Parse a whole file into one :class:`RequestTrace`.
+
+        The file is read in chunks (never as one string list); the
+        resulting trace's clock starts at the *first arrival* — the
+        earliest timestamp seen, so a capture sliced from the middle of
+        a longer recording lands at ``t = 0`` like any other
+        (:mod:`repro.core.streaming` semantics). Raises
+        :class:`~repro.errors.TraceFormatError` when no usable record
+        survives (both modes: an empty result means the whole file is
+        suspect, not one row).
+        """
+        path = Path(path)
+        chunks = list(
+            self._iter_column_chunks(
+                path,
+                chunk_rows or self.default_chunk_rows,
+                strict,
+                quarantine,
+                max_requests,
+            )
+        )
+        if not chunks:
+            raise TraceFormatError(
+                f"{path}: no usable {self.format or 'trace'} records"
+            )
+        times = np.concatenate([c[0] for c in chunks])
+        times -= float(times.min())
+        return RequestTrace(
+            times=times,
+            lbas=np.concatenate([c[1] for c in chunks]),
+            nsectors=np.concatenate([c[2] for c in chunks]),
+            is_write=np.concatenate([c[3] for c in chunks]),
+            label=label or path.stem,
+        )
+
+    def iter_chunks(
+        self,
+        path: PathLike,
+        chunk_rows: Optional[int] = None,
+        strict: bool = True,
+        quarantine: Optional[List[QuarantinedRow]] = None,
+        max_requests: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> Iterator[RequestTrace]:
+        """Stream a file as bounded :class:`RequestTrace` chunks.
+
+        Chunks share one clock anchored at the stream's first arrival,
+        exactly what :class:`~repro.core.streaming.StreamingCharacterizer`
+        expects, so a multi-GB capture can be characterized without ever
+        holding more than ``chunk_rows`` requests. Each chunk is sorted
+        internally; a record timestamped *before* the stream origin
+        (out-of-order across chunk boundaries) is treated as a bad row
+        under the strict/permissive policy.
+        """
+        path = Path(path)
+        origin: Optional[float] = None
+        errors = _RowErrors(path, strict, quarantine)
+        for times, lbas, nsectors, is_write in self._iter_column_chunks(
+            path,
+            chunk_rows or self.default_chunk_rows,
+            strict,
+            quarantine,
+            max_requests,
+        ):
+            if origin is None:
+                origin = float(times.min())
+            early = times < origin
+            if early.any():
+                bad = int(np.flatnonzero(early)[0])
+                errors.bad_row(
+                    0,
+                    f"t={times[bad]!r}",
+                    f"arrival {times[bad]!r} precedes the stream origin {origin!r}",
+                )
+                keep = ~early
+                times, lbas = times[keep], lbas[keep]
+                nsectors, is_write = nsectors[keep], is_write[keep]
+                if not times.size:
+                    continue
+            yield RequestTrace(
+                times=times - origin,
+                lbas=lbas,
+                nsectors=nsectors,
+                is_write=is_write,
+                label=label or path.stem,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(format={self.format!r})"

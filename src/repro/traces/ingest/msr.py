@@ -1,0 +1,68 @@
+"""MSR Cambridge block-trace parser (SNIA IOTTA repository).
+
+Rows are comma-separated::
+
+    timestamp,hostname,disknum,type,offset,size,latency
+
+``timestamp`` is a Windows FILETIME value — 100 ns ticks since 1601 —
+so captures start at enormous absolute values; the shared pipeline
+rebases to the first arrival. ``offset`` and ``size`` are bytes;
+``type`` is ``Read``/``Write`` (any case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.traces.ingest.base import ParseRowError, Row, TraceParser
+from repro.traces.ingest.registry import register_parser
+from repro.units import SECTOR_BYTES, bytes_to_sectors
+
+#: Windows FILETIME ticks per second.
+FILETIME_TICKS_PER_SECOND = 10_000_000.0
+
+
+@register_parser
+class MsrParser(TraceParser):
+    """Parser for MSR Cambridge CSV traces.
+
+    Parameters
+    ----------
+    disknum:
+        Keep only records of this disk number within the volume
+        (``None`` = all disks, sharing one address space).
+    """
+
+    format = "msr"
+    description = (
+        "MSR Cambridge CSV (timestamp,hostname,disknum,type,offset,size,"
+        "latency; FILETIME ticks, byte offsets)"
+    )
+
+    def __init__(self, disknum: Optional[int] = None) -> None:
+        self.disknum = None if disknum is None else int(disknum)
+
+    def parse_fields(self, line: str) -> Optional[Row]:
+        parts = line.split(",")
+        if len(parts) < 7:
+            raise ParseRowError(f"expected 7 MSR fields, got {len(parts)}")
+        try:
+            ticks = float(parts[0])
+            disknum = int(parts[2])
+            op = parts[3].strip().lower()
+            offset = int(parts[4])
+            size_bytes = int(parts[5])
+        except ValueError:
+            raise ParseRowError(f"malformed MSR row {line!r}") from None
+        if op not in ("read", "write"):
+            raise ParseRowError(f"MSR type must be Read or Write, got {parts[3]!r}")
+        if size_bytes <= 0:
+            raise ParseRowError(f"non-positive MSR size {size_bytes!r} bytes")
+        if self.disknum is not None and disknum != self.disknum:
+            return None
+        return (
+            ticks / FILETIME_TICKS_PER_SECOND,
+            offset // SECTOR_BYTES,
+            max(1, bytes_to_sectors(size_bytes)),
+            op == "write",
+        )

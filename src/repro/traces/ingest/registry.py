@@ -1,0 +1,69 @@
+"""The format-keyed parser registry behind :func:`get_parser`.
+
+Formats register a :class:`~repro.traces.ingest.base.TraceParser`
+subclass under a short key (``msr``, ``blktrace``, ...); callers look
+parsers up by key, passing per-format options through::
+
+    parser = get_parser("msr", disknum=0)
+
+Third-party formats plug in with the decorator form::
+
+    @register_parser
+    class MyParser(TraceParser):
+        format = "mine"
+        description = "my lab's capture format"
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import TraceFormatError
+from repro.traces.ingest.base import TraceParser
+
+_PARSERS: Dict[str, Type[TraceParser]] = {}
+
+
+def register_parser(cls: Type[TraceParser]) -> Type[TraceParser]:
+    """Register a parser class under its :attr:`~TraceParser.format` key.
+
+    Usable as a class decorator; returns the class unchanged. Re-registering
+    a different class under an existing key is an error (it would silently
+    change what every caller gets).
+    """
+    if not issubclass(cls, TraceParser):
+        raise TraceFormatError(
+            f"{cls!r} must subclass TraceParser to register as a trace format"
+        )
+    key = cls.format
+    if not key:
+        raise TraceFormatError(f"{cls.__name__} does not define a format key")
+    existing = _PARSERS.get(key)
+    if existing is not None and existing is not cls:
+        raise TraceFormatError(
+            f"trace format {key!r} is already registered to {existing.__name__}"
+        )
+    _PARSERS[key] = cls
+    return cls
+
+
+def get_parser(fmt: str, **options) -> TraceParser:
+    """Instantiate the parser registered for ``fmt``.
+
+    Keyword ``options`` go to the parser's constructor (e.g.
+    ``get_parser("msr", disknum=0)``). Unknown formats raise
+    :class:`~repro.errors.TraceFormatError` naming the alternatives.
+    """
+    try:
+        cls = _PARSERS[fmt]
+    except KeyError:
+        raise TraceFormatError(
+            f"unknown trace format {fmt!r}; available: {sorted(_PARSERS)}"
+        ) from None
+    return cls(**options)
+
+
+def available_formats() -> Dict[str, str]:
+    """``{format_key: one-line description}`` for every registered parser."""
+    return {key: cls.description for key, cls in sorted(_PARSERS.items())}

@@ -1,0 +1,60 @@
+"""SPC-1/UMass storage-trace parser.
+
+The Storage Performance Council trace format (also used by the UMass
+Trace Repository's Financial/WebSearch captures) is CSV::
+
+    ASU,LBA,size_bytes,opcode,timestamp
+
+``LBA`` is already in 512-byte sectors, ``size`` is bytes, ``timestamp``
+is seconds, opcode is ``r``/``w`` (any case). ASUs (application storage
+units) share one address space unless an ``asu`` filter is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.traces.ingest.base import ParseRowError, Row, TraceParser
+from repro.traces.ingest.registry import register_parser
+from repro.units import bytes_to_sectors
+
+
+@register_parser
+class SpcParser(TraceParser):
+    """Parser for SPC/UMass CSV traces.
+
+    Parameters
+    ----------
+    asu:
+        Keep only records of this application storage unit (``None`` =
+        all ASUs, sharing one address space).
+    """
+
+    format = "spc"
+    description = (
+        "SPC/UMass CSV (ASU,LBA,size,opcode,timestamp; second "
+        "timestamps, sector LBAs, byte sizes)"
+    )
+
+    def __init__(self, asu: Optional[int] = None) -> None:
+        self.asu = None if asu is None else int(asu)
+
+    def parse_fields(self, line: str) -> Optional[Row]:
+        parts = line.split(",")
+        if len(parts) < 5:
+            raise ParseRowError(f"expected 5 SPC fields, got {len(parts)}")
+        try:
+            asu = int(parts[0])
+            lba = int(parts[1])
+            size_bytes = int(parts[2])
+            op = parts[3].strip().lower()
+            time = float(parts[4])
+        except ValueError:
+            raise ParseRowError(f"malformed SPC row {line!r}") from None
+        if op not in ("r", "w"):
+            raise ParseRowError(f"SPC opcode must be r or w, got {parts[3]!r}")
+        if size_bytes <= 0:
+            raise ParseRowError(f"non-positive SPC size {size_bytes!r} bytes")
+        if self.asu is not None and asu != self.asu:
+            return None
+        return (time, lba, max(1, bytes_to_sectors(size_bytes)), op == "w")

@@ -1,0 +1,143 @@
+"""Regenerate the committed foreign-format sample traces.
+
+Each sample is a small capture in one of the ingest registry's formats,
+synthesized deterministically (seed 2009) from a built-in profile and
+then rendered in that format's native units — FILETIME ticks and byte
+offsets for MSR, second timestamps and sector addresses for blkparse,
+microsecond timestamps for Alibaba, and so on. Every clock starts
+mid-capture (far from 0) on purpose: parsing must rebase to the first
+arrival, and these samples catch regressions in that normalization.
+
+Every file also carries exactly ``N_CORRUPT`` deliberately corrupt rows
+(plus format-appropriate noise lines such as headers and blkparse
+summaries), so strict mode has something to fail on and permissive mode
+something to quarantine — with pinned counts.
+
+Run ``python tests/golden/data/ingest/_regen_samples.py`` to rewrite the
+samples; tests pin the parsed row counts, so regeneration is only needed
+when the synthesis pipeline intentionally changes.
+"""
+
+from pathlib import Path
+
+from repro.synth.profiles import get_profile
+from repro.units import SECTOR_BYTES
+
+HERE = Path(__file__).parent
+
+SEED = 2009
+SPAN = 30.0
+CAPACITY_SECTORS = 5_000_000
+
+#: Deliberately corrupt rows injected into every sample.
+N_CORRUPT = 2
+
+#: Mid-capture clock origins, one per format, in that format's units.
+MSR_BASE_TICKS = 128_166_372_003_061_629  # FILETIME, 100 ns ticks
+BLKTRACE_BASE_SECONDS = 1000.5
+ALIBABA_BASE_MICROS = 86_400_000_000  # one day in
+SPC_BASE_SECONDS = 250.25
+
+
+def _trace(profile_name, span=SPAN):
+    return get_profile(profile_name).synthesize(
+        span=span, capacity_sectors=CAPACITY_SECTORS, seed=SEED
+    )
+
+
+def _rows(trace):
+    return zip(
+        trace.times.tolist(),
+        trace.lbas.tolist(),
+        trace.nsectors.tolist(),
+        trace.is_write.tolist(),
+    )
+
+
+def write_msr():
+    trace = _trace("web")
+    lines = []
+    for time, lba, nsectors, is_write in _rows(trace):
+        ticks = MSR_BASE_TICKS + int(round(time * 1e7))
+        op = "Write" if is_write else "Read"
+        lines.append(
+            f"{ticks},host0,0,{op},{lba * SECTOR_BYTES},"
+            f"{nsectors * SECTOR_BYTES},512"
+        )
+    lines.insert(7, "truncated,row")  # too few fields
+    lines.insert(23, f"{MSR_BASE_TICKS},host0,0,Trim,0,4096,1")  # unknown op
+    (HERE / "sample_msr.csv").write_text("\n".join(lines) + "\n")
+    return len(trace)
+
+
+def write_blktrace():
+    trace = _trace("database")
+    lines = []
+    seq = 0
+    for i, (time, lba, nsectors, is_write) in enumerate(_rows(trace)):
+        ts = BLKTRACE_BASE_SECONDS + time
+        rwbs = "W" if is_write else "R"
+        if i % 5 == 0:  # a queue event the dispatch-only parser must skip
+            seq += 1
+            lines.append(
+                f"8,0 {i % 4} {seq} {ts - 0.0002:.9f} {1000 + i} "
+                f"Q {rwbs} {lba} + {nsectors} [worker]"
+            )
+        seq += 1
+        lines.append(
+            f"8,0 {i % 4} {seq} {ts:.9f} {1000 + i} "
+            f"D {rwbs} {lba} + {nsectors} [worker]"
+        )
+    lines.insert(11, "8,0 1 9990 corrupt 0 D R 64 + 8 [worker]")  # bad time
+    lines.insert(31, "8,0 2 9991 1000.9 77 D W 128 + 0 [worker]")  # zero length
+    lines.append("CPU0 (8,0):")
+    lines.append(" Reads Queued:      128,     512KiB")
+    lines.append("Total (8,0):")
+    (HERE / "sample_blktrace.txt").write_text("\n".join(lines) + "\n")
+    return len(trace)
+
+
+def write_alibaba():
+    trace = _trace("email")
+    lines = ["device_id,opcode,offset,length,timestamp"]
+    for time, lba, nsectors, is_write in _rows(trace):
+        micros = ALIBABA_BASE_MICROS + int(round(time * 1e6))
+        op = "W" if is_write else "R"
+        lines.append(
+            f"7,{op},{lba * SECTOR_BYTES},{nsectors * SECTOR_BYTES},{micros}"
+        )
+    lines.insert(9, f"7,X,0,4096,{ALIBABA_BASE_MICROS}")  # unknown opcode
+    lines.insert(27, f"7,R,512,0,{ALIBABA_BASE_MICROS}")  # zero length
+    (HERE / "sample_alibaba.csv").write_text("\n".join(lines) + "\n")
+    return len(trace)
+
+
+def write_spc():
+    # backup streams at ~300 req/s; 10 s keeps the sample a few thousand rows
+    trace = _trace("backup", span=10.0)
+    lines = []
+    for time, lba, nsectors, is_write in _rows(trace):
+        op = "w" if is_write else "r"
+        lines.append(
+            f"0,{lba},{nsectors * SECTOR_BYTES},{op},"
+            f"{SPC_BASE_SECONDS + time:.6f}"
+        )
+    lines.insert(5, "0,abc,4096,r,250.500000")  # non-numeric LBA
+    lines.insert(13, "0,100,4096,x,250.750000")  # unknown opcode
+    (HERE / "sample_spc.csv").write_text("\n".join(lines) + "\n")
+    return len(trace)
+
+
+def main():
+    for name, writer in (
+        ("msr", write_msr),
+        ("blktrace", write_blktrace),
+        ("alibaba", write_alibaba),
+        ("spc", write_spc),
+    ):
+        count = writer()
+        print(f"{name}: {count} good records + {N_CORRUPT} corrupt rows")
+
+
+if __name__ == "__main__":
+    main()

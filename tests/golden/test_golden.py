@@ -17,6 +17,7 @@ from repro.cli.main import main
 
 DATA_DIR = Path(__file__).parent / "data"
 WEB_TRACE = DATA_DIR / "web_small.csv"
+MSR_SAMPLE = DATA_DIR / "ingest" / "sample_msr.csv"
 
 
 def _run_cli(capsys, *argv):
@@ -76,6 +77,23 @@ def test_run_suite_tier_wb_json_golden(tmp_path, capsys, golden):
     assert payload["tier"] == "wb:lru"
     assert "tier_summary" in payload
     golden.check_json("run_suite_web_tier_wb.json", payload)
+
+
+def test_ingest_golden(tmp_path, capsys, golden):
+    """The full ingest report — parse summary, quarantine listing, fitted
+    twin, and per-timescale divergence — is pinned for the committed MSR
+    sample. Absolute paths are scrubbed so the pin is checkout-independent."""
+    fit_path = tmp_path / "fit.json"
+    code, text = _run_cli(
+        capsys, "ingest", str(MSR_SAMPLE), "--format", "msr", "--permissive",
+        "--scales", "0.5", "2", "5", "--calibrate-out", str(fit_path),
+    )
+    assert code == 0
+    text = text.replace(str(fit_path), "fit.json")
+    golden.check_text("ingest_msr.txt", text)
+    payload = json.loads(fit_path.read_text())
+    assert payload["source"]["quarantined"] == 2
+    assert payload["twin_validation"]["max_divergence"] < 1.5
 
 
 def test_pipeline_is_deterministic(tmp_path, capsys):

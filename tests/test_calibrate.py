@@ -30,7 +30,10 @@ def backup_like():
 class TestFingerprint:
     def test_fields_populated(self, web_like):
         fp = fingerprint(web_like)
-        assert fp.request_rate == pytest.approx(web_like.request_rate)
+        # Rate is measured from the first arrival, not clock 0.
+        first_arrival_rate = len(web_like) / (web_like.span - web_like.times[0])
+        assert fp.request_rate == pytest.approx(first_arrival_rate)
+        assert fp.request_rate == pytest.approx(web_like.request_rate, rel=0.05)
         assert 0.0 <= fp.write_fraction <= 1.0
         assert fp.mean_sectors > 0
         assert fp.interarrival_cv > 1.0  # web is bursty
@@ -55,6 +58,29 @@ class TestFingerprint:
         t = RequestTrace([0.0], [0], [8], [False], span=1.0)
         with pytest.raises(AnalysisError):
             fingerprint(t)
+
+    def test_mid_capture_clock_matches_origin_clock(self, web_like):
+        """A capture sliced from the middle of a longer recording (clock
+        starting far from 0) must fingerprint identically to the same
+        requests rebased to the origin — the first-arrival semantics of
+        repro.core.streaming."""
+        shift = 3600.0
+        shifted = RequestTrace(
+            times=web_like.times + shift,
+            lbas=web_like.lbas,
+            nsectors=web_like.nsectors,
+            is_write=web_like.is_write,
+            span=web_like.span + shift,
+            label=web_like.label,
+            capacity_sectors=web_like.capacity_sectors,
+        )
+        want = fingerprint(web_like)
+        got = fingerprint(shifted)
+        assert got.request_rate == pytest.approx(want.request_rate)
+        assert got.idc_growth == pytest.approx(want.idc_growth, nan_ok=True)
+        assert got.interarrival_cv == pytest.approx(want.interarrival_cv)
+        # Without the first-arrival rebase the rate would be ~12x off.
+        assert got.request_rate != pytest.approx(len(shifted) / shifted.span)
 
 
 class TestCalibrateProfile:

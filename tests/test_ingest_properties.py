@@ -1,0 +1,160 @@
+"""Property-based tests for ingest and the calibration loop (hypothesis).
+
+Three contracts that should hold for *any* input, not just the committed
+samples:
+
+* permissive mode accepts exactly the rows strict mode would accept on
+  the corruption-free version of the same file — corruption can only
+  remove rows, never alter the surviving ones;
+* the parse result is invariant to the streaming chunk size;
+* fitting a profile from a synthesized trace and synthesizing again
+  recovers the workload's headline parameters (rate, mix, sizes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.calibrate import fit_from_trace
+from repro.traces.ingest import get_parser
+
+settings.register_profile("repro-ingest", deadline=None, max_examples=30)
+settings.load_profile("repro-ingest")
+
+
+def _spc_line(row):
+    asu, lba, nbytes, is_write, t = row
+    op = "w" if is_write else "r"
+    return f"{asu},{lba},{nbytes},{op},{t:.6f}"
+
+
+@st.composite
+def spc_rows(draw, min_size=2, max_size=40):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    rows = []
+    for t in times:
+        rows.append(
+            (
+                0,
+                draw(st.integers(0, 10**7)),
+                draw(st.integers(1, 256)) * 512,
+                draw(st.booleans()),
+                t,
+            )
+        )
+    return rows
+
+
+_CORRUPT_LINES = st.sampled_from(
+    [
+        "not,a,row",
+        "0,abc,4096,r,1.0",          # non-numeric LBA
+        "0,100,4096,x,1.0",          # unknown opcode
+        "0,100,4096,r,not-a-time",   # non-numeric timestamp
+        "0,-5,4096,r,1.0",           # negative LBA
+        "0,100,0,r,1.0",             # zero-byte request
+        "0,100,4096,r",              # short row
+        "garbage line with spaces",
+    ]
+)
+
+
+@given(
+    rows=spc_rows(),
+    corrupt=st.lists(_CORRUPT_LINES, max_size=6),
+    data=st.data(),
+)
+def test_permissive_rows_are_strict_accepted_rows(tmp_path_factory, rows, corrupt, data):
+    """Interleave corrupt lines among valid ones: permissive mode on the
+    dirty file yields exactly strict mode's result on the clean file, and
+    quarantines exactly the corrupt lines."""
+    tmp = tmp_path_factory.mktemp("prop")
+    lines = [_spc_line(r) for r in rows]
+    dirty = list(lines)
+    for junk in corrupt:
+        pos = data.draw(st.integers(0, len(dirty)))
+        dirty.insert(pos, junk)
+
+    clean_path = tmp / "clean.csv"
+    dirty_path = tmp / "dirty.csv"
+    clean_path.write_text("\n".join(lines) + "\n")
+    dirty_path.write_text("\n".join(dirty) + "\n")
+
+    parser = get_parser("spc")
+    strict_trace = parser.parse(clean_path, strict=True)
+    quarantine = []
+    permissive_trace = parser.parse(dirty_path, strict=False, quarantine=quarantine)
+
+    assert len(quarantine) == len(corrupt)
+    assert len(permissive_trace) == len(strict_trace)
+    np.testing.assert_allclose(permissive_trace.times, strict_trace.times, atol=1e-9)
+    np.testing.assert_array_equal(permissive_trace.lbas, strict_trace.lbas)
+    np.testing.assert_array_equal(permissive_trace.nsectors, strict_trace.nsectors)
+    np.testing.assert_array_equal(permissive_trace.is_write, strict_trace.is_write)
+
+
+@given(rows=spc_rows(min_size=5, max_size=60), chunk_rows=st.integers(1, 80))
+def test_parse_is_chunk_size_invariant(tmp_path_factory, rows, chunk_rows):
+    """The streamed result must not depend on how the file is batched."""
+    tmp = tmp_path_factory.mktemp("chunk")
+    path = tmp / "t.csv"
+    path.write_text("\n".join(_spc_line(r) for r in rows) + "\n")
+
+    parser = get_parser("spc")
+    whole = parser.parse(path)
+    chunked = parser.parse(path, chunk_rows=chunk_rows)
+
+    np.testing.assert_allclose(chunked.times, whole.times, atol=1e-12)
+    np.testing.assert_array_equal(chunked.lbas, whole.lbas)
+    np.testing.assert_array_equal(chunked.nsectors, whole.nsectors)
+    np.testing.assert_array_equal(chunked.is_write, whole.is_write)
+
+    streamed = list(parser.iter_chunks(path, chunk_rows=chunk_rows))
+    assert sum(len(c) for c in streamed) == len(whole)
+    assert all(len(c) <= chunk_rows for c in streamed)
+
+
+@settings(deadline=None, max_examples=6)
+@given(
+    profile_name=st.sampled_from(["web", "database", "email"]),
+    seed=st.integers(0, 2**16),
+)
+def test_calibrate_synthesize_refit_recovers_parameters(profile_name, seed):
+    """Close the loop: synthesize -> fit -> synthesize the twin -> re-fit.
+    The re-fit must land near the first fit on the headline parameters
+    (these are what ``validate_twin`` and the study CLI key on)."""
+    from repro.synth.profiles import get_profile
+
+    capacity = 5_000_000
+    base = get_profile(profile_name).synthesize(
+        span=60.0, capacity_sectors=capacity, seed=seed
+    )
+    fit = fit_from_trace(base)
+    twin = fit.profile.synthesize(
+        span=60.0, capacity_sectors=capacity, seed=seed + 1
+    )
+    refit = fit_from_trace(twin)
+
+    assert fit.fingerprint.request_rate == pytest.approx(
+        refit.fingerprint.request_rate, rel=0.35
+    )
+    assert fit.fingerprint.write_fraction == pytest.approx(
+        refit.fingerprint.write_fraction, abs=0.1
+    )
+    assert fit.fingerprint.mean_sectors == pytest.approx(
+        refit.fingerprint.mean_sectors, rel=0.35
+    )
+    # Both fits pick *some* registered arrival family; the exact bursty
+    # family may flip (bmodel vs mmpp model similar correlation), so the
+    # round trip only has to preserve the headline parameters above.
+    assert refit.arrival["model"]
+    assert refit.sizes and refit.mix and refit.spatial
