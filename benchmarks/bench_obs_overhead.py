@@ -9,18 +9,23 @@ at ``metrics`` level, and at ``trace`` level, and writes the numbers to
   unobserved run (observability never touches the RNG stream or the
   engine selection);
 * **Overhead bound** — ``metrics`` level costs at most
-  ``OVERHEAD_BOUND`` (5%) extra wall time on the fully vectorized FCFS
-  path, the engine where fixed per-run costs are hardest to hide.
-
-``trace`` level is reported but not bounded: emitting one event per
-request (plus queue-depth deltas) is inherently per-request Python and
-is priced accordingly in the docs.
+  ``OVERHEAD_BOUND`` (8%; 25% in quick mode, whose small traces
+  amortize per-run fixed costs far less) extra wall time on the fully
+  vectorized FCFS path, the engine where fixed per-run costs are
+  hardest to hide, and
+  ``trace`` level at most ``TRACE_OVERHEAD_BOUND`` (3x): the columnar
+  event ring records batches as array appends and renders
+  ``TraceEvent`` objects only on read, so full tracing no longer pays
+  one Python object per request (it used to cost ~10x).
 
 Run directly (``python benchmarks/bench_obs_overhead.py``) or via
-pytest; both rewrite the artifact.
+pytest; both rewrite the artifact. Set ``REPRO_BENCH_QUICK=1`` (the CI
+perf-smoke job does) for a shorter span and fewer repetitions — both
+bounds are still asserted.
 """
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,18 +43,42 @@ from repro.synth.profiles import get_profile
 
 ARTIFACT = Path(__file__).parent.parent / "BENCH_obs.json"
 
+#: ``REPRO_BENCH_QUICK=1``: shrink the span/repetitions for CI smoke runs.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
 #: Heavy vectorized-path workload: fixed costs are amortized over many
 #: requests, so any *per-request* observability cost shows up clearly.
 PROFILE = "database"
 RATE = 500.0
-SPAN = 120.0
+SPAN = 20.0 if QUICK else 120.0
 
-#: Acceptance ceiling for metrics-level relative overhead.
-OVERHEAD_BOUND = 0.05
+#: Acceptance ceiling for metrics-level relative overhead. The metrics
+#: fill is a handful of vectorized passes (~tens of ns per request since
+#: the histogram's analytic log-bucketing replaced ``searchsorted``);
+#: the bound is sized to flag any *algorithmic* regression — a
+#: per-request Python path costs 10x, not 8% — while leaving headroom
+#: for CPU-frequency jitter on slow shared runners, where the same
+#: fixed cost measures anywhere between 2% and 6%. Quick mode replays
+#: ~6x fewer requests, so per-run fixed costs (observer construction,
+#: ufunc dispatch) weigh proportionally more; its bound is widened to
+#: match — still an order of magnitude below the regression class the
+#: bound exists to catch.
+OVERHEAD_BOUND = 0.25 if QUICK else 0.08
+
+#: Acceptance ceiling for trace-level overhead, as a slowdown factor
+#: (t_trace / t_off). Columnar event recording holds measured overhead
+#: near 1.05x; the pinned bound stays loose for noisy shared boxes.
+TRACE_OVERHEAD_BOUND = 3.0
 
 #: min-of-N repetitions per configuration (best-of filters scheduler
-#: noise on a shared box).
-REPETITIONS = 7
+#: noise on a shared box; the runs are ~50 ms each, so even 15 is cheap).
+REPETITIONS = 10 if QUICK else 15
+
+#: The levels, timed round-robin: interleaving means a CPU-frequency
+#: drift mid-benchmark hits every level alike instead of biasing
+#: whichever level happened to be measured in the slow stretch —
+#: essential for resolving a few-percent overhead on a shared box.
+LEVELS = ("off", "metrics", "trace")
 
 
 def _workload():
@@ -61,18 +90,19 @@ def _workload():
     return drive, trace
 
 
-def _best_time(drive, trace, obs_level):
-    """Best-of-N wall time for one replay configuration.
+def _best_times(drive, trace):
+    """Interleaved best-of-N wall times, one per observability level.
 
     A fresh :class:`Observer` is built inside the timed region on every
     repetition — observer construction is part of the cost a user pays.
     """
-    best = float("inf")
+    best = {level: float("inf") for level in LEVELS}
     for _ in range(REPETITIONS):
-        t0 = time.perf_counter()
-        obs = None if obs_level == "off" else Observer(obs_level)
-        DiskSimulator(drive, scheduler="fcfs", seed=SEED, obs=obs).run(trace)
-        best = min(best, time.perf_counter() - t0)
+        for level in LEVELS:
+            t0 = time.perf_counter()
+            obs = None if level == "off" else Observer(level)
+            DiskSimulator(drive, scheduler="fcfs", seed=SEED, obs=obs).run(trace)
+            best[level] = min(best[level], time.perf_counter() - t0)
     return best
 
 
@@ -92,10 +122,11 @@ def measure():
     """Time the three observability levels; returns the row dicts."""
     drive, trace = _workload()
     baseline = assert_bit_identical(drive, trace)
-    t_off = _best_time(drive, trace, "off")
+    best = _best_times(drive, trace)
+    t_off = best["off"]
     rows = []
-    for level in ("off", "metrics", "trace"):
-        t = t_off if level == "off" else _best_time(drive, trace, level)
+    for level in LEVELS:
+        t = best[level]
         rows.append(
             {
                 "level": level,
@@ -110,8 +141,10 @@ def measure():
 
 def write_artifact(rows, n_requests, utilization):
     metrics = next(r for r in rows if r["level"] == "metrics")
+    traced = next(r for r in rows if r["level"] == "trace")
     payload = {
-        "schema": 1,
+        "schema": 2,
+        "quick": QUICK,
         "generated_by": "benchmarks/bench_obs_overhead.py",
         "seed": SEED,
         "workload": {
@@ -121,6 +154,8 @@ def write_artifact(rows, n_requests, utilization):
         "levels": rows,
         "metrics_overhead": metrics["overhead"],
         "overhead_bound": OVERHEAD_BOUND,
+        "trace_slowdown": round(traced["overhead"] + 1.0, 4),
+        "trace_slowdown_bound": TRACE_OVERHEAD_BOUND,
         "bit_identical": True,  # asserted in measure(); a failure raises
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -147,6 +182,7 @@ def test_obs_overhead():
     save_result("obs_overhead", render_table(rows))
     assert ARTIFACT.exists()
     assert payload["metrics_overhead"] <= OVERHEAD_BOUND, payload
+    assert payload["trace_slowdown"] <= TRACE_OVERHEAD_BOUND, payload
 
 
 if __name__ == "__main__":

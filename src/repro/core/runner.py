@@ -87,13 +87,19 @@ class ExperimentJob:
         worker builds its own observer, and the shards merge in the
         parent via :meth:`SuiteReport.merged_metrics`.
     trace:
-        Optional :class:`~repro.traces.ingest.source.TraceSource`
-        replacing synthesis with a replay of an on-disk trace (``None``
-        = synthesize from ``profile``; exactly one of the two must be
-        set). A pointer, not a trace: each worker loads the file itself,
-        so the job stays cheap to pickle however large the capture is.
-        Trace jobs ignore ``span`` (the capture's own span rules) and
-        use ``seed`` only for the drive RNG.
+        Optional trace handle replacing synthesis with a replay
+        (``None`` = synthesize from ``profile``; exactly one of the two
+        must be set). A pointer, not a trace: each worker calls
+        ``trace.load()`` itself, so the job stays cheap to pickle
+        however large the capture is. Any object with ``load()`` and
+        ``label`` works — a
+        :class:`~repro.traces.ingest.source.TraceSource` re-reads a
+        file per worker, a
+        :class:`~repro.traces.shared.SharedTraceSource` attaches the
+        publisher's shared-memory columns without pickling or re-parsing
+        a byte of request payload. Trace jobs ignore ``span`` (the
+        capture's own span rules) and use ``seed`` only for the drive
+        RNG.
     """
 
     profile: Optional[WorkloadProfile]
@@ -649,6 +655,78 @@ def _execute_job(
         return index, result, attempt, perf_counter() - start
 
 
+def _pool_worker(conn) -> None:
+    """Loop of one pooled worker process: receive ``(job_fn, job, index,
+    max_retries)`` messages, run them through :func:`_execute_job`, send
+    the outcome back. A ``None`` message (or a closed pipe) shuts the
+    worker down. Module-level so the ``spawn`` start method can import it.
+
+    If an outcome cannot travel back (unpicklable result), a
+    :class:`JobFailure` describing the transport error is sent instead —
+    the parent never hangs waiting for a reply.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            job_fn, job, index, max_retries = message
+            index, outcome, n_attempts, wall = _execute_job(
+                job_fn, job, index, max_retries
+            )
+            try:
+                conn.send((index, outcome, n_attempts, wall))
+            except Exception as exc:  # result transport failure
+                label = getattr(job, "label", f"job-{index}")
+                failure = JobFailure(
+                    label=str(label),
+                    index=index,
+                    error_type=type(exc).__name__,
+                    message=f"job result could not be sent back: {exc}",
+                    traceback=traceback_module.format_exc(),
+                    attempts=n_attempts,
+                    wall_seconds=wall,
+                )
+                conn.send((index, failure, n_attempts, wall))
+    finally:
+        conn.close()
+
+
+class _PoolWorker:
+    """Parent-side handle of one worker process and its message pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+    def stop(self) -> None:
+        """Politely ask the worker to exit (it is idle: the sentinel is
+        read immediately)."""
+        try:
+            self.conn.send(None)
+        except Exception:
+            pass
+
+    def kill(self) -> None:
+        """Forcibly terminate the worker process."""
+        try:
+            self.process.terminate()
+        except Exception:
+            pass
+
+    def reap(self, timeout: float = 1.0) -> None:
+        self.process.join(timeout)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
 class ExperimentRunner:
     """Run experiment jobs across processes, results in input order.
 
@@ -666,12 +744,20 @@ class ExperimentRunner:
         exists for transient causes (OOM kills, flaky I/O).
     job_timeout:
         Per-job wall-clock budget in seconds, covering every attempt.
-        In pooled mode an overrunning job is abandoned (its worker is
-        reaped when the pool is torn down) and reported as a
+        In pooled mode an overrunning job's worker is terminated on the
+        spot and replaced with a fresh one, and the job is reported as a
         :class:`JobFailure` with ``error_type="TimeoutError"``. Inline
         mode cannot preempt a running job, so the timeout is applied
         after the fact: a job whose wall time exceeded the budget is
         reported as timed out even if it eventually returned.
+
+    Pooled mode runs one long-lived worker process per slot, each driven
+    over its own duplex pipe (no ``multiprocessing.Pool``). That makes a
+    worker's death observable: a worker killed mid-job (OOM killer,
+    ``SIGKILL``, hard crash) is detected via its exit code and the job
+    reported as a :class:`JobFailure` with ``error_type="WorkerCrashed"``
+    instead of hanging the suite forever waiting on a result that will
+    never arrive.
     on_error:
         ``"raise"`` (default) stops submitting after the first failure,
         drains in-flight jobs, and raises :class:`SuiteError` carrying
@@ -831,53 +917,116 @@ class ExperimentRunner:
         done = 0
         next_index = 0
         stop_submitting = False
-        # index -> (async handle, submission time); capped at `workers`
-        # outstanding so a submitted task starts (almost) immediately and
-        # the per-job timeout clock measures execution, not queueing.
-        pending: Dict[int, Tuple[Any, float]] = {}
-        # Exiting the ``with`` block terminates the pool, which is what
-        # reaps workers still stuck on timed-out jobs.
-        with context.Pool(processes=workers) as pool:
-            while pending or (next_index < n and not stop_submitting):
-                while (
-                    not stop_submitting
-                    and next_index < n
-                    and len(pending) < workers
-                ):
-                    handle = pool.apply_async(
-                        _execute_job,
-                        (fn, jobs[next_index], next_index, self.max_retries),
-                    )
-                    pending[next_index] = (handle, perf_counter())
-                    next_index += 1
+
+        def spawn() -> _PoolWorker:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_pool_worker, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            return _PoolWorker(process, parent_conn)
+
+        def crash_failure(index: int, exitcode: Any, wall: float) -> JobFailure:
+            return JobFailure(
+                label=getattr(jobs[index], "label", f"job-{index}"),
+                index=index,
+                error_type="WorkerCrashed",
+                message=(
+                    f"worker process exited with code {exitcode} mid-job "
+                    "(killed or crashed without raising)"
+                ),
+                traceback="",
+                attempts=1,
+                wall_seconds=wall,
+            )
+
+        idle: List[_PoolWorker] = [spawn() for _ in range(workers)]
+        # index -> (worker, submission time); one outstanding job per
+        # worker so a submitted job starts immediately and the per-job
+        # timeout clock measures execution, not queueing.
+        busy: Dict[int, Tuple[_PoolWorker, float]] = {}
+        try:
+            while busy or (next_index < n and not stop_submitting):
                 resolved: List[Tuple[int, JobOutcome, int]] = []
-                now = perf_counter()
-                for i, (handle, submitted) in pending.items():
-                    if handle.ready():
+                while idle and next_index < n and not stop_submitting:
+                    worker = idle.pop()
+                    i = next_index
+                    message = (fn, jobs[i], i, self.max_retries)
+                    try:
+                        worker.conn.send(message)
+                    except Exception:
+                        # Dead pipe (worker died while idle): replace the
+                        # worker and retry once; a second failure means the
+                        # message itself cannot travel (unpicklable job).
+                        worker.kill()
+                        worker.reap()
+                        worker = spawn()
                         try:
-                            _, outcome, n_attempts, _ = handle.get()
-                        except Exception as exc:  # transport-level failure
-                            outcome = JobFailure(
-                                label=getattr(jobs[i], "label", f"job-{i}"),
-                                index=i,
-                                error_type=type(exc).__name__,
-                                message=str(exc),
-                                traceback=traceback_module.format_exc(),
-                                attempts=1,
-                                wall_seconds=now - submitted,
+                            worker.conn.send(message)
+                        except Exception as exc:
+                            idle.append(worker)
+                            resolved.append(
+                                (
+                                    i,
+                                    JobFailure(
+                                        label=getattr(jobs[i], "label", f"job-{i}"),
+                                        index=i,
+                                        error_type=type(exc).__name__,
+                                        message=f"job could not be sent to a worker: {exc}",
+                                        traceback=traceback_module.format_exc(),
+                                        attempts=1,
+                                        wall_seconds=0.0,
+                                    ),
+                                    1,
+                                )
                             )
-                            n_attempts = 1
-                        resolved.append((i, outcome, n_attempts))
+                            next_index += 1
+                            continue
+                    busy[i] = (worker, perf_counter())
+                    next_index += 1
+                now = perf_counter()
+                for i, (worker, submitted) in list(busy.items()):
+                    outcome: Optional[JobOutcome] = None
+                    n_attempts = 1
+                    # Check the pipe before the exit code: a worker that
+                    # finished its send and then died still delivered a
+                    # real outcome, which takes precedence over the crash.
+                    has_result = worker.conn.poll()
+                    exited = worker.process.exitcode is not None
+                    if not has_result and exited:
+                        has_result = worker.conn.poll()  # result raced in
+                    if has_result:
+                        try:
+                            _, outcome, n_attempts, _ = worker.conn.recv()
+                        except (EOFError, OSError):
+                            outcome = crash_failure(
+                                i, worker.process.exitcode, now - submitted
+                            )
+                            worker.kill()
+                            worker.reap()
+                            idle.append(spawn())
+                        else:
+                            idle.append(worker)
+                    elif exited:
+                        outcome = crash_failure(
+                            i, worker.process.exitcode, now - submitted
+                        )
+                        worker.reap()
+                        idle.append(spawn())
                     elif (
                         self.job_timeout is not None
                         and now - submitted > self.job_timeout
                     ):
                         label = getattr(jobs[i], "label", f"job-{i}")
-                        resolved.append(
-                            (i, self._timeout_failure(label, i, now - submitted), 1)
-                        )
+                        outcome = self._timeout_failure(label, i, now - submitted)
+                        worker.kill()
+                        worker.reap()
+                        idle.append(spawn())
+                    if outcome is not None:
+                        del busy[i]
+                        resolved.append((i, outcome, n_attempts))
                 for i, outcome, n_attempts in resolved:
-                    del pending[i]
                     outcomes[i] = outcome
                     attempts[i] = n_attempts
                     done += 1
@@ -885,5 +1034,14 @@ class ExperimentRunner:
                         progress(done, n, outcome)
                     if isinstance(outcome, JobFailure) and self.on_error == "raise":
                         stop_submitting = True
-                if not resolved and pending:
+                if not resolved and busy:
                     sleep(self.poll_interval)
+        finally:
+            for worker, _ in busy.values():
+                worker.kill()
+            for worker in idle:
+                worker.stop()
+            for worker in idle:
+                worker.reap()
+            for worker, _ in busy.values():
+                worker.reap()

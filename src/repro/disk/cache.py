@@ -104,6 +104,36 @@ class DiskCache:
         self._last_drain_time = 0.0
 
     # ------------------------------------------------------------------
+    # Columnar-engine state transfer
+    # ------------------------------------------------------------------
+
+    def export_state(self):
+        """Snapshot of the mutable cache state as plain Python values:
+        ``(segments, dirty, absorbed, drained, last_drain_time)``.
+
+        The columnar replay engines evolve this state with inlined copies
+        of :meth:`read_hit` / :meth:`absorb_write` / :meth:`_drain_to`
+        (same decisions, same float operations — bit-identity is pinned
+        by the property suite) and hand it back via
+        :meth:`import_state` when the run finishes.
+        """
+        return (
+            list(self._segments),
+            self._dirty_bytes,
+            self._absorbed_bytes,
+            self._drained_bytes,
+            self._last_drain_time,
+        )
+
+    def import_state(self, segments, dirty, absorbed, drained, last_drain) -> None:
+        """Adopt state evolved outside the cache (see :meth:`export_state`)."""
+        self._segments = deque(segments, maxlen=self.config.segment_count)
+        self._dirty_bytes = dirty
+        self._absorbed_bytes = absorbed
+        self._drained_bytes = drained
+        self._last_drain_time = last_drain
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
 

@@ -172,6 +172,18 @@ class DiskDrive:
         """Cylinder currently under the heads."""
         return self._head_cylinder
 
+    def export_kinematics(self):
+        """``(head_cylinder, last_media_end)`` — the motion state the
+        columnar engines evolve locally and restore on completion."""
+        return self._head_cylinder, self._last_media_end
+
+    def import_kinematics(self, head_cylinder: int, last_media_end: int) -> None:
+        """Adopt motion state evolved outside the drive (the RNG is *not*
+        part of this snapshot: engines draw rotational latencies straight
+        from ``self._rng`` in serve order, so it advances in place)."""
+        self._head_cylinder = head_cylinder
+        self._last_media_end = last_media_end
+
     def cylinder_of(self, lba: int) -> int:
         """Delegate to the geometry (used by the scheduler glue), through
         the fault model's reassignment map when one is attached — the

@@ -349,6 +349,10 @@ class FaultModel:
     def effective_lba(self, lba: int, nsectors: int = 1) -> int:
         """Where the heads actually go for ``lba``: the original address,
         or its spare-area relocation if the region was reassigned."""
+        if not self._reassigned:
+            # Nothing relocated yet — skip the region arithmetic on the
+            # per-access hot path (most runs never reassign at all).
+            return lba
         slot = self._reassigned.get(int(lba) // self.profile.region_sectors)
         if slot is None:
             return lba

@@ -14,12 +14,40 @@ the simulator.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Tuple
+from bisect import bisect_left
+from typing import List, Protocol, Sequence, Tuple
 
 from repro.errors import DiskModelError
 
 #: One queue entry as seen by a scheduler: (cylinder, arrival order).
 QueueEntry = Tuple[int, int]
+
+
+def pick_from_sorted(entries: Sequence[QueueEntry], head_cylinder: int) -> int:
+    """Index of the entry :class:`SstfScheduler` would pick, computed on a
+    ``(cylinder, arrival order)``-sorted sequence in O(log n) comparisons.
+
+    Bisect for the head position and compare the two boundary *runs*
+    (equal-cylinder entries are contiguous and arrival-ordered, so each
+    run's first entry is its best): the winner is exactly the entry with
+    minimal ``(|cylinder - head_cylinder|, arrival order)``. Both the
+    simulator's full-visibility SSTF path and the columnar NCQ window use
+    this kernel; its equivalence to the linear scan is pinned by the
+    bit-identity suite.
+    """
+    split = bisect_left(entries, (head_cylinder,))
+    if split == len(entries):
+        # Everything is below the head: nearest is the last run's first entry.
+        return bisect_left(entries, (entries[-1][0],))
+    if split == 0:
+        return 0
+    above = entries[split]
+    below_cyl = entries[split - 1][0]
+    run_start = bisect_left(entries, (below_cyl,))
+    below = entries[run_start]
+    if (head_cylinder - below_cyl, below[1]) < (above[0] - head_cylinder, above[1]):
+        return run_start
+    return split
 
 
 class Scheduler(Protocol):

@@ -7,8 +7,8 @@ the busy/idle timeline. This is the substitute for the measurement
 infrastructure the paper had on real drives: instead of observing busy
 and idle on hardware, we observe it on the model.
 
-The replay engine has three executions of the same queueing model, picked
-per run so heavy traces replay as fast as the discipline allows:
+The replay engine has several executions of the same queueing model,
+picked per run so heavy traces replay as fast as the discipline allows:
 
 * a **vectorized FCFS path** — with FCFS the serve order *is* the arrival
   order, so when the drive's cache is disabled the whole run collapses to
@@ -16,16 +16,28 @@ per run so heavy traces replay as fast as the discipline allows:
   ``finish[i] = max(arrival[i], finish[i-1]) + service[i]`` recurrence,
   evaluated with ``np.maximum.accumulate`` over cumulative sums — no
   Python loop at all;
+* the **columnar engines** (:mod:`repro.disk.columnar`) — FCFS with the
+  cache enabled, SSTF with full visibility, and NCQ-windowed SSTF all
+  replay the structured-array request representation
+  (:data:`~repro.traces.millisecond.REQUEST_DTYPE`, built once per
+  replay) with the drive's decision logic inlined: geometry and media
+  times precomputed in vectorized passes, seek-curve constants hoisted,
+  rotational-latency draws block-buffered from the drive's own RNG, and
+  the SSTF nearest-neighbor decision served by the shared
+  :func:`~repro.disk.scheduler.pick_from_sorted` bisect kernel. They are
+  selected only for a bare, unobserved drive (no faults, no tier, no
+  enabled observer) and are bit-identical to the reference loop;
 * a **sequential FCFS path** — with caching enabled, service times depend
   on the clock (write-buffer drain), so the drive is stepped request by
   request, but with no queue or scheduler machinery at all (bit-identical
-  to the event loop);
+  to the event loop); it remains the FCFS engine when an observer, fault
+  model or tier needs the per-access hooks;
+* a **sorted SSTF path** — the scalar twin of the columnar SSTF engine
+  (same cylinder-sorted queue and bisect kernel, drive stepped through
+  its real methods) for SSTF runs that need those hooks;
 * the **event loop** — the general path for seek-aware disciplines and
-  NCQ windows. SSTF with full queue visibility uses an incrementally
-  maintained cylinder-sorted queue (O(log n) comparisons per decision via
-  ``bisect``) instead of a linear scan; windowed runs slice the oldest
-  ``queue_depth`` entries in O(queue_depth) — the queue is kept in
-  arrival order, so no per-decision sort is ever needed.
+  NCQ windows: the queue is kept in arrival order and windowed runs
+  slice the oldest ``queue_depth`` entries in O(queue_depth).
 
 ``fast_path=False`` forces every run through the reference event loop;
 the equivalence of the fast paths is asserted against it in the test
@@ -34,21 +46,32 @@ suite.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import insort
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.disk.columnar import (
+    run_fcfs_columnar,
+    run_sstf_columnar,
+    run_sstf_windowed_columnar,
+)
 from repro.disk.drive import DiskDrive, DriveSpec
 from repro.disk.faults import FaultEvent, FaultModel, FaultProfile
-from repro.disk.scheduler import FcfsScheduler, Scheduler, SstfScheduler, make_scheduler
+from repro.disk.scheduler import (
+    FcfsScheduler,
+    Scheduler,
+    SstfScheduler,
+    make_scheduler,
+    pick_from_sorted,
+)
 from repro.disk.timeline import BusyIdleTimeline
 from repro.errors import SimulationError
 from repro.obs import Observer
 from repro.stats.moments import describe, SampleDescription
 from repro.tier import TierConfig, TieredDevice
-from repro.traces.millisecond import RequestTrace
+from repro.traces.millisecond import RequestTrace, build_request_columns
 
 
 class SimulationResult:
@@ -229,7 +252,7 @@ class DiskSimulator:
         simulator without the parameter. An
         :class:`~repro.obs.Observer` at level ``"metrics"`` fills its
         registry post-hoc from the result arrays (a few vectorized
-        passes; designed for ≤5% overhead on the fast paths); at level
+        passes; designed for ≤8% overhead on the fast paths); at level
         ``"trace"`` the drive, cache and fault model additionally emit
         typed events into ``obs.events``. Observability never changes
         engine selection, RNG draws or results — every level is
@@ -345,6 +368,25 @@ class DiskSimulator:
                     f"{capacity}; generate against this drive or pass remap_lbas=True"
                 )
 
+        # The columnar engines inline the drive's decision logic over the
+        # structured-array representation. They tally the cache counters
+        # locally (recorded post-run), but per-access *events* — seeks,
+        # write_absorbed — need the scalar hooks, so trace-level runs
+        # stay on the scalar twins. Results are bit-identical either way.
+        columnar_ok = (
+            self.fast_path
+            and drive.faults is None
+            and device is drive
+            and not tracing
+        )
+
+        def request_columns() -> np.ndarray:
+            # Remapping rewrites LBAs/sizes, so only unremapped runs can
+            # share the trace's memoized build.
+            if lbas is trace.lbas and sizes is trace.nsectors:
+                return trace.columns()
+            return build_request_columns(arrivals, lbas, sizes, trace.is_write)
+
         if n == 0:
             start_times = np.zeros(0, dtype=np.float64)
             service_times = np.zeros(0, dtype=np.float64)
@@ -366,10 +408,29 @@ class DiskSimulator:
                     drive, arrivals, lbas, sizes
                 )
                 fault_events = []
+            elif columnar_ok:
+                start_times, service_times, cache_tally = run_fcfs_columnar(
+                    drive, request_columns()
+                )
+                fault_events = []
+                if observing:
+                    _record_cache_tally(obs, cache_tally)
             else:
                 start_times, service_times, fault_events = _run_fcfs_sequential(
                     device, arrivals, lbas, sizes, trace.is_write
                 )
+        elif type(scheduler) is SstfScheduler and columnar_ok:
+            if self.queue_depth is None:
+                start_times, service_times, cache_tally = run_sstf_columnar(
+                    drive, request_columns()
+                )
+            else:
+                start_times, service_times, cache_tally = run_sstf_windowed_columnar(
+                    drive, request_columns(), self.queue_depth
+                )
+            fault_events = []
+            if observing:
+                _record_cache_tally(obs, cache_tally)
         elif (
             self.fast_path
             and type(scheduler) is SstfScheduler
@@ -395,7 +456,7 @@ class DiskSimulator:
             tier_hits = np.zeros(n, dtype=bool)
             if n:
                 order = np.argsort(start_times, kind="stable")
-                tier_hits[order] = np.asarray(device.hit_log, dtype=bool)
+                tier_hits[order] = device.hit_array()
             tier_summary = device.summary()
         result = SimulationResult(
             trace=trace,
@@ -529,24 +590,7 @@ def _run_sstf_sorted(
             insort(pending, (cylinder_of(lba_list[next_arrival]), next_arrival))
             next_arrival += 1
 
-        head = drive.head_cylinder
-        split = bisect_left(pending, (head,))
-        if split == len(pending):
-            # Everything is below the head: nearest is the last run's first entry.
-            run_start = bisect_left(pending, (pending[-1][0],))
-            pos = run_start
-        elif split == 0:
-            pos = 0
-        else:
-            above = pending[split]
-            below_cyl = pending[split - 1][0]
-            run_start = bisect_left(pending, (below_cyl,))
-            below = pending[run_start]
-            if (head - below_cyl, below[1]) < (above[0] - head, above[1]):
-                pos = run_start
-            else:
-                pos = split
-        _, idx = pending.pop(pos)
+        _, idx = pending.pop(pick_from_sorted(pending, drive.head_cylinder))
 
         service = service_time(lba_list[idx], size_list[idx], write_list[idx], clock)
         if record_faults:
@@ -575,7 +619,7 @@ def _record_metrics(
     """Fill the observer's registry from the finished run's arrays.
 
     A handful of vectorized passes over data the run produced anyway —
-    this is what keeps ``obs_level="metrics"`` within the ≤5% overhead
+    this is what keeps ``obs_level="metrics"`` within the ≤8% overhead
     budget on the fast engines.
     """
     trace = result.trace
@@ -612,6 +656,23 @@ def _record_metrics(
             metrics.gauge("tier.hdd_offload").set(offload)
 
 
+def _record_cache_tally(obs: Observer, tally: Tuple[int, int, int]) -> None:
+    """Record the cache counters a columnar engine tallied locally.
+
+    Counters are created only for non-zero counts, matching the lazy
+    creation of the scalar hooks (which never see a zero increment) —
+    the observed registry is identical whichever engine ran.
+    """
+    read_hits, writes_absorbed, writes_fallthrough = tally
+    metrics = obs.metrics
+    if read_hits:
+        metrics.counter("cache.read_hits").inc(read_hits)
+    if writes_absorbed:
+        metrics.counter("cache.writes_absorbed").inc(writes_absorbed)
+    if writes_fallthrough:
+        metrics.counter("cache.writes_fallthrough").inc(writes_fallthrough)
+
+
 def _emit_serve_events(
     obs: Observer,
     trace: RequestTrace,
@@ -626,22 +687,18 @@ def _emit_serve_events(
     (:func:`repro.obs.events.request_trace_from_events`): the original
     arrival, the (possibly remapped) LBA, size, direction and the trace
     index. Emission follows start-time order so the ``sim`` source stays
-    time-ordered.
+    time-ordered; the whole batch lands in the ring as one column block.
     """
-    emit = obs.emit
     order = np.argsort(start_times, kind="stable")
-    arrivals = trace.times
-    writes = trace.is_write
-    for i in order.tolist():
-        emit(
-            "serve", float(start_times[i]), "sim",
-            index=i,
-            arrival=float(arrivals[i]),
-            lba=int(lbas[i]),
-            nsectors=int(sizes[i]),
-            write=bool(writes[i]),
-            service=float(service_times[i]),
-        )
+    obs.emit_columns(
+        "serve", "sim", start_times[order],
+        index=order,
+        arrival=trace.times[order],
+        lba=lbas[order],
+        nsectors=sizes[order],
+        write=trace.is_write[order],
+        service=service_times[order],
+    )
 
 
 def _emit_queue_depth_events(
@@ -667,11 +724,7 @@ def _emit_queue_depth_events(
     deltas = deltas[order]
     depths = np.cumsum(deltas)
     obs.metrics.gauge("sim.queue_depth_peak").set(int(depths.max()))
-    emit = obs.emit
-    for t, delta, depth in zip(
-        times.tolist(), deltas.tolist(), depths.tolist()
-    ):
-        emit("queue_depth", t, "queue", delta=int(delta), depth=int(depth))
+    obs.emit_columns("queue_depth", "queue", times, delta=deltas, depth=depths)
 
 
 def _run_event_loop(

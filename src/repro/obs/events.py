@@ -16,6 +16,17 @@ between observation and analysis.
 Within one run, each emitting source appends in its own clock order, so
 per-source event streams are time-ordered (a property test asserts
 this); the global buffer interleaves sources in emission order.
+
+Storage is columnar: the ring keeps events as a sequence of *blocks* —
+either a list of already-built :class:`TraceEvent` objects (scalar
+:meth:`EventTrace.emit`) or a batch of parallel numpy arrays
+(:meth:`EventTrace.emit_columns`, the replay engines' bulk path).
+:class:`TraceEvent` objects for a column block are rendered only when the
+trace is read (``events()``, iteration, ``dump_jsonl``), so recording a
+million-request run costs a few array appends instead of a million
+object constructions. Capacity accounting is exact: blocks are trimmed
+event by event from the oldest end, so ``n_emitted`` / ``n_dropped`` and
+the retained window match the old per-object ring exactly.
 """
 
 from __future__ import annotations
@@ -23,7 +34,9 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ObservabilityError
 
@@ -77,6 +90,74 @@ class TraceEvent:
             raise ObservabilityError(f"malformed event record: {exc}") from exc
 
 
+class _ScalarBlock:
+    """A run of individually emitted events; ``start`` marks the dropped
+    prefix (compacted away once it dominates the list)."""
+
+    __slots__ = ("items", "start")
+
+    def __init__(self) -> None:
+        self.items: List[TraceEvent] = []
+        self.start = 0
+
+    def __len__(self) -> int:
+        return len(self.items) - self.start
+
+    def drop(self, count: int) -> None:
+        self.start += count
+        if self.start > 1024 and self.start * 2 >= len(self.items):
+            del self.items[: self.start]
+            self.start = 0
+
+    def render(self) -> List[TraceEvent]:
+        return self.items[self.start:] if self.start else self.items
+
+
+class _ColumnBlock:
+    """One ``emit_columns`` batch: a shared kind/source, a time array and
+    parallel payload arrays. :class:`TraceEvent` objects are built only
+    in :meth:`render` — ``tolist()`` yields plain Python scalars, so the
+    rendered events equal (and JSON-serialize identically to) the ones
+    the scalar path would have built."""
+
+    __slots__ = ("kind", "source", "times", "columns", "start")
+
+    def __init__(
+        self,
+        kind: str,
+        source: str,
+        times: np.ndarray,
+        columns: Dict[str, np.ndarray],
+    ) -> None:
+        self.kind = kind
+        self.source = source
+        self.times = times
+        self.columns = columns
+        self.start = 0
+
+    def __len__(self) -> int:
+        return self.times.size - self.start
+
+    def drop(self, count: int) -> None:
+        self.start += count
+
+    def render(self) -> List[TraceEvent]:
+        start = self.start
+        times = (self.times[start:] if start else self.times).tolist()
+        payload = [
+            (key, (values[start:] if start else values).tolist())
+            for key, values in self.columns.items()
+        ]
+        kind = self.kind
+        source = self.source
+        return [
+            TraceEvent(
+                time, kind, source, {key: values[i] for key, values in payload}
+            )
+            for i, time in enumerate(times)
+        ]
+
+
 class EventTrace:
     """A bounded recorder: keeps the newest ``capacity`` events.
 
@@ -89,13 +170,66 @@ class EventTrace:
         if capacity < 1:
             raise ObservabilityError(f"capacity must be >= 1, got {capacity!r}")
         self.capacity = int(capacity)
-        self._ring: deque = deque(maxlen=self.capacity)
+        self._blocks: deque = deque()
+        self._retained = 0
         self._emitted = 0
 
     def emit(self, kind: str, time: float, source: str, **data: Any) -> None:
         """Record one event (oldest events fall off a full ring)."""
-        self._ring.append(TraceEvent(float(time), kind, source, data))
+        blocks = self._blocks
+        if blocks and type(blocks[-1]) is _ScalarBlock:
+            tail = blocks[-1]
+        else:
+            tail = _ScalarBlock()
+            blocks.append(tail)
+        tail.items.append(TraceEvent(float(time), kind, source, data))
         self._emitted += 1
+        self._retained += 1
+        if self._retained > self.capacity:
+            self._trim()
+
+    def emit_columns(
+        self, kind: str, source: str, times: Any, **columns: Any
+    ) -> None:
+        """Record a batch of same-kind events from parallel arrays.
+
+        ``times`` gives each event's clock; every keyword argument is a
+        same-length array whose element ``i`` becomes payload field
+        ``key`` of event ``i`` (keyword order is preserved in the
+        payload). Equivalent to ``emit`` in a loop, at array cost.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        arrays: Dict[str, np.ndarray] = {}
+        for key, values in columns.items():
+            arr = np.asarray(values)
+            if arr.size != n:
+                raise ObservabilityError(
+                    f"column {key!r} has {arr.size} values for {n} times"
+                )
+            arrays[key] = arr
+        if n == 0:
+            return
+        self._blocks.append(_ColumnBlock(kind, source, times, arrays))
+        self._emitted += n
+        self._retained += n
+        if self._retained > self.capacity:
+            self._trim()
+
+    def _trim(self) -> None:
+        excess = self._retained - self.capacity
+        blocks = self._blocks
+        while excess > 0:
+            block = blocks[0]
+            available = len(block)
+            if available <= excess:
+                blocks.popleft()
+                excess -= available
+                self._retained -= available
+            else:
+                block.drop(excess)
+                self._retained -= excess
+                excess = 0
 
     @property
     def n_emitted(self) -> int:
@@ -105,22 +239,25 @@ class EventTrace:
     @property
     def n_dropped(self) -> int:
         """Events the ring has forgotten (emitted minus retained)."""
-        return self._emitted - len(self._ring)
+        return self._emitted - self._retained
 
     def events(self) -> Tuple[TraceEvent, ...]:
-        """The retained events in emission order."""
-        return tuple(self._ring)
+        """The retained events in emission order (column blocks are
+        rendered to :class:`TraceEvent` objects here, on read)."""
+        return tuple(self)
 
     def clear(self) -> None:
         """Drop every retained event and reset the counters."""
-        self._ring.clear()
+        self._blocks.clear()
+        self._retained = 0
         self._emitted = 0
 
     def __len__(self) -> int:
-        return len(self._ring)
+        return self._retained
 
-    def __iter__(self):
-        return iter(self._ring)
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for block in self._blocks:
+            yield from block.render()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -132,13 +269,13 @@ class EventTrace:
         Returns the number of events written.
         """
         with open(path, "w") as fh:
-            for event in self._ring:
+            for event in self:
                 fh.write(json.dumps(event.as_dict()) + "\n")
-        return len(self._ring)
+        return self._retained
 
     def __repr__(self) -> str:
         return (
-            f"EventTrace(retained={len(self._ring)}, emitted={self._emitted}, "
+            f"EventTrace(retained={self._retained}, emitted={self._emitted}, "
             f"capacity={self.capacity})"
         )
 

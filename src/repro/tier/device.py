@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from repro.disk.drive import DiskDrive
 from repro.errors import TierError
 from repro.tier.migration import MigrationEngine
@@ -472,6 +474,14 @@ class TieredDevice:
         # flash write overlaps the much slower HDD write); no allocation
         # on a miss.
         return service, False
+
+    def hit_array(self) -> np.ndarray:
+        """The per-request hit log as one boolean array (service order).
+
+        The simulator consumes the whole log at once after a replay; one
+        bulk conversion here keeps the call site free of log-layout
+        knowledge."""
+        return np.asarray(self.hit_log, dtype=bool)
 
     def summary(self) -> Dict[str, Any]:
         """Compact tier accounting for reports and JSON."""

@@ -34,6 +34,7 @@ from repro.traces.io import (
     write_request_trace,
 )
 from repro.traces.ops import jitter, superpose, thin, time_scale, truncate
+from repro.traces.shared import SharedTracePublisher, SharedTraceSource
 from repro.traces.collector import CounterLogger, RequestCollector
 from repro.traces.formats import read_msr_trace, read_spc_trace
 from repro.traces.validate import (
@@ -70,6 +71,8 @@ __all__ = [
     "truncate",
     "RequestCollector",
     "CounterLogger",
+    "SharedTracePublisher",
+    "SharedTraceSource",
     "read_spc_trace",
     "read_msr_trace",
 ]

@@ -235,13 +235,17 @@ class TraceParser:
     ) -> Iterator[RequestTrace]:
         """Stream a file as bounded :class:`RequestTrace` chunks.
 
-        Chunks share one clock anchored at the stream's first arrival,
-        exactly what :class:`~repro.core.streaming.StreamingCharacterizer`
-        expects, so a multi-GB capture can be characterized without ever
-        holding more than ``chunk_rows`` requests. Each chunk is sorted
+        Chunks share one clock anchored at the first *accepted* record
+        in file order, exactly what
+        :class:`~repro.core.streaming.StreamingCharacterizer` expects,
+        so a multi-GB capture can be characterized without ever holding
+        more than ``chunk_rows`` requests. Each chunk is sorted
         internally; a record timestamped *before* the stream origin
-        (out-of-order across chunk boundaries) is treated as a bad row
-        under the strict/permissive policy.
+        (out-of-order relative to the first record) is treated as a bad
+        row under the strict/permissive policy. Anchoring at the first
+        record — not at the first chunk's minimum — keeps the origin,
+        and therefore every chunk's clock and the set of dropped rows,
+        invariant under ``chunk_rows``.
         """
         path = Path(path)
         origin: Optional[float] = None
@@ -254,7 +258,7 @@ class TraceParser:
             max_requests,
         ):
             if origin is None:
-                origin = float(times.min())
+                origin = float(times[0])
             early = times < origin
             if early.any():
                 bad = int(np.flatnonzero(early)[0])

@@ -1,0 +1,157 @@
+"""Zero-pickle trace dispatch over POSIX shared memory.
+
+The parallel :class:`~repro.core.runner.ExperimentRunner` never pickles
+request payloads: synthesized jobs carry a
+:class:`~repro.synth.workload.WorkloadProfile` and regenerate the trace
+in the worker, file-backed jobs carry a
+:class:`~repro.traces.ingest.source.TraceSource` and re-read the file.
+This module covers the remaining case — a trace that already lives in
+the parent's memory (collected, transformed, or synthesized once and
+shared across many jobs) — without either serializing megabytes of
+request columns per job or re-reading a file per worker.
+
+:class:`SharedTracePublisher` copies the trace's
+:data:`~repro.traces.millisecond.REQUEST_DTYPE` columns into one
+``multiprocessing.shared_memory`` block; its :attr:`~SharedTracePublisher.source`
+is a tiny frozen handle (a name and a few scalars) that pickles in bytes
+and quacks like a :class:`~repro.traces.ingest.source.TraceSource`:
+workers call :meth:`SharedTraceSource.load` to attach the block, rebuild
+the :class:`~repro.traces.millisecond.RequestTrace` from the shared
+columns, and detach. The publisher owns the block's lifetime — use it as
+a context manager so the segment is unlinked even on error::
+
+    with SharedTracePublisher(trace) as publisher:
+        jobs = [
+            ExperimentJob(profile=None, drive=spec, trace=publisher.source, seed=s)
+            for s in seeds
+        ]
+        report = runner.run_suite(jobs)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.millisecond import REQUEST_DTYPE, RequestTrace
+
+
+def _unregister_attached(shm: shared_memory.SharedMemory) -> None:
+    """Detach a worker-side mapping from the resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker, which would unlink it (and warn about a
+    "leak") when that worker exits — destroying the block under the
+    publisher and every sibling worker. Only the publisher owns the
+    segment's lifetime, so attachers unregister themselves.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class SharedTraceSource:
+    """A picklable handle to a trace published in shared memory.
+
+    Duck-compatible with :class:`~repro.traces.ingest.source.TraceSource`
+    (``.load()`` and ``.label``), so it slots into
+    :attr:`~repro.core.runner.ExperimentJob.trace` unchanged. The handle
+    is only valid while its :class:`SharedTracePublisher` is alive.
+    """
+
+    shm_name: str
+    n_requests: int
+    span: float
+    trace_label: str = "trace"
+    capacity_sectors: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        """Workload name for job labels and reports."""
+        return self.trace_label
+
+    def load(self) -> RequestTrace:
+        """Attach the shared block and rebuild the trace from it.
+
+        The :class:`~repro.traces.millisecond.RequestTrace` constructor
+        copies its inputs, so the mapping is closed before returning and
+        the result owns its memory outright.
+        """
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            _unregister_attached(shm)
+            columns = np.ndarray(
+                self.n_requests, dtype=REQUEST_DTYPE, buffer=shm.buf
+            )
+            return RequestTrace(
+                times=columns["time"],
+                lbas=columns["lba"],
+                nsectors=columns["size"],
+                is_write=columns["is_write"],
+                span=self.span,
+                label=self.trace_label,
+                capacity_sectors=self.capacity_sectors,
+            )
+        finally:
+            shm.close()
+
+
+class SharedTracePublisher:
+    """Owner of one shared-memory copy of a trace's request columns.
+
+    Create it in the parent around the columns of ``trace``, hand
+    :attr:`source` to any number of jobs, and close/unlink when the
+    suite is done (the context-manager form does both).
+    """
+
+    def __init__(self, trace: RequestTrace) -> None:
+        columns = trace.columns()
+        # A zero-byte segment is invalid; keep one spare byte for the
+        # (legal, if pointless) empty-trace case.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, columns.nbytes)
+        )
+        view = np.ndarray(len(trace), dtype=REQUEST_DTYPE, buffer=self._shm.buf)
+        view[:] = columns
+        self.source = SharedTraceSource(
+            shm_name=self._shm.name,
+            n_requests=len(trace),
+            span=float(trace.span),
+            trace_label=trace.label,
+            capacity_sectors=trace.capacity_sectors,
+        )
+
+    def close(self) -> None:
+        """Release this process's mapping and destroy the segment.
+
+        Idempotent; after it returns, outstanding
+        :class:`SharedTraceSource` handles can no longer load.
+        """
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedTracePublisher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._shm is None else self.source.shm_name
+        return (
+            f"SharedTracePublisher({state}, "
+            f"n_requests={self.source.n_requests})"
+        )

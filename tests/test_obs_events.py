@@ -62,6 +62,97 @@ class TestEventTrace:
             load_events_jsonl(str(path))
 
 
+class TestColumnarBlocks:
+    """``emit_columns`` must be observationally identical to the same
+    events pushed one at a time through ``emit``."""
+
+    def _columns(self):
+        times = np.array([0.1, 0.2, 0.3])
+        lbas = np.array([10, 20, 30], dtype=np.int64)
+        write = np.array([True, False, True])
+        return times, lbas, write
+
+    def _scalar_twin(self, times, lbas, write, capacity=64):
+        trace = EventTrace(capacity=capacity)
+        for i in range(times.size):
+            trace.emit(
+                "serve", float(times[i]), "sim",
+                lba=int(lbas[i]), write=bool(write[i]),
+            )
+        return trace
+
+    def test_events_equal_scalar_emission(self):
+        times, lbas, write = self._columns()
+        columnar = EventTrace(capacity=64)
+        columnar.emit_columns("serve", "sim", times, lba=lbas, write=write)
+        scalar = self._scalar_twin(times, lbas, write)
+        assert columnar.events() == scalar.events()
+        assert len(columnar) == len(scalar)
+        assert columnar.n_emitted == scalar.n_emitted
+
+    def test_jsonl_round_trip_matches_object_path(self, tmp_path):
+        """The rendered events serialize byte-for-byte like the per-object
+        path, and load back equal."""
+        times, lbas, write = self._columns()
+        columnar = EventTrace(capacity=64)
+        columnar.emit_columns("serve", "sim", times, lba=lbas, write=write)
+        scalar = self._scalar_twin(times, lbas, write)
+        col_path = tmp_path / "columnar.jsonl"
+        obj_path = tmp_path / "objects.jsonl"
+        assert columnar.dump_jsonl(str(col_path)) == 3
+        scalar.dump_jsonl(str(obj_path))
+        assert col_path.read_text() == obj_path.read_text()
+        assert load_events_jsonl(str(col_path)) == list(columnar.events())
+
+    def test_mixed_blocks_keep_emission_order(self):
+        trace = EventTrace(capacity=64)
+        trace.emit("start", 0.0, "sim")
+        trace.emit_columns("serve", "sim", np.array([0.1, 0.2]), index=np.array([0, 1]))
+        trace.emit("run_end", 1.0, "sim")
+        kinds = [e.kind for e in trace]
+        assert kinds == ["start", "serve", "serve", "run_end"]
+
+    def test_trim_is_exact_across_block_kinds(self):
+        trace = EventTrace(capacity=3)
+        trace.emit("tick", 0.0, "test", i=0)
+        trace.emit_columns(
+            "serve", "sim", np.array([0.1, 0.2, 0.3, 0.4]),
+            i=np.array([1, 2, 3, 4]),
+        )
+        assert len(trace) == 3
+        assert trace.n_emitted == 5
+        assert trace.n_dropped == 2
+        assert [e.data["i"] for e in trace] == [2, 3, 4]
+
+    def test_column_length_mismatch_raises(self):
+        trace = EventTrace()
+        with pytest.raises(ObservabilityError, match="2 values for 3"):
+            trace.emit_columns(
+                "serve", "sim", np.array([0.1, 0.2, 0.3]), lba=np.array([1, 2])
+            )
+
+    def test_empty_batch_is_a_no_op(self):
+        trace = EventTrace()
+        trace.emit_columns("serve", "sim", np.array([]), lba=np.array([]))
+        assert len(trace) == 0 and trace.n_emitted == 0
+
+    def test_payload_scalars_are_python_types(self):
+        """JSON round-trips need plain ints/floats/bools, not numpy
+        scalars, exactly as the scalar path records them."""
+        trace = EventTrace()
+        trace.emit_columns(
+            "serve", "sim", np.array([0.5]),
+            lba=np.array([7], dtype=np.int64),
+            write=np.array([True]),
+            service=np.array([0.25]),
+        )
+        (event,) = trace.events()
+        assert type(event.time) is float
+        assert type(event.data["lba"]) is int
+        assert type(event.data["write"]) is bool
+        assert type(event.data["service"]) is float
+
+
 class TestReconstruction:
     def _events(self):
         # Service order (by time) intentionally differs from trace order

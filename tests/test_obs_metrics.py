@@ -130,6 +130,33 @@ class TestFixedHistogram:
         rebuilt = FixedHistogram.from_dict(hist.as_dict())
         assert rebuilt.as_dict() == hist.as_dict()
 
+    def test_log_bucketing_matches_searchsorted_exactly(self):
+        """The analytic log-spaced bucket model must reproduce
+        ``searchsorted`` bit-for-bit, including at the edges themselves,
+        one ulp either side of them, zero, and negative values."""
+        edges = np.asarray(DEFAULT_TIME_EDGES)
+        hist = FixedHistogram(edges)
+        assert hist._log_pad is not None  # the model applies to defaults
+        rng = np.random.default_rng(17)
+        values = np.concatenate([
+            10.0 ** rng.uniform(-8, 3, 5000),
+            edges,
+            np.nextafter(edges, -np.inf),
+            np.nextafter(edges, np.inf),
+            [0.0, 5e-324, -1.0, -1e-6, 1e300],
+        ])
+        np.testing.assert_array_equal(
+            hist._bucket_indices(values),
+            np.searchsorted(edges, values, side="right"),
+        )
+
+    def test_irregular_edges_fall_back_to_searchsorted(self):
+        hist = FixedHistogram([0.0, 1.0, 5.0, 100.0])
+        assert hist._log_pad is None  # non-positive / non-geometric edges
+        hist.observe_many([-1.0, 0.5, 3.0, 50.0, 1e6])
+        assert hist.underflow == 1 and hist.overflow == 1
+        assert list(hist.counts) == [1, 1, 1]
+
 
 class TestMetricsRegistry:
     def test_rejects_cross_kind_name_reuse(self):

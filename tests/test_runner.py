@@ -1,6 +1,7 @@
 """The parallel experiment runner."""
 
 import os
+import signal
 import time
 from pathlib import Path
 
@@ -24,6 +25,15 @@ from repro.synth.workload import ArrivalSpec, WorkloadProfile
 
 RAISING_SEEDS = (3, 11)
 SLEEPING_SEEDS = (7,)
+KILLED_SEEDS = (5,)
+
+
+def self_killing_job_fn(job):
+    """Simulate normally, except the killed seed SIGKILLs its own worker
+    mid-job: no exception, no result, the process just vanishes."""
+    if job.seed in KILLED_SEEDS:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_job(job)
 
 
 def chaotic_job_fn(job):
@@ -232,6 +242,25 @@ class TestFailurePaths:
         assert hung.wall_seconds >= 1.5
         # Every failure serializes (the CLI writes these into --json).
         assert all(f.as_dict()["label"] for f in report.failures)
+
+    def test_worker_killed_mid_job_is_reported_not_hung(self, seeded_jobs):
+        """A worker dying without raising (SIGKILL, OOM kill) must become
+        a WorkerCrashed failure, not hang the suite forever — even with
+        no job_timeout configured."""
+        jobs = seeded_jobs[:8]
+        runner = ExperimentRunner(workers=2, on_error="collect")
+        start = time.monotonic()
+        report = runner.run_suite(jobs, job_fn=self_killing_job_fn)
+        assert time.monotonic() - start < 60.0
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == KILLED_SEEDS[0]
+        assert failure.error_type == "WorkerCrashed"
+        assert "exited with code" in failure.message
+        # The replacement worker finishes every remaining job.
+        assert [r.seed for r in report.results] == [
+            j.seed for j in jobs if j.seed not in KILLED_SEEDS
+        ]
 
     def test_raise_policy_stops_and_attaches_report(self, seeded_jobs):
         runner = ExperimentRunner(workers=1)

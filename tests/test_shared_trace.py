@@ -1,0 +1,101 @@
+"""Zero-pickle trace dispatch: SharedTracePublisher / SharedTraceSource."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.runner import ExperimentJob, ExperimentRunner, run_job
+from repro.traces import RequestTrace, SharedTracePublisher, SharedTraceSource
+from repro.traces.ingest.source import TraceSource
+from repro.traces.io import write_request_trace
+
+
+class TestRoundTrip:
+    def test_loaded_trace_equals_published(self, web_trace):
+        with SharedTracePublisher(web_trace) as publisher:
+            loaded = publisher.source.load()
+        assert len(loaded) == len(web_trace)
+        np.testing.assert_array_equal(loaded.times, web_trace.times)
+        np.testing.assert_array_equal(loaded.lbas, web_trace.lbas)
+        np.testing.assert_array_equal(loaded.nsectors, web_trace.nsectors)
+        np.testing.assert_array_equal(loaded.is_write, web_trace.is_write)
+        assert loaded.span == web_trace.span
+        assert loaded.label == web_trace.label
+        assert loaded.capacity_sectors == web_trace.capacity_sectors
+
+    def test_loaded_trace_owns_its_memory(self, web_trace):
+        """The rebuilt trace must survive the publisher being closed."""
+        with SharedTracePublisher(web_trace) as publisher:
+            loaded = publisher.source.load()
+        np.testing.assert_array_equal(loaded.lbas, web_trace.lbas)
+
+    def test_empty_trace(self):
+        empty = RequestTrace.empty(span=5.0, label="nothing")
+        with SharedTracePublisher(empty) as publisher:
+            loaded = publisher.source.load()
+        assert len(loaded) == 0
+        assert loaded.span == 5.0
+        assert loaded.label == "nothing"
+
+    def test_load_after_close_fails(self, web_trace):
+        publisher = SharedTracePublisher(web_trace)
+        source = publisher.source
+        publisher.close()
+        publisher.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            source.load()
+
+
+class TestZeroPickle:
+    def test_handle_pickles_in_bytes_not_megabytes(self, web_trace):
+        """The whole point: a job referencing a large trace serializes a
+        name and a few scalars, never the request columns."""
+        with SharedTracePublisher(web_trace) as publisher:
+            payload = pickle.dumps(publisher.source)
+            assert len(payload) < 1024
+            assert len(payload) < web_trace.columns().nbytes / 100
+            clone = pickle.loads(payload)
+            assert clone == publisher.source
+            assert len(clone.load()) == len(web_trace)
+
+    def test_label_matches_trace_source_contract(self, web_trace):
+        with SharedTracePublisher(web_trace) as publisher:
+            assert publisher.source.label == web_trace.label
+
+
+class TestRunnerIntegration:
+    def test_shared_job_matches_file_job(self, tiny_spec, web_trace, tmp_path):
+        """A shared-memory job and a file-backed job over the same trace
+        produce identical results."""
+        path = tmp_path / "web.csv"
+        write_request_trace(web_trace, path)
+        file_job = ExperimentJob(
+            None, tiny_spec, trace=TraceSource(str(path)), seed=5
+        )
+        with SharedTracePublisher(web_trace) as publisher:
+            shared_job = ExperimentJob(
+                None, tiny_spec, trace=publisher.source, seed=5
+            )
+            shared = run_job(shared_job)
+        file_result = run_job(file_job)
+        assert shared.n_requests == file_result.n_requests
+        assert shared.total_busy == file_result.total_busy
+        assert shared.mean_service == file_result.mean_service
+        assert shared.utilization == file_result.utilization
+
+    def test_pool_workers_attach_without_repickling(self, tiny_spec, web_trace):
+        """Several pooled workers replay the same published block; the
+        results match an inline run job for job."""
+        with SharedTracePublisher(web_trace) as publisher:
+            jobs = [
+                ExperimentJob(None, tiny_spec, trace=publisher.source, seed=s)
+                for s in range(4)
+            ]
+            pooled = ExperimentRunner(workers=2).run_suite(jobs)
+            inline = ExperimentRunner(workers=1).run_suite(jobs)
+        assert [r.label for r in pooled.results] == [r.label for r in inline.results]
+        assert [r.total_busy for r in pooled.results] == [
+            r.total_busy for r in inline.results
+        ]
+        assert all(r.n_requests == len(web_trace) for r in pooled.results)

@@ -127,3 +127,81 @@ class TestEmptyAndEdge:
         # Drive is reset between runs: repeating gives identical results.
         again = DiskSimulator(drive).run(web_trace)
         np.testing.assert_array_equal(result.service_times, again.service_times)
+
+
+#: Degenerate traces that stress the fast engines' tie-breaking and
+#: boundary handling (regression pins for the columnar/sorted paths).
+DEGENERATE_TRACES = {
+    # Every request hits the same LBA: SSTF distance is 0 for all, so
+    # the outcome is pure tie-break (must match the event loop's
+    # arrival-order rule).
+    "duplicate-lbas": dict(
+        times=[0.0, 0.0, 0.0, 0.001, 0.001, 0.002],
+        lbas=[5_000] * 6,
+        nsectors=[8] * 6,
+        is_write=[False, True, False, True, False, False],
+    ),
+    # One simultaneous burst with repeated cylinders on both sides of
+    # the head: equidistant candidates exercise the below/above rule.
+    "simultaneous-arrivals": dict(
+        times=[0.5] * 8,
+        lbas=[10_000, 200, 10_000, 99_000, 200, 50_000, 99_000, 1],
+        nsectors=[8, 16, 8, 4, 16, 8, 4, 1],
+        is_write=[False, False, True, False, True, False, False, True],
+    ),
+    # Writes only: the cache-absorb path decides every service time and
+    # the drain clock advances in lockstep with the arrival clock.
+    "all-writes-duplicates": dict(
+        times=[0.0, 0.0, 0.1, 0.1, 0.1, 0.2],
+        lbas=[777, 777, 777, 9_000, 9_000, 777],
+        nsectors=[64, 64, 64, 32, 32, 64],
+        is_write=[True] * 6,
+    ),
+}
+
+
+class TestDegenerateInputsFastVsReference:
+    """Every fast engine must make the event loop's decisions on inputs
+    dominated by ties and boundary conditions."""
+
+    @pytest.mark.parametrize("name", sorted(DEGENERATE_TRACES))
+    @pytest.mark.parametrize("scheduler", ["fcfs", "sstf"])
+    @pytest.mark.parametrize("queue_depth", [None, 2])
+    def test_fast_matches_reference(self, tiny_spec, name, scheduler, queue_depth):
+        trace = RequestTrace(span=1.0, label=name, **DEGENERATE_TRACES[name])
+        fast = DiskSimulator(
+            tiny_spec, scheduler=scheduler, seed=7, queue_depth=queue_depth
+        ).run(trace)
+        reference = DiskSimulator(
+            tiny_spec, scheduler=scheduler, seed=7, queue_depth=queue_depth,
+            fast_path=False,
+        ).run(trace)
+        np.testing.assert_array_equal(fast.start_times, reference.start_times)
+        np.testing.assert_array_equal(fast.service_times, reference.service_times)
+
+    def test_zero_length_idle_window(self, tiny_spec):
+        """An arrival landing exactly on the previous completion closes a
+        zero-length idle window — the engines must neither lose the
+        boundary nor double-count it."""
+        probe = DiskSimulator(tiny_spec, seed=3).run(
+            make_trace([0.0], lbas=[1_000], span=1.0)
+        )
+        finish = float(probe.finish_times[0])
+        trace = RequestTrace(
+            times=[0.0, finish],
+            lbas=[1_000, 90_000],
+            nsectors=[8, 8],
+            is_write=[False, False],
+            span=finish + 1.0,
+            label="zero-idle",
+        )
+        for scheduler in ("fcfs", "sstf"):
+            fast = DiskSimulator(tiny_spec, scheduler=scheduler, seed=3).run(trace)
+            reference = DiskSimulator(
+                tiny_spec, scheduler=scheduler, seed=3, fast_path=False
+            ).run(trace)
+            np.testing.assert_array_equal(fast.start_times, reference.start_times)
+            np.testing.assert_array_equal(
+                fast.service_times, reference.service_times
+            )
+            assert fast.start_times[1] == finish

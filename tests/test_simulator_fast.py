@@ -28,6 +28,15 @@ def heavy_trace(tiny_spec):
     )
 
 
+@pytest.fixture(scope="module")
+def prop_trace(tiny_spec):
+    # Small but bursty: enough contention to fill an NCQ window without
+    # making 20 hypothesis examples x 2 replays expensive.
+    return get_profile("database").with_rate(250.0).synthesize(
+        2.0, tiny_spec.capacity_sectors, seed=41
+    )
+
+
 def both_paths(spec, trace, scheduler, queue_depth=None, seed=1):
     fast = DiskSimulator(
         spec, scheduler=scheduler, seed=seed, queue_depth=queue_depth
@@ -153,6 +162,54 @@ class TestVectorizedFcfsProperty:
                 fast.start_times[order][1:]
                 >= fast.finish_times[order][:-1] - 1e-9
             )
+
+
+class TestEngineMatrixProperty:
+    """Property: whatever engine the simulator selects for a
+    configuration — columnar, sorted-scalar, vectorized, or the event
+    loop itself — the replay matches the reference event loop across
+    scheduler x cache x faults x seed."""
+
+    @given(
+        scheduler=st.sampled_from(["fcfs", "sstf", "scan"]),
+        queue_depth=st.sampled_from([None, 4]),
+        cached=st.booleans(),
+        faulty=st.booleans(),
+        sim_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_selected_engine_matches_reference(
+        self, tiny_spec, tiny_spec_nocache, prop_trace,
+        scheduler, queue_depth, cached, faulty, sim_seed,
+    ):
+        from repro.disk.faults import light_faults
+
+        spec = tiny_spec if cached else tiny_spec_nocache
+        faults = light_faults() if faulty else None
+        fast = DiskSimulator(
+            spec, scheduler=scheduler, seed=sim_seed,
+            queue_depth=queue_depth, faults=faults,
+        ).run(prop_trace)
+        reference = DiskSimulator(
+            spec, scheduler=scheduler, seed=sim_seed,
+            queue_depth=queue_depth, faults=faults, fast_path=False,
+        ).run(prop_trace)
+        if scheduler == "fcfs" and not cached and not faulty:
+            # The vectorized engine reassociates the start-time
+            # recurrence; everything else is decision-for-decision exact.
+            np.testing.assert_allclose(
+                fast.start_times, reference.start_times, rtol=0, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                fast.service_times, reference.service_times, rtol=0, atol=1e-9
+            )
+        else:
+            np.testing.assert_array_equal(fast.start_times, reference.start_times)
+            np.testing.assert_array_equal(
+                fast.service_times, reference.service_times
+            )
+        np.testing.assert_array_equal(fast.failed, reference.failed)
+        assert len(fast.fault_events) == len(reference.fault_events)
 
 
 class TestZeroRequestPipeline:
