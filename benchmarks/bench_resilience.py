@@ -1,0 +1,222 @@
+"""R30 — Crash-safety: journal throughput, chaos soak, resume identity.
+
+Exercises the resilience layer end to end and writes the numbers to
+``BENCH_resilience.json`` at the repo root. Three guarantees are
+enforced:
+
+* **Journal durability is cheap enough** — appending fsync'd records to
+  the :class:`~repro.core.journal.SuiteJournal` sustains at least
+  ``JOURNAL_FLOOR`` records/second (a deliberately conservative floor:
+  one fsync per record on any real disk clears it by orders of
+  magnitude; the assert exists to catch an accidental
+  fsync-per-byte-style regression);
+* **Chaos changes nothing** — a suite run under a heavy seeded
+  :class:`~repro.core.chaos.ChaosPolicy` (kills + stalls + delays)
+  completes every job, and its merged report is canonically
+  bit-identical (:meth:`~repro.core.runner.SuiteReport.canonical_json`)
+  to the uninterrupted clean run;
+* **Resume changes nothing** — re-running the suite against its
+  completed journal executes zero jobs and reproduces the clean
+  report's canonical JSON byte for byte.
+
+Run directly (``python benchmarks/bench_resilience.py``) or via pytest;
+both rewrite the artifact. Set ``REPRO_BENCH_QUICK=1`` (the CI
+chaos-smoke job does) for a smaller suite and fewer journal appends.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.chaos import ChaosPolicy
+from repro.core.journal import SuiteJournal
+from repro.core.report import Table
+from repro.core.runner import ExperimentRunner, experiment_matrix, run_job
+from repro.synth.profiles import get_profile
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_resilience.json"
+
+#: ``REPRO_BENCH_QUICK=1``: shrink the suite and append count for CI.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Suite shape: profiles x seeds, short spans (the point is fault
+#: machinery, not simulation volume).
+PROFILES = ("web", "database") if QUICK else ("web", "email", "database")
+SEEDS_PER_COMBO = 1 if QUICK else 2
+SPAN = 2.0 if QUICK else 4.0
+
+#: Journal appends timed for the throughput figure.
+JOURNAL_APPENDS = 200 if QUICK else 1000
+
+#: Acceptance floor for fsync'd journal appends per second. One fsync
+#: per record on tmpfs or any SSD runs thousands/s; even spinning rust
+#: manages ~50. Below the floor something is structurally wrong
+#: (fsync-per-byte, re-opened handles, rewritten files).
+JOURNAL_FLOOR = 50.0
+
+#: The chaos soak recipe: every leg armed, seeded, worker kills well
+#: inside each job's runtime. Seed 2014 deterministically kills the
+#: first submission of several jobs in both the quick and full suites,
+#: so the soak always exercises the crash-resubmission path.
+SOAK_POLICY = ChaosPolicy(
+    name="soak", seed=2014, kill_prob=0.35, kill_delay=0.02,
+    stall_prob=0.25, stall_seconds=0.1, delay_prob=0.5, delay_seconds=0.02,
+)
+
+
+def _jobs():
+    return experiment_matrix(
+        profiles=[get_profile(p) for p in PROFILES],
+        drive=DRIVE,
+        schedulers=("fcfs",),
+        seeds_per_combo=SEEDS_PER_COMBO,
+        base_seed=SEED,
+        span=SPAN,
+    )
+
+
+def slow_job_fn(job):
+    """Simulate, padded so parent-side kills/stalls have time to land."""
+    time.sleep(0.1)
+    return run_job(job)
+
+
+def measure_journal_throughput(tmp_dir: Path):
+    """Fsync'd appends per second over ``JOURNAL_APPENDS`` records."""
+    jobs = _jobs()
+    path = tmp_dir / "throughput.jsonl"
+    payload = run_job(jobs[0]).as_dict()
+    with SuiteJournal.open(path, jobs) as journal:
+        t0 = time.perf_counter()
+        for _ in range(JOURNAL_APPENDS):
+            journal.record(0, payload)
+        elapsed = time.perf_counter() - t0
+    path.unlink()
+    return {
+        "appends": JOURNAL_APPENDS,
+        "seconds": round(elapsed, 6),
+        "records_per_sec": round(JOURNAL_APPENDS / elapsed, 1),
+        "floor_records_per_sec": JOURNAL_FLOOR,
+    }
+
+
+def measure_chaos_soak(tmp_dir: Path):
+    """Clean run vs. chaos-soaked run vs. journal resume."""
+    jobs = _jobs()
+    clean = ExperimentRunner(workers=2).run_suite(jobs, job_fn=slow_job_fn)
+
+    journal_path = tmp_dir / "soak.jsonl"
+    t0 = time.perf_counter()
+    with SuiteJournal.open(journal_path, jobs) as journal:
+        soaked = ExperimentRunner(workers=2, chaos=SOAK_POLICY).run_suite(
+            jobs, job_fn=slow_job_fn, journal=journal
+        )
+    soak_seconds = time.perf_counter() - t0
+
+    with SuiteJournal.open(journal_path, jobs, resume=True) as journal:
+        resumed = ExperimentRunner(workers=2).run_suite(
+            jobs, job_fn=slow_job_fn, journal=journal
+        )
+        jobs_rerun = journal.n_recorded
+    journal_path.unlink()
+
+    lost = len(jobs) - len(soaked.results)
+    return {
+        "n_jobs": len(jobs),
+        "lost_jobs": lost,
+        "soak_seconds": round(soak_seconds, 3),
+        "clean_seconds": round(clean.wall_seconds, 3),
+        "injected": soaked.resilience or {},
+        "soak_identical_to_clean": (
+            soaked.canonical_json() == clean.canonical_json()
+        ),
+        "resume_identical_to_clean": (
+            resumed.canonical_json() == clean.canonical_json()
+        ),
+        "resume_jobs_rerun": jobs_rerun,
+    }
+
+
+def measure(tmp_dir: Path):
+    return {
+        "journal": measure_journal_throughput(tmp_dir),
+        "soak": measure_chaos_soak(tmp_dir),
+    }
+
+
+def write_artifact(results):
+    payload = {
+        "schema": 1,
+        "quick": QUICK,
+        "generated_by": "benchmarks/bench_resilience.py",
+        "seed": SEED,
+        "suite": {
+            "profiles": list(PROFILES),
+            "seeds_per_combo": SEEDS_PER_COMBO,
+            "span": SPAN,
+        },
+        "chaos_policy": {
+            "kill_prob": SOAK_POLICY.kill_prob,
+            "stall_prob": SOAK_POLICY.stall_prob,
+            "delay_prob": SOAK_POLICY.delay_prob,
+            "seed": SOAK_POLICY.seed,
+        },
+        **results,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_table(results):
+    journal, soak = results["journal"], results["soak"]
+    table = Table(
+        ["metric", "value"],
+        title="R30: crash-safety (journal, chaos soak, resume)",
+        precision=3,
+    )
+    table.add_row(["journal_records_per_sec", journal["records_per_sec"]])
+    table.add_row(["soak_jobs", soak["n_jobs"]])
+    table.add_row(["soak_lost_jobs", soak["lost_jobs"]])
+    table.add_row(["soak_kills_injected", soak["injected"].get("chaos.kills", 0)])
+    table.add_row(["soak_identical", str(soak["soak_identical_to_clean"])])
+    table.add_row(["resume_identical", str(soak["resume_identical_to_clean"])])
+    table.add_row(["resume_jobs_rerun", soak["resume_jobs_rerun"]])
+    return table.render()
+
+
+def _assert_guarantees(payload):
+    journal, soak = payload["journal"], payload["soak"]
+    assert journal["records_per_sec"] >= JOURNAL_FLOOR, journal
+    assert soak["lost_jobs"] == 0, soak
+    assert soak["injected"].get("chaos.kills", 0) >= 1, soak
+    assert soak["soak_identical_to_clean"], soak
+    assert soak["resume_identical_to_clean"], soak
+    assert soak["resume_jobs_rerun"] == 0, soak
+
+
+def test_resilience(tmp_path):
+    results = measure(tmp_path)
+    payload = write_artifact(results)
+    save_result("resilience", render_table(results))
+    assert ARTIFACT.exists()
+    _assert_guarantees(payload)
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        computed = measure(Path(tmp))
+    artifact = write_artifact(computed)
+    print(render_table(computed))
+    _assert_guarantees(artifact)
+    print(
+        f"wrote {ARTIFACT} "
+        f"({artifact['journal']['records_per_sec']:.0f} journal rec/s, "
+        f"soak lost {artifact['soak']['lost_jobs']} job(s))"
+    )

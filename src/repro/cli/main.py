@@ -520,17 +520,41 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
             tier=tier,
             obs_level=obs_level,
         )
+    chaos = None
+    if args.chaos != "off":
+        from repro.core.chaos import get_chaos_policy
+
+        chaos = get_chaos_policy(args.chaos, seed=args.chaos_seed)
     runner = ExperimentRunner(
         workers=args.workers,
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
         on_error="collect" if args.keep_going else "raise",
+        chaos=chaos,
+        suite_deadline=args.suite_deadline,
+        rss_limit_mb=args.rss_limit_mb,
     )
+    journal = None
+    if args.resume and not args.journal:
+        raise CliError("--resume requires --journal PATH")
+    if args.journal:
+        from repro.core.journal import SuiteJournal
+
+        journal = SuiteJournal.open(args.journal, jobs, resume=args.resume)
+        if journal.resumed and journal.n_completed:
+            print(
+                f"(resuming from journal {args.journal}: "
+                f"{journal.n_completed} of {len(jobs)} jobs already "
+                "recorded, skipping them)"
+            )
     try:
-        report = runner.run_suite(jobs)
+        report = runner.run_suite(jobs, journal=journal)
     except SuiteError as exc:
         report = exc.report
         print(f"error: {exc}", file=sys.stderr)
+    finally:
+        if journal is not None:
+            journal.close()
 
     columns = [
         "workload", "scheduler", "seed", "requests", "utilization",
@@ -575,6 +599,27 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         print(_failure_table(report).render())
     if report.retries:
         print(f"({report.retries} retried attempt(s) across the suite)")
+    if report.resilience:
+        resilience = Table(
+            ["event", "count"],
+            title="resilience: what the crash/chaos machinery absorbed",
+        )
+        for name, count in sorted(report.resilience.items()):
+            resilience.add_row([name, count])
+        print(resilience.render())
+    if journal is not None:
+        print(
+            f"(journal {args.journal}: {journal.n_recorded} job(s) recorded "
+            f"this run, {journal.n_completed} of {report.n_jobs} durable)"
+        )
+    if report.deadline_exceeded:
+        unresolved = report.n_jobs - report.n_completed
+        print(
+            f"warning: suite deadline of {args.suite_deadline} s expired "
+            f"with {unresolved} job(s) unresolved; the report is partial"
+            + (" (resume with --journal/--resume)" if journal is not None else ""),
+            file=sys.stderr,
+        )
     if obs_level != "off":
         breakdown = report.phase_breakdown()
         if breakdown:
@@ -615,6 +660,10 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
             "retries": report.retries,
             "wall_seconds": report.wall_seconds,
         }
+        if report.deadline_exceeded:
+            payload["deadline_exceeded"] = True
+        if report.resilience:
+            payload["resilience"] = dict(report.resilience)
         if obs_level != "off":
             payload["obs_level"] = obs_level
             payload["phase_breakdown"] = report.phase_breakdown()
@@ -866,6 +915,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true",
         help="run every job even if some fail; report failures at the end "
         "(default: stop submitting after the first failure)",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable checkpoint journal (append-only JSONL WAL): every "
+        "completed job is fsync'd so a crashed suite can resume",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --journal: skip journaled jobs and "
+        "merge their recorded results (requires --journal)",
+    )
+    p.add_argument(
+        "--chaos", default="off",
+        choices=["off", "light", "moderate", "heavy"],
+        help="inject seeded worker faults (kills/stalls/delays/shm "
+        "failures) while the suite runs (default: off)",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the chaos policy's fault schedule (default 0)",
+    )
+    p.add_argument(
+        "--suite-deadline", type=float, default=None,
+        help="whole-suite wall-clock budget in seconds; on expiry return "
+        "the completed jobs as a partial report (default: none)",
+    )
+    p.add_argument(
+        "--rss-limit-mb", type=float, default=None,
+        help="recycle any worker whose resident set exceeds this many MiB "
+        "(default: no watchdog)",
     )
     p.add_argument("--json", default=None, help="also write results as JSON")
     add_drive(p)

@@ -58,6 +58,14 @@ from repro.core.streaming import StreamingCharacterizer, characterize_events
 from repro.core.forecast import ForecastScore, flat_mean_forecast, score_forecast, seasonal_ewma_forecast, seasonal_naive_forecast
 from repro.core.anomaly import DriveAnomaly, inject_regime_change, population_anomalies, self_anomalies
 from repro.core.suite import run_suite, suite_table
+from repro.core.backoff import BackoffPolicy, backoff_delays
+from repro.core.chaos import (
+    ChaosPlan,
+    ChaosPolicy,
+    available_chaos_policies,
+    get_chaos_policy,
+)
+from repro.core.journal import SuiteJournal, job_fingerprint, suite_fingerprint
 from repro.core.runner import (
     ExperimentJob,
     ExperimentRunner,
@@ -134,6 +142,15 @@ __all__ = [
     "inject_regime_change",
     "run_suite",
     "suite_table",
+    "BackoffPolicy",
+    "backoff_delays",
+    "ChaosPlan",
+    "ChaosPolicy",
+    "available_chaos_policies",
+    "get_chaos_policy",
+    "SuiteJournal",
+    "job_fingerprint",
+    "suite_fingerprint",
     "ExperimentJob",
     "ExperimentRunner",
     "JobFailure",

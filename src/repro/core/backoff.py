@@ -1,0 +1,109 @@
+"""One exponential-backoff-with-jitter helper for every retry path.
+
+Before this module existed the repo had two hand-rolled backoff ladders:
+the drive-level retry ladder in :mod:`repro.disk.faults` (service-time
+*costs* per recovery attempt) and the suite runner's retry loop in
+:mod:`repro.core.runner` (wall-clock *delays* between attempts). Both
+now share :func:`backoff_delays` for the deterministic schedule and
+:class:`BackoffPolicy` for the seeded-jitter form, so the two ladders
+cannot drift apart again.
+
+The schedule is computed by repeated multiplication (``base``,
+``base*factor``, ``(base*factor)*factor``, ...) rather than
+``base * factor**i`` — bit-identical to the historical loop in
+:mod:`repro.disk.faults`, whose outputs are pinned by tests and golden
+files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def backoff_delays(
+    base: float,
+    factor: float,
+    attempts: int,
+    max_delay: Optional[float] = None,
+) -> List[float]:
+    """The deterministic exponential ladder: attempt ``i`` (1-based)
+    costs ``base`` grown by ``factor`` ``i - 1`` times.
+
+    ``max_delay`` caps every rung. Raises
+    :class:`~repro.errors.SimulationError` on unusable parameters
+    (negative base, factor below 1, negative attempt count).
+    """
+    if base < 0:
+        raise SimulationError(f"backoff base must be >= 0, got {base!r}")
+    if factor < 1.0:
+        raise SimulationError(f"backoff factor must be >= 1, got {factor!r}")
+    if attempts < 0:
+        raise SimulationError(f"backoff attempts must be >= 0, got {attempts!r}")
+    if max_delay is not None and max_delay < 0:
+        raise SimulationError(f"max_delay must be >= 0, got {max_delay!r}")
+    delays: List[float] = []
+    delay = base
+    for _ in range(attempts):
+        rung = delay if max_delay is None else min(delay, max_delay)
+        delays.append(rung)
+        delay *= factor
+    return delays
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A seeded exponential-backoff-with-jitter schedule.
+
+    :meth:`delay` is stateless and deterministic: the jitter draw for a
+    given ``(seed, key, attempt)`` triple is always the same, so a retry
+    schedule is reproducible across processes and resumed runs while
+    still decorrelating concurrent retriers (give each a distinct
+    ``key``, e.g. the job index).
+
+    Attributes
+    ----------
+    base:
+        Delay of the first retry, seconds.
+    factor:
+        Multiplier applied per subsequent attempt (>= 1).
+    jitter:
+        Relative jitter amplitude in ``[0, 1]``: the deterministic rung
+        is scaled by a draw from ``[1 - jitter, 1 + jitter]``.
+    max_delay:
+        Cap applied to the un-jittered rung (``None`` = uncapped).
+    seed:
+        Root entropy for the jitter stream.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    jitter: float = 0.25
+    max_delay: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Reuse the ladder validation for base/factor/max_delay.
+        backoff_delays(self.base, self.factor, 0, self.max_delay)
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SimulationError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise SimulationError(f"attempt must be >= 1, got {attempt!r}")
+        rung = self.base * self.factor ** (attempt - 1)
+        if self.max_delay is not None:
+            rung = min(rung, self.max_delay)
+        if self.jitter == 0.0 or rung == 0.0:
+            return rung
+        rng = np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, int(key) & 0xFFFFFFFF, attempt]
+        )
+        return rung * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

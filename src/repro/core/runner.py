@@ -13,6 +13,32 @@ Jobs carry plain frozen dataclasses (profiles and drive specs pickle
 cleanly), and results come back as compact :class:`JobResult` summaries
 rather than full :class:`SimulationResult` objects, so the fan-out cost
 is the simulation itself, not inter-process traffic.
+
+Resilience
+----------
+Long suites at fleet scale must survive the failures the fleet actually
+produces, so the runner carries a resilience layer:
+
+* **Durable checkpoint/resume** — pass a
+  :class:`~repro.core.journal.SuiteJournal` to :meth:`run_suite` and
+  every completed job is fsync'd to an append-only WAL; reopening the
+  journal with ``resume=True`` skips the journaled jobs and merges their
+  recorded results, canonically bit-identical to an uninterrupted run
+  (:meth:`SuiteReport.canonical_json`).
+* **Crash/timeout resubmission** — a worker killed mid-job (OOM killer,
+  ``SIGKILL``) or overrunning its per-job timeout is respawned and the
+  job resubmitted, up to ``max_retries`` extra submissions, with the
+  shared :class:`~repro.core.backoff.BackoffPolicy` spacing attempts.
+* **Chaos injection** — a seeded
+  :class:`~repro.core.chaos.ChaosPolicy` makes the runner torture its
+  own pool (kills, stalls, delays, shared-memory attach failures);
+  chaos-injected kills do not consume the retry budget.
+* **Resource guards** — a per-worker RSS watchdog recycles bloated
+  workers, and ``suite_deadline`` returns a partial-but-valid (and,
+  with a journal, resumable) report instead of overrunning.
+
+Everything the resilience layer did to a suite is reported in
+:attr:`SuiteReport.resilience` (:mod:`repro.obs`-style counters).
 """
 
 from __future__ import annotations
@@ -20,7 +46,9 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal as signal_module
 import traceback as traceback_module
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, fields as dataclass_fields
 from time import perf_counter, sleep
@@ -28,18 +56,34 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backoff import BackoffPolicy
+from repro.core.chaos import ChaosPlan, ChaosPolicy
 from repro.disk.drive import DriveSpec
 from repro.disk.faults import FaultProfile
 from repro.disk.simulator import DiskSimulator
-from repro.errors import ObservabilityError, SimulationError, SuiteError
+from repro.errors import (
+    ObservabilityError,
+    ResourceGuardError,
+    SimulationError,
+    SuiteError,
+)
 from repro.obs import OBS_LEVELS, MetricsRegistry, Observer
 from repro.synth.workload import WorkloadProfile
 from repro.tier import TierConfig
 from repro.traces.ingest.source import TraceSource
 
 #: Version stamp written by :meth:`SuiteReport.to_json`; bump on any
-#: backwards-incompatible change to the serialized layout.
+#: backwards-incompatible change to the serialized layout. (The
+#: resilience fields added for crash-safe suites are optional and
+#: omitted when empty, so version 1 payloads remain readable and
+#: pre-resilience readers still parse new all-clear payloads.)
 SCHEMA_VERSION = 1
+
+#: Default spacing of retry attempts (shared with the drive-level retry
+#: ladder machinery in :mod:`repro.core.backoff`).
+DEFAULT_RETRY_BACKOFF = BackoffPolicy(
+    base=0.02, factor=2.0, jitter=0.25, max_delay=2.0, seed=0
+)
 
 
 @dataclass(frozen=True)
@@ -422,6 +466,13 @@ class SuiteReport:
     order (``JobFailure.index`` maps each back to its job). Under
     ``on_error="raise"`` a partial report — only the jobs that resolved
     before the stop — travels on :class:`~repro.errors.SuiteError`.
+
+    ``resilience`` (``None`` when nothing happened) counts what the
+    crash/chaos/degradation machinery did: worker crashes and
+    resubmissions, chaos injections, journal skips/records, recycled
+    workers, deadline hits. ``deadline_exceeded`` marks a report cut
+    short by ``suite_deadline`` — partial but valid, and resumable when
+    a journal was attached.
     """
 
     results: Tuple[JobResult, ...]
@@ -430,6 +481,8 @@ class SuiteReport:
     workers: int
     retries: int
     wall_seconds: float
+    deadline_exceeded: bool = False
+    resilience: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -551,6 +604,12 @@ class SuiteReport:
                 "flushed_bytes": self.tier_flushed_bytes,
                 "migrated_chunks": self.tier_migrated_chunks,
             }
+        # Likewise for the resilience layer: a suite where nothing
+        # crashed, resumed, or degraded serializes exactly as before.
+        if self.deadline_exceeded:
+            payload["deadline_exceeded"] = True
+        if self.resilience:
+            payload["resilience"] = dict(self.resilience)
         return payload
 
     # ------------------------------------------------------------------
@@ -600,11 +659,49 @@ class SuiteReport:
                 workers=int(payload["workers"]),
                 retries=int(payload["retries"]),
                 wall_seconds=float(payload["wall_seconds"]),
+                deadline_exceeded=bool(payload.get("deadline_exceeded", False)),
+                resilience=payload.get("resilience"),
             )
         except KeyError as exc:
             raise ObservabilityError(
                 f"SuiteReport JSON is missing field {exc}"
             ) from exc
+
+    #: Suite-level fields scrubbed by :meth:`canonical_json` (wall-clock
+    #: and environment artifacts that legitimately differ between a
+    #: clean run and a crashed-and-resumed or chaos-tortured run).
+    VOLATILE_SUITE_KEYS = (
+        "wall_seconds", "workers", "retries", "resilience",
+        "deadline_exceeded",
+    )
+    #: Per-record timing fields scrubbed by :meth:`canonical_json`.
+    VOLATILE_RESULT_KEYS = (
+        "wall_seconds", "replay_rate", "phase_wall", "phase_cpu",
+    )
+
+    def canonical_json(self) -> str:
+        """The report's *determinism surface*: :meth:`to_json` minus
+        wall-clock and environment fields.
+
+        This is the normative bit-identity guarantee of the resilience
+        layer: a suite that crashed and resumed from its journal, or ran
+        under a chaos policy, must produce byte-identical
+        ``canonical_json()`` to the same suite running uninterrupted —
+        every simulated number, label, seed and metric equal, with only
+        wall-clock timings, worker counts, retry counts and the
+        resilience ledger allowed to differ. Enforced by tests and the
+        CI chaos-smoke job.
+        """
+        payload = json.loads(self.to_json())
+        for key in self.VOLATILE_SUITE_KEYS:
+            payload.pop(key, None)
+        for record in payload.get("results", []):
+            for key in self.VOLATILE_RESULT_KEYS:
+                record.pop(key, None)
+        for record in payload.get("failures", []):
+            record.pop("wall_seconds", None)
+            record.pop("attempts", None)
+        return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _dataclass_from_record(cls: type, record: Mapping[str, Any]) -> Any:
@@ -619,17 +716,35 @@ def _dataclass_from_record(cls: type, record: Mapping[str, Any]) -> Any:
         ) from exc
 
 
+def _rss_bytes() -> int:
+    """Resident set size of this process, best effort (0 when unknown)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * os.sysconf("SC_PAGESIZE")
+    except Exception:
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return 0
+
+
 def _execute_job(
     job_fn: Callable[[ExperimentJob], JobResult],
     job: ExperimentJob,
     index: int,
     max_retries: int,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> Tuple[int, JobOutcome, int, float]:
     """Run one job with bounded retries, capturing any exception.
 
     Returns ``(index, outcome, attempts, wall_seconds)``. Module-level so
     worker processes can unpickle it; never raises (errors become
-    :class:`JobFailure`), so a bad job cannot poison the pool.
+    :class:`JobFailure`), so a bad job cannot poison the pool. Retries
+    are spaced by ``backoff`` (seeded exponential with jitter, keyed by
+    the job index so concurrent retriers decorrelate).
     """
     label = getattr(job, "label", f"job-{index}")
     start = perf_counter()
@@ -640,6 +755,10 @@ def _execute_job(
             result = job_fn(job)
         except Exception as exc:  # deliberate blanket capture at the seam
             if attempt <= max_retries:
+                if backoff is not None:
+                    delay = backoff.delay(attempt, key=index)
+                    if delay > 0:
+                        sleep(delay)
                 continue
             wall = perf_counter() - start
             failure = JobFailure(
@@ -655,15 +774,32 @@ def _execute_job(
         return index, result, attempt, perf_counter() - start
 
 
+def _apply_worker_plan(worker_plan: Optional[Tuple[float, int]]) -> None:
+    """Apply the worker-side legs of a chaos plan: startup delay and
+    armed shared-memory attach failures."""
+    if worker_plan is None:
+        return
+    delay, shm_failures = worker_plan
+    if delay > 0:
+        sleep(delay)
+    if shm_failures > 0:
+        from repro.traces.shared import inject_attach_failures
+
+        inject_attach_failures(shm_failures)
+
+
 def _pool_worker(conn) -> None:
     """Loop of one pooled worker process: receive ``(job_fn, job, index,
-    max_retries)`` messages, run them through :func:`_execute_job`, send
-    the outcome back. A ``None`` message (or a closed pipe) shuts the
-    worker down. Module-level so the ``spawn`` start method can import it.
+    max_retries, backoff, chaos_plan)`` messages, run them through
+    :func:`_execute_job`, send the outcome back. A ``None`` message (or
+    a closed pipe) shuts the worker down. Module-level so the ``spawn``
+    start method can import it.
 
-    If an outcome cannot travel back (unpicklable result), a
-    :class:`JobFailure` describing the transport error is sent instead —
-    the parent never hangs waiting for a reply.
+    Replies are ``(index, outcome, attempts, wall, rss_bytes)`` — the
+    RSS reading feeds the parent-side memory watchdog. If an outcome
+    cannot travel back (unpicklable result), a :class:`JobFailure`
+    describing the transport error is sent instead — the parent never
+    hangs waiting for a reply.
     """
     try:
         while True:
@@ -673,12 +809,13 @@ def _pool_worker(conn) -> None:
                 break
             if message is None:
                 break
-            job_fn, job, index, max_retries = message
+            job_fn, job, index, max_retries, backoff, worker_plan = message
+            _apply_worker_plan(worker_plan)
             index, outcome, n_attempts, wall = _execute_job(
-                job_fn, job, index, max_retries
+                job_fn, job, index, max_retries, backoff
             )
             try:
-                conn.send((index, outcome, n_attempts, wall))
+                conn.send((index, outcome, n_attempts, wall, _rss_bytes()))
             except Exception as exc:  # result transport failure
                 label = getattr(job, "label", f"job-{index}")
                 failure = JobFailure(
@@ -690,7 +827,7 @@ def _pool_worker(conn) -> None:
                     attempts=n_attempts,
                     wall_seconds=wall,
                 )
-                conn.send((index, failure, n_attempts, wall))
+                conn.send((index, failure, n_attempts, wall, _rss_bytes()))
     finally:
         conn.close()
 
@@ -719,12 +856,44 @@ class _PoolWorker:
         except Exception:
             pass
 
+    def sigkill(self) -> None:
+        """SIGKILL the worker process (chaos: no cleanup, no warning)."""
+        try:
+            self.process.kill()
+        except Exception:
+            pass
+
+    def signal(self, signum: int) -> bool:
+        """Send a raw signal (chaos stalls); False when delivery failed."""
+        try:
+            os.kill(self.process.pid, signum)
+        except Exception:
+            return False
+        return True
+
     def reap(self, timeout: float = 1.0) -> None:
         self.process.join(timeout)
         try:
             self.conn.close()
         except Exception:
             pass
+
+
+class _BusyJob:
+    """Parent-side state of one in-flight submission."""
+
+    __slots__ = (
+        "worker", "submitted", "plan", "chaos_killed", "stalled", "resume_at",
+    )
+
+    def __init__(self, worker: _PoolWorker, submitted: float,
+                 plan: Optional[ChaosPlan]) -> None:
+        self.worker = worker
+        self.submitted = submitted
+        self.plan = plan
+        self.chaos_killed = False
+        self.stalled = False
+        self.resume_at: Optional[float] = None
 
 
 class ExperimentRunner:
@@ -738,31 +907,59 @@ class ExperimentRunner:
         multiprocessing at all (deterministic, debugger-friendly, and the
         right choice inside already-parallel harnesses).
     max_retries:
-        Extra deterministic attempts per job after its first failure.
-        Retries re-run the same job function on the same job, so a
-        deterministic failure fails ``max_retries + 1`` times; the knob
-        exists for transient causes (OOM kills, flaky I/O).
+        Extra attempts per job after its first failure, covering both
+        in-worker exceptions (retried inside the worker, spaced by
+        ``retry_backoff``) and parent-side resubmissions after a worker
+        crash or per-job timeout. A deterministic failure therefore
+        fails ``max_retries + 1`` times; the knob exists for transient
+        causes (OOM kills, flaky I/O, chaos).
     job_timeout:
-        Per-job wall-clock budget in seconds, covering every attempt.
-        In pooled mode an overrunning job's worker is terminated on the
-        spot and replaced with a fresh one, and the job is reported as a
-        :class:`JobFailure` with ``error_type="TimeoutError"``. Inline
+        Per-job wall-clock budget in seconds, covering every attempt of
+        one submission. In pooled mode an overrunning job's worker is
+        terminated on the spot and replaced with a fresh one, and the
+        job is resubmitted while retry budget remains, else reported as
+        a :class:`JobFailure` with ``error_type="TimeoutError"``. Inline
         mode cannot preempt a running job, so the timeout is applied
         after the fact: a job whose wall time exceeded the budget is
         reported as timed out even if it eventually returned.
-
-    Pooled mode runs one long-lived worker process per slot, each driven
-    over its own duplex pipe (no ``multiprocessing.Pool``). That makes a
-    worker's death observable: a worker killed mid-job (OOM killer,
-    ``SIGKILL``, hard crash) is detected via its exit code and the job
-    reported as a :class:`JobFailure` with ``error_type="WorkerCrashed"``
-    instead of hanging the suite forever waiting on a result that will
-    never arrive.
     on_error:
         ``"raise"`` (default) stops submitting after the first failure,
         drains in-flight jobs, and raises :class:`SuiteError` carrying
         the partial report. ``"collect"`` runs every job and returns a
         full report with the failures listed.
+    chaos:
+        Optional :class:`~repro.core.chaos.ChaosPolicy`: the runner
+        injects the policy's seeded kills/stalls/delays/attach-failures
+        into its own pool while the suite runs. Chaos-injected kills are
+        budget-exempt (resubmitted without consuming ``max_retries``),
+        capped at the policy's ``max_faults_per_job``. Inline mode
+        applies only the worker-side legs (delays, attach failures).
+    suite_deadline:
+        Optional whole-suite wall-clock budget in seconds. When it
+        expires the runner stops submitting, abandons in-flight jobs and
+        returns the completed results as a partial report with
+        ``deadline_exceeded=True`` — valid, and resumable when a journal
+        is attached — instead of overrunning.
+    rss_limit_mb:
+        Optional per-worker resident-set watchdog. A worker whose RSS
+        exceeds the limit after a job is recycled (stopped and replaced
+        with a fresh process) before it can drag the host into swap; the
+        completed job is kept.
+    retry_backoff:
+        The :class:`~repro.core.backoff.BackoffPolicy` spacing retry
+        attempts and crash resubmissions (default
+        :data:`DEFAULT_RETRY_BACKOFF`; the same helper drives the
+        drive-level fault retry ladder, so all backoff in the repo
+        shares one implementation).
+
+    Pooled mode runs one long-lived worker process per slot, each driven
+    over its own duplex pipe (no ``multiprocessing.Pool``). That makes a
+    worker's death observable: a worker killed mid-job (OOM killer,
+    ``SIGKILL``, hard crash) is detected via its exit code, the worker
+    respawned, and the job resubmitted (or reported as a
+    :class:`JobFailure` with ``error_type="WorkerCrashed"`` once the
+    retry budget is spent) instead of hanging the suite forever waiting
+    on a result that will never arrive.
     """
 
     #: Seconds between polls of outstanding async results in pooled mode.
@@ -774,6 +971,10 @@ class ExperimentRunner:
         max_retries: int = 0,
         job_timeout: Optional[float] = None,
         on_error: str = "raise",
+        chaos: Optional[ChaosPolicy] = None,
+        suite_deadline: Optional[float] = None,
+        rss_limit_mb: Optional[float] = None,
+        retry_backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise SimulationError(f"workers must be >= 1, got {workers!r}")
@@ -785,10 +986,28 @@ class ExperimentRunner:
             raise SimulationError(
                 f"on_error must be 'raise' or 'collect', got {on_error!r}"
             )
+        if chaos is not None and not isinstance(chaos, ChaosPolicy):
+            raise SimulationError(
+                f"chaos must be a ChaosPolicy or None, got {type(chaos).__name__}"
+            )
+        if suite_deadline is not None and suite_deadline <= 0:
+            raise ResourceGuardError(
+                f"suite_deadline must be > 0, got {suite_deadline!r}"
+            )
+        if rss_limit_mb is not None and rss_limit_mb <= 0:
+            raise ResourceGuardError(
+                f"rss_limit_mb must be > 0, got {rss_limit_mb!r}"
+            )
         self.workers = workers
         self.max_retries = max_retries
         self.job_timeout = job_timeout
         self.on_error = on_error
+        self.chaos = chaos if chaos is not None and chaos.active else None
+        self.suite_deadline = suite_deadline
+        self.rss_limit_mb = rss_limit_mb
+        self.retry_backoff = (
+            retry_backoff if retry_backoff is not None else DEFAULT_RETRY_BACKOFF
+        )
 
     def _worker_count(self, n_jobs: int) -> int:
         workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
@@ -815,24 +1034,75 @@ class ExperimentRunner:
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback] = None,
         job_fn: Optional[Callable[[ExperimentJob], JobResult]] = None,
+        journal=None,
     ) -> SuiteReport:
         """Execute the jobs and report everything that happened.
 
         ``job_fn`` defaults to :func:`run_job`; it is a seam for tests
         and for suites whose unit of work is not a disk simulation.
+
+        ``journal`` is an optional
+        :class:`~repro.core.journal.SuiteJournal` opened over these
+        jobs: jobs it already records are skipped (their journaled
+        results merged in place, counted in
+        ``resilience["journal.resumed_jobs"]``), and each newly
+        completed job is durably appended before the suite moves on.
         """
         jobs = list(jobs)
         fn = job_fn if job_fn is not None else run_job
         start = perf_counter()
         n = len(jobs)
-        workers = self._worker_count(n) if n else 1
+        counters = MetricsRegistry()
         outcomes: List[Optional[JobOutcome]] = [None] * n
         attempts = [0] * n
-        if n:
+        done = 0
+
+        # Resume: merge journaled results before any execution.
+        if journal is not None:
+            resumed = journal.completed_results()
+            for index in sorted(resumed):
+                outcomes[index] = _dataclass_from_record(
+                    JobResult, resumed[index]
+                )
+            if resumed:
+                counters.counter("journal.resumed_jobs").inc(len(resumed))
+            if getattr(journal, "recovered_torn_line", False):
+                counters.counter("journal.torn_records_dropped").inc()
+            for index in sorted(resumed):
+                done += 1
+                if progress is not None:
+                    progress(done, n, outcomes[index])
+
+        pending = [i for i in range(n) if outcomes[i] is None]
+        workers = self._worker_count(len(pending)) if pending else 1
+        deadline_at = (
+            start + self.suite_deadline if self.suite_deadline is not None else None
+        )
+
+        def resolve(index: int, outcome: JobOutcome, n_attempts: int) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            attempts[index] = n_attempts
+            done += 1
+            if journal is not None and isinstance(outcome, JobResult):
+                journal.record(index, outcome.as_dict())
+                counters.counter("journal.recorded").inc()
+            if progress is not None:
+                progress(done, n, outcome)
+
+        if pending:
             if workers == 1:
-                self._run_inline(jobs, fn, outcomes, attempts, progress)
+                self._run_inline(jobs, fn, pending, resolve, counters, deadline_at)
             else:
-                self._run_pool(jobs, fn, outcomes, attempts, workers, progress)
+                self._run_pool(
+                    jobs, fn, pending, resolve, counters, deadline_at, workers
+                )
+        deadline_exceeded = counters.counters.get("suite.deadline_hits") is not None
+        resilience = {
+            name: counter.value
+            for name, counter in sorted(counters.counters.items())
+            if counter.value
+        }
         report = SuiteReport(
             results=tuple(o for o in outcomes if isinstance(o, JobResult)),
             failures=tuple(o for o in outcomes if isinstance(o, JobFailure)),
@@ -840,6 +1110,8 @@ class ExperimentRunner:
             workers=workers,
             retries=sum(max(0, a - 1) for a in attempts),
             wall_seconds=perf_counter() - start,
+            deadline_exceeded=deadline_exceeded,
+            resilience=resilience or None,
         )
         if report.failures and self.on_error == "raise":
             first = report.failures[0]
@@ -866,7 +1138,9 @@ class ExperimentRunner:
             return outcome
         return self._timeout_failure(outcome.label, index, wall)
 
-    def _timeout_failure(self, label: str, index: int, wall: float) -> JobFailure:
+    def _timeout_failure(
+        self, label: str, index: int, wall: float, attempts: int = 1
+    ) -> JobFailure:
         return JobFailure(
             label=label,
             index=index,
@@ -876,7 +1150,7 @@ class ExperimentRunner:
                 f"(ran {wall:.3f} s)"
             ),
             traceback="",
-            attempts=1,
+            attempts=attempts,
             wall_seconds=wall,
         )
 
@@ -884,19 +1158,31 @@ class ExperimentRunner:
         self,
         jobs: List[ExperimentJob],
         fn: Callable[[ExperimentJob], JobResult],
-        outcomes: List[Optional[JobOutcome]],
-        attempts: List[int],
-        progress: Optional[ProgressCallback],
+        pending: List[int],
+        resolve: Callable[[int, JobOutcome, int], None],
+        counters: MetricsRegistry,
+        deadline_at: Optional[float],
     ) -> None:
-        done = 0
-        for i, job in enumerate(jobs):
-            _, outcome, n_attempts, wall = _execute_job(fn, job, i, self.max_retries)
+        for i in pending:
+            if deadline_at is not None and perf_counter() >= deadline_at:
+                counters.counter("suite.deadline_hits").inc()
+                return
+            if self.chaos is not None:
+                # Inline mode has no worker process to kill or stall;
+                # only the worker-side chaos legs apply.
+                plan = self.chaos.plan(i, 1)
+                if plan.delay > 0:
+                    counters.counter("chaos.delays").inc()
+                if plan.shm_failures > 0:
+                    counters.counter("chaos.shm_failures").inc()
+                _apply_worker_plan((plan.delay, plan.shm_failures))
+            _, outcome, n_attempts, wall = _execute_job(
+                fn, jobs[i], i, self.max_retries, self.retry_backoff
+            )
             timed = self._apply_timeout(outcome, i, wall)
-            outcomes[i] = timed
-            attempts[i] = n_attempts
-            done += 1
-            if progress is not None:
-                progress(done, len(jobs), timed)
+            if isinstance(timed, JobFailure) and timed.error_type == "TimeoutError":
+                counters.counter("suite.timeouts").inc()
+            resolve(i, timed, n_attempts)
             if isinstance(timed, JobFailure) and self.on_error == "raise":
                 return
 
@@ -904,18 +1190,22 @@ class ExperimentRunner:
         self,
         jobs: List[ExperimentJob],
         fn: Callable[[ExperimentJob], JobResult],
-        outcomes: List[Optional[JobOutcome]],
-        attempts: List[int],
+        pending: List[int],
+        resolve: Callable[[int, JobOutcome, int], None],
+        counters: MetricsRegistry,
+        deadline_at: Optional[float],
         workers: int,
-        progress: Optional[ProgressCallback],
     ) -> None:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
-        n = len(jobs)
-        done = 0
-        next_index = 0
+        queue = deque(pending)
+        retry_at: Dict[int, float] = {}       # earliest resubmission time
+        submissions: Dict[int, int] = {}      # pool submissions per job
+        prior_attempts: Dict[int, int] = {}   # attempts spent on dead submissions
+        hard_faults: Dict[int, int] = {}      # crash/timeouts charged to budget
+        chaos_faults: Dict[int, int] = {}     # budget-exempt injected faults
         stop_submitting = False
 
         def spawn() -> _PoolWorker:
@@ -937,22 +1227,79 @@ class ExperimentRunner:
                     "(killed or crashed without raising)"
                 ),
                 traceback="",
-                attempts=1,
+                attempts=prior_attempts.get(index, 0) + 1,
                 wall_seconds=wall,
             )
 
+        def requeue(index: int, entry: "_BusyJob", now: float) -> bool:
+            """Resubmit a crashed/timed-out job if budget allows.
+
+            Chaos-injected kills are budget-exempt up to the policy's
+            per-job fault cap; real crashes and timeouts consume the
+            normal ``max_retries`` budget. Returns True when the job was
+            requeued."""
+            injected = entry.chaos_killed
+            if injected:
+                chaos_faults[index] = chaos_faults.get(index, 0) + 1
+                if chaos_faults[index] > self.chaos.max_faults_per_job:
+                    injected = False  # cap reached: charge the budget
+            if not injected:
+                hard_faults[index] = hard_faults.get(index, 0) + 1
+                if hard_faults[index] > self.max_retries:
+                    return False
+            prior_attempts[index] = prior_attempts.get(index, 0) + 1
+            counters.counter("suite.resubmissions").inc()
+            retry_at[index] = now + self.retry_backoff.delay(
+                submissions.get(index, 1), key=index
+            )
+            queue.append(index)
+            return True
+
         idle: List[_PoolWorker] = [spawn() for _ in range(workers)]
-        # index -> (worker, submission time); one outstanding job per
-        # worker so a submitted job starts immediately and the per-job
-        # timeout clock measures execution, not queueing.
-        busy: Dict[int, Tuple[_PoolWorker, float]] = {}
+        # One outstanding job per worker so a submitted job starts
+        # immediately and the per-job timeout clock measures execution,
+        # not queueing.
+        busy: Dict[int, _BusyJob] = {}
         try:
-            while busy or (next_index < n and not stop_submitting):
+            while busy or (queue and not stop_submitting):
+                now = perf_counter()
+                if deadline_at is not None and now >= deadline_at:
+                    # Budget spent: abandon in-flight work, return what
+                    # completed. Journaled results are already durable.
+                    counters.counter("suite.deadline_hits").inc()
+                    for entry in busy.values():
+                        entry.worker.kill()
+                        entry.worker.reap()
+                    busy.clear()
+                    return
                 resolved: List[Tuple[int, JobOutcome, int]] = []
-                while idle and next_index < n and not stop_submitting:
+                while idle and queue and not stop_submitting:
+                    # First queued job whose backoff delay has elapsed.
+                    for _ in range(len(queue)):
+                        i = queue.popleft()
+                        if retry_at.get(i, 0.0) <= now:
+                            break
+                        queue.append(i)
+                    else:
+                        break
                     worker = idle.pop()
-                    i = next_index
-                    message = (fn, jobs[i], i, self.max_retries)
+                    submissions[i] = submissions.get(i, 0) + 1
+                    plan: Optional[ChaosPlan] = None
+                    worker_plan = None
+                    if self.chaos is not None:
+                        plan = self.chaos.plan(i, submissions[i])
+                        if not plan.any:
+                            plan = None
+                        elif plan.delay > 0 or plan.shm_failures > 0:
+                            worker_plan = (plan.delay, plan.shm_failures)
+                            if plan.delay > 0:
+                                counters.counter("chaos.delays").inc()
+                            if plan.shm_failures > 0:
+                                counters.counter("chaos.shm_failures").inc()
+                    message = (
+                        fn, jobs[i], i, self.max_retries,
+                        self.retry_backoff, worker_plan,
+                    )
                     try:
                         worker.conn.send(message)
                     except Exception:
@@ -981,14 +1328,41 @@ class ExperimentRunner:
                                     1,
                                 )
                             )
-                            next_index += 1
                             continue
-                    busy[i] = (worker, perf_counter())
-                    next_index += 1
+                    busy[i] = _BusyJob(worker, perf_counter(), plan)
                 now = perf_counter()
-                for i, (worker, submitted) in list(busy.items()):
+                # Parent-side chaos legs: scheduled kills and stalls.
+                for i, entry in busy.items():
+                    plan = entry.plan
+                    if plan is None:
+                        continue
+                    if (
+                        plan.kill_after is not None
+                        and not entry.chaos_killed
+                        and now - entry.submitted >= plan.kill_after
+                    ):
+                        entry.chaos_killed = True
+                        entry.worker.sigkill()
+                        counters.counter("chaos.kills").inc()
+                    if (
+                        plan.stall_after is not None
+                        and not entry.stalled
+                        and now - entry.submitted >= plan.stall_after
+                    ):
+                        entry.stalled = True
+                        if entry.worker.signal(signal_module.SIGSTOP):
+                            entry.resume_at = now + plan.stall_seconds
+                            # Credit the stall against the timeout clock.
+                            entry.submitted += plan.stall_seconds
+                            counters.counter("chaos.stalls").inc()
+                    if entry.resume_at is not None and now >= entry.resume_at:
+                        entry.worker.signal(signal_module.SIGCONT)
+                        entry.resume_at = None
+                for i, entry in list(busy.items()):
+                    worker = entry.worker
                     outcome: Optional[JobOutcome] = None
                     n_attempts = 1
+                    rss = 0
                     # Check the pipe before the exit code: a worker that
                     # finished its send and then died still delivered a
                     # real outcome, which takes precedence over the crash.
@@ -997,51 +1371,84 @@ class ExperimentRunner:
                     if not has_result and exited:
                         has_result = worker.conn.poll()  # result raced in
                     if has_result:
+                        # A stalled worker that still replied must not be
+                        # parked in the idle pool frozen.
+                        if entry.resume_at is not None:
+                            worker.signal(signal_module.SIGCONT)
+                            entry.resume_at = None
                         try:
-                            _, outcome, n_attempts, _ = worker.conn.recv()
+                            _, outcome, n_attempts, _, rss = worker.conn.recv()
                         except (EOFError, OSError):
-                            outcome = crash_failure(
-                                i, worker.process.exitcode, now - submitted
-                            )
+                            counters.counter("suite.worker_crashes").inc()
+                            if requeue(i, entry, now):
+                                outcome = None
+                                del busy[i]
+                            else:
+                                outcome = crash_failure(
+                                    i, worker.process.exitcode, now - entry.submitted
+                                )
                             worker.kill()
                             worker.reap()
                             idle.append(spawn())
+                            if outcome is None:
+                                continue
                         else:
+                            n_attempts += prior_attempts.get(i, 0)
                             idle.append(worker)
+                            if (
+                                self.rss_limit_mb is not None
+                                and rss > self.rss_limit_mb * 1024 * 1024
+                            ):
+                                # Memory watchdog: retire the bloated
+                                # worker before it swaps the host.
+                                idle.remove(worker)
+                                worker.stop()
+                                worker.reap()
+                                idle.append(spawn())
+                                counters.counter("guard.workers_recycled").inc()
                     elif exited:
-                        outcome = crash_failure(
-                            i, worker.process.exitcode, now - submitted
-                        )
+                        counters.counter("suite.worker_crashes").inc()
                         worker.reap()
                         idle.append(spawn())
+                        if requeue(i, entry, now):
+                            del busy[i]
+                            continue
+                        outcome = crash_failure(
+                            i, worker.process.exitcode, now - entry.submitted
+                        )
                     elif (
                         self.job_timeout is not None
-                        and now - submitted > self.job_timeout
+                        and now - entry.submitted > self.job_timeout
                     ):
-                        label = getattr(jobs[i], "label", f"job-{i}")
-                        outcome = self._timeout_failure(label, i, now - submitted)
+                        counters.counter("suite.timeouts").inc()
                         worker.kill()
                         worker.reap()
                         idle.append(spawn())
+                        if requeue(i, entry, now):
+                            del busy[i]
+                            continue
+                        label = getattr(jobs[i], "label", f"job-{i}")
+                        outcome = self._timeout_failure(
+                            label, i, now - entry.submitted,
+                            attempts=prior_attempts.get(i, 0) + 1,
+                        )
                     if outcome is not None:
                         del busy[i]
                         resolved.append((i, outcome, n_attempts))
                 for i, outcome, n_attempts in resolved:
-                    outcomes[i] = outcome
-                    attempts[i] = n_attempts
-                    done += 1
-                    if progress is not None:
-                        progress(done, n, outcome)
+                    resolve(i, outcome, n_attempts)
                     if isinstance(outcome, JobFailure) and self.on_error == "raise":
                         stop_submitting = True
                 if not resolved and busy:
                     sleep(self.poll_interval)
         finally:
-            for worker, _ in busy.values():
-                worker.kill()
+            for entry in busy.values():
+                if entry.resume_at is not None:
+                    entry.worker.signal(signal_module.SIGCONT)
+                entry.worker.kill()
             for worker in idle:
                 worker.stop()
             for worker in idle:
                 worker.reap()
-            for worker, _ in busy.values():
-                worker.reap()
+            for entry in busy.values():
+                entry.worker.reap()

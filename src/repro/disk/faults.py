@@ -279,6 +279,15 @@ class FaultModel:
         self._rng = np.random.default_rng(self._access_ss)
         self._reassigned: Dict[int, int] = {}
         self._next_spare = 0
+        # Retry ladder shared with the suite runner's retry path
+        # (repro.core.backoff); imported lazily because repro.core's
+        # package init imports this module back. Repeated-multiplication
+        # schedule, bit-identical to the historical inline loop.
+        from repro.core.backoff import backoff_delays
+
+        self._retry_costs = backoff_delays(
+            profile.retry_penalty, profile.backoff_factor, profile.max_retries
+        )
         #: Optional :class:`~repro.obs.Observer`; attached by the
         #: simulator. Pure accounting — fault decisions and RNG draws are
         #: identical with or without it (asserted by tests).
@@ -439,11 +448,9 @@ class FaultModel:
 
         retries = 0
         recovered = False
-        cost = profile.retry_penalty
-        while retries < profile.max_retries:
+        for cost in self._retry_costs:
             retries += 1
             service += cost
-            cost *= profile.backoff_factor
             if self._rng.random() < profile.retry_success_prob:
                 recovered = True
                 break

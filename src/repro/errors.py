@@ -58,6 +58,29 @@ class SuiteError(SimulationError):
         self.report = report
 
 
+class JournalError(SimulationError):
+    """The durable suite journal was misused or found corrupt: schema
+    version mismatch, a fingerprint that does not belong to the suite
+    being resumed, or a malformed record before the final line (a torn
+    *final* record is tolerated and truncated, not an error)."""
+
+
+class ChaosError(SimulationError):
+    """The chaos-injection policy was configured inconsistently
+    (probability outside [0, 1], negative delay or stall duration)."""
+
+
+class ResourceGuardError(SimulationError):
+    """A resource guard of the suite runner was configured
+    inconsistently (non-positive RSS limit or suite deadline)."""
+
+
+class SharedSegmentError(TraceError):
+    """A shared-memory trace segment could not be attached (the
+    publisher is gone, ``/dev/shm`` is unavailable, or a chaos policy
+    injected an attach failure)."""
+
+
 class SynthesisError(ReproError):
     """A synthetic workload generator received unusable parameters."""
 

@@ -26,16 +26,45 @@ a context manager so the segment is unlinked even on error::
             for s in seeds
         ]
         report = runner.run_suite(jobs)
+
+Crash safety
+------------
+A publisher that dies before :meth:`~SharedTracePublisher.close` would
+leak its ``/dev/shm`` segment forever. Three guards close that hole:
+
+* every live segment is recorded in an on-disk **segment registry**
+  (one sidecar file per segment, keyed by owner PID) that
+  :meth:`~SharedTracePublisher.close` removes;
+* an ``atexit`` hook — and, where the process still has the default
+  disposition, ``SIGTERM``/``SIGINT``/``SIGHUP`` handlers — unlink every
+  segment this process still owns on the way out;
+* :func:`reap_orphaned_segments` scans the registry for entries whose
+  owner PID is dead (``SIGKILL``, OOM kill) and unlinks those segments.
+  Publisher construction and :func:`publish_trace` call it
+  opportunistically, so one surviving process cleans up after its dead
+  siblings.
+
+When shared memory is unavailable at all (no ``/dev/shm``, container
+limits), :func:`publish_trace` degrades gracefully to an
+:class:`InlineTraceSource` that carries the columns in the job pickle —
+slower dispatch, identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import atexit
+import json
+import os
+import signal
+import tempfile
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.errors import SharedSegmentError
 from repro.traces.millisecond import REQUEST_DTYPE, RequestTrace
 
 
@@ -55,6 +84,188 @@ def _unregister_attached(shm: shared_memory.SharedMemory) -> None:
     except Exception:
         pass
 
+
+# ----------------------------------------------------------------------
+# Segment registry: crash-safe bookkeeping of live segments
+# ----------------------------------------------------------------------
+
+#: Directory of sidecar records, one JSON file per live segment. Lives
+#: under the system temp dir so it is per-boot and world-writable in the
+#: same way ``/dev/shm`` itself is.
+_REGISTRY_ENV = "REPRO_SHM_REGISTRY"
+
+#: Chaos hook: number of pending injected attach failures (this process).
+_injected_attach_failures = 0
+
+#: ``(owner_pid, segment_name)`` pairs this process registered (mirrors
+#: the on-disk registry; used by the exit/signal hooks). The PID guard
+#: matters: a forked child inherits this list, and must not unlink its
+#: parent's live segments when *it* exits.
+_owned_segments: List[tuple] = []
+
+_hooks_installed = False
+
+
+def segment_registry_dir() -> Path:
+    """The on-disk segment registry directory (created on demand)."""
+    root = os.environ.get(_REGISTRY_ENV)
+    if root is None:
+        root = os.path.join(tempfile.gettempdir(), "repro-shm-registry")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _registry_path(name: str) -> Path:
+    return segment_registry_dir() / f"{name}.json"
+
+
+def _register_segment(name: str) -> None:
+    _install_cleanup_hooks()
+    record = {"segment": name, "pid": os.getpid()}
+    try:
+        _registry_path(name).write_text(json.dumps(record, sort_keys=True))
+    except OSError:
+        pass  # registry is best-effort; the segment itself still works
+    _owned_segments.append((os.getpid(), name))
+
+
+def _deregister_segment(name: str) -> None:
+    for entry in list(_owned_segments):
+        if entry[1] == name:
+            _owned_segments.remove(entry)
+    try:
+        _registry_path(name).unlink()
+    except OSError:
+        pass
+
+
+def _unlink_segment(name: str) -> bool:
+    """Destroy a segment by name; True when it existed."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        shm.close()
+        # unlink() also unregisters the attach-time resource-tracker
+        # entry, so no explicit _unregister_attached here.
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        return False
+    return True
+
+
+def _cleanup_owned_segments() -> None:
+    """Exit hook: unlink every segment *this* process registered.
+
+    Entries registered by another PID belong to a parent this process
+    was forked from — leave them alone."""
+    me = os.getpid()
+    for pid, name in list(_owned_segments):
+        if pid != me:
+            continue
+        _unlink_segment(name)
+        _deregister_segment(name)
+
+
+def _install_cleanup_hooks() -> None:
+    """Install the atexit hook once, plus signal handlers for the
+    terminating signals whose disposition is still the default (a host
+    application's own handlers are never displaced)."""
+    global _hooks_installed
+    if _hooks_installed:
+        return
+    _hooks_installed = True
+    atexit.register(_cleanup_owned_segments)
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via subprocess
+        _cleanup_owned_segments()
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    for signum in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP):
+        try:
+            if signal.getsignal(signum) in (signal.SIG_DFL, None):
+                signal.signal(signum, _handler)
+        except (ValueError, OSError):
+            pass  # not the main thread, or an unsupported signal
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def reap_orphaned_segments() -> List[str]:
+    """Unlink registered segments whose owning process is dead.
+
+    Returns the names of the segments actually reclaimed. Entries whose
+    owner is alive are left alone; stale registry files whose segment is
+    already gone are removed quietly. Safe to call from any process at
+    any time — publishers call it opportunistically so a fleet of suite
+    runners garbage-collects segments leaked by crashed siblings.
+    """
+    reaped: List[str] = []
+    try:
+        entries = sorted(segment_registry_dir().glob("*.json"))
+    except OSError:
+        return reaped
+    for entry in entries:
+        try:
+            record = json.loads(entry.read_text())
+            name = str(record["segment"])
+            pid = int(record["pid"])
+        except (OSError, ValueError, KeyError):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            continue
+        if _pid_alive(pid):
+            continue
+        if _unlink_segment(name):
+            reaped.append(name)
+        try:
+            entry.unlink()
+        except OSError:
+            pass
+    return reaped
+
+
+# ----------------------------------------------------------------------
+# Chaos hook: deterministic attach-failure injection
+# ----------------------------------------------------------------------
+
+def inject_attach_failures(count: int = 1) -> None:
+    """Arm the next ``count`` :meth:`SharedTraceSource.load` calls in
+    this process to raise :class:`~repro.errors.SharedSegmentError`.
+
+    This is the shared-memory leg of the chaos harness
+    (:mod:`repro.core.chaos`): the failure is injected at the attach
+    seam — exactly where a real torn-down or exhausted ``/dev/shm``
+    would fail — and the runner's retry machinery must absorb it.
+    """
+    global _injected_attach_failures
+    _injected_attach_failures += max(0, int(count))
+
+
+def _consume_injected_failure() -> bool:
+    global _injected_attach_failures
+    if _injected_attach_failures > 0:
+        _injected_attach_failures -= 1
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Sources and publishers
+# ----------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class SharedTraceSource:
@@ -82,9 +293,24 @@ class SharedTraceSource:
 
         The :class:`~repro.traces.millisecond.RequestTrace` constructor
         copies its inputs, so the mapping is closed before returning and
-        the result owns its memory outright.
+        the result owns its memory outright. Attach failures — real ones
+        and chaos-injected ones alike — surface as
+        :class:`~repro.errors.SharedSegmentError`, which the suite
+        runner's retry path treats like any transient job error.
         """
-        shm = shared_memory.SharedMemory(name=self.shm_name)
+        if _consume_injected_failure():
+            raise SharedSegmentError(
+                f"injected attach failure for segment {self.shm_name!r} "
+                "(chaos policy)"
+            )
+        try:
+            shm = shared_memory.SharedMemory(name=self.shm_name)
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            raise SharedSegmentError(
+                f"cannot attach shared segment {self.shm_name!r}: {exc}"
+            ) from exc
         try:
             _unregister_attached(shm)
             columns = np.ndarray(
@@ -103,21 +329,61 @@ class SharedTraceSource:
             shm.close()
 
 
+@dataclass(frozen=True)
+class InlineTraceSource:
+    """Pickle-dispatch fallback with the same duck-typed contract.
+
+    Carries the request columns inside the job pickle — the pre-PR 8
+    dispatch cost — so suites keep running, with identical results, when
+    shared memory is unavailable. Built by :func:`publish_trace`; also
+    usable directly for small traces where zero-pickle dispatch is not
+    worth a segment.
+    """
+
+    columns: np.ndarray = field(repr=False)
+    span: float = 0.0
+    trace_label: str = "trace"
+    capacity_sectors: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return self.trace_label
+
+    def load(self) -> RequestTrace:
+        columns = self.columns
+        return RequestTrace(
+            times=columns["time"],
+            lbas=columns["lba"],
+            nsectors=columns["size"],
+            is_write=columns["is_write"],
+            span=self.span,
+            label=self.trace_label,
+            capacity_sectors=self.capacity_sectors,
+        )
+
+
 class SharedTracePublisher:
     """Owner of one shared-memory copy of a trace's request columns.
 
     Create it in the parent around the columns of ``trace``, hand
     :attr:`source` to any number of jobs, and close/unlink when the
-    suite is done (the context-manager form does both).
+    suite is done (the context-manager form does both). Construction
+    registers the segment in the crash-safe registry and reaps any
+    segments orphaned by dead processes first.
     """
 
     def __init__(self, trace: RequestTrace) -> None:
+        try:
+            reap_orphaned_segments()
+        except Exception:
+            pass
         columns = trace.columns()
         # A zero-byte segment is invalid; keep one spare byte for the
         # (legal, if pointless) empty-trace case.
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, columns.nbytes)
         )
+        _register_segment(self._shm.name)
         view = np.ndarray(len(trace), dtype=REQUEST_DTYPE, buffer=self._shm.buf)
         view[:] = columns
         self.source = SharedTraceSource(
@@ -136,12 +402,14 @@ class SharedTracePublisher:
         """
         if self._shm is None:
             return
+        name = self._shm.name
         self._shm.close()
         try:
             self._shm.unlink()
         except FileNotFoundError:
             pass
         self._shm = None
+        _deregister_segment(name)
 
     def __enter__(self) -> "SharedTracePublisher":
         return self
@@ -155,3 +423,64 @@ class SharedTracePublisher:
             f"SharedTracePublisher({state}, "
             f"n_requests={self.source.n_requests})"
         )
+
+
+class TracePublication:
+    """What :func:`publish_trace` hands back: a source plus its lifetime.
+
+    ``mode`` is ``"shared"`` when the trace went into a shared-memory
+    segment and ``"inline"`` when publication degraded to pickle
+    dispatch. Context-manager close is a no-op in inline mode, so call
+    sites are identical either way.
+    """
+
+    def __init__(
+        self,
+        source: Union[SharedTraceSource, InlineTraceSource],
+        mode: str,
+        publisher: Optional[SharedTracePublisher] = None,
+    ) -> None:
+        self.source = source
+        self.mode = mode
+        self._publisher = publisher
+
+    def close(self) -> None:
+        if self._publisher is not None:
+            self._publisher.close()
+            self._publisher = None
+
+    def __enter__(self) -> "TracePublication":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TracePublication(mode={self.mode!r}, source={self.source!r})"
+
+
+def publish_trace(trace: RequestTrace, prefer_shared: bool = True) -> TracePublication:
+    """Publish a trace for worker dispatch, degrading gracefully.
+
+    Tries zero-pickle shared-memory publication first; when ``/dev/shm``
+    is unavailable, full, or publication fails for any other
+    environmental reason, falls back to an :class:`InlineTraceSource`
+    (pickle dispatch) instead of failing the suite. ``prefer_shared=False``
+    forces the inline path (useful for tiny traces and for tests).
+    """
+    if prefer_shared:
+        try:
+            publisher = SharedTracePublisher(trace)
+        except (OSError, ValueError):
+            pass  # no /dev/shm, segment limit, permission — degrade
+        else:
+            return TracePublication(publisher.source, "shared", publisher)
+    return TracePublication(
+        InlineTraceSource(
+            columns=trace.columns().copy(),
+            span=float(trace.span),
+            trace_label=trace.label,
+            capacity_sectors=trace.capacity_sectors,
+        ),
+        "inline",
+    )

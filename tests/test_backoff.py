@@ -1,0 +1,110 @@
+"""The shared exponential-backoff helper (`repro.core.backoff`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backoff import BackoffPolicy, backoff_delays
+from repro.errors import SimulationError
+
+
+class TestBackoffDelays:
+    def test_exponential_ladder(self):
+        assert backoff_delays(0.1, 2.0, 4) == [0.1, 0.2, 0.4, 0.8]
+
+    def test_factor_one_is_constant(self):
+        assert backoff_delays(0.5, 1.0, 3) == [0.5, 0.5, 0.5]
+
+    def test_zero_attempts_is_empty(self):
+        assert backoff_delays(0.1, 2.0, 0) == []
+
+    def test_max_delay_caps_every_rung(self):
+        assert backoff_delays(0.1, 2.0, 5, max_delay=0.3) == [
+            0.1, 0.2, 0.3, 0.3, 0.3,
+        ]
+
+    def test_matches_historical_accumulation(self):
+        # The faults.py retry ladder pinned by golden files used repeated
+        # multiplication; the helper must be bit-identical to it, not to
+        # base * factor**i (which can differ in the last ulp).
+        base, factor = 0.007, 1.9
+        expected = []
+        delay = base
+        for _ in range(6):
+            expected.append(delay)
+            delay *= factor
+        assert backoff_delays(base, factor, 6) == expected
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base=-0.1, factor=2.0, attempts=3),
+            dict(base=0.1, factor=0.5, attempts=3),
+            dict(base=0.1, factor=2.0, attempts=-1),
+            dict(base=0.1, factor=2.0, attempts=3, max_delay=-1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(SimulationError):
+            backoff_delays(**kwargs)
+
+
+class TestBackoffPolicy:
+    def test_delay_is_deterministic(self):
+        policy = BackoffPolicy(base=0.05, factor=2.0, jitter=0.25, seed=42)
+        first = [policy.delay(a, key=7) for a in range(1, 6)]
+        second = [policy.delay(a, key=7) for a in range(1, 6)]
+        assert first == second
+
+    def test_jitter_stays_within_band(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, jitter=0.25, seed=3)
+        for attempt in range(1, 8):
+            for key in range(20):
+                rung = 0.1 * 2.0 ** (attempt - 1)
+                value = policy.delay(attempt, key=key)
+                assert rung * 0.75 <= value <= rung * 1.25
+
+    def test_zero_jitter_is_exact_ladder(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, jitter=0.0)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+    def test_keys_decorrelate(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, jitter=0.25, seed=0)
+        values = {policy.delay(3, key=k) for k in range(16)}
+        assert len(values) > 1
+
+    def test_seeds_decorrelate(self):
+        a = BackoffPolicy(base=0.1, jitter=0.25, seed=1).delay(2, key=5)
+        b = BackoffPolicy(base=0.1, jitter=0.25, seed=2).delay(2, key=5)
+        assert a != b
+
+    def test_max_delay_caps_the_rung_not_the_jitter(self):
+        policy = BackoffPolicy(base=1.0, factor=4.0, jitter=0.25, max_delay=2.0)
+        for attempt in (2, 3, 4):
+            assert policy.delay(attempt, key=0) <= 2.0 * 1.25
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(SimulationError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(jitter=-0.1)
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(SimulationError):
+            BackoffPolicy().delay(0)
+
+    def test_mean_jitter_is_centered(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, jitter=0.25, seed=9)
+        draws = np.array([policy.delay(1, key=k) for k in range(400)])
+        assert abs(draws.mean() - 1.0) < 0.02
+
+
+class TestFaultModelIntegration:
+    def test_fault_retry_costs_use_shared_ladder(self, tiny_spec):
+        # The drive-level retry ladder must be the shared helper's output.
+        from repro.disk.faults import FaultModel, get_fault_profile
+
+        profile = get_fault_profile("severe")
+        model = FaultModel(profile, tiny_spec.geometry(), seed=0)
+        assert model._retry_costs == backoff_delays(
+            profile.retry_penalty, profile.backoff_factor, profile.max_retries
+        )
