@@ -1,0 +1,219 @@
+"""M31 — Fleet simulation: sharded throughput, determinism, noisy neighbors.
+
+Exercises the fleet subsystem end to end and writes the numbers to
+``BENCH_fleet.json`` at the repo root. Three guarantees are enforced:
+
+* **Sharded throughput clears the floor** — a multi-drive multi-tenant
+  fleet run through :meth:`~repro.core.runner.ExperimentRunner.run_sharded`
+  with two workers sustains at least ``DRIVES_PER_SEC_FLOOR`` simulated
+  drives per wall-clock second (deliberately conservative; the assert
+  catches structural regressions like per-job dispatch overhead
+  returning, not machine speed);
+* **Shard-count determinism** — the same fleet run with 1 worker,
+  2 workers, and a different shard size produces byte-identical merged
+  reports (:meth:`~repro.core.runner.SuiteReport.canonical_json`) — the
+  normative guarantee of the sharded runner mode;
+* **Noisy neighbors are measurable** — a victim tenant co-located with
+  aggressive database tenants on one shared drive reports p99 inflation
+  strictly above 1.0x versus its isolated replay.
+
+Run directly (``python benchmarks/bench_fleet.py``) or via pytest; both
+rewrite the artifact. Set ``REPRO_BENCH_QUICK=1`` (the CI fleet-smoke
+and perf-smoke jobs do) for a smaller fleet.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import DRIVE, SEED, save_result
+
+from repro.core.report import Table
+from repro.core.runner import ExperimentRunner
+from repro.fleet import FleetSpec, build_fleet_plan, sample_tenants
+from repro.synth.profiles import get_profile
+from repro.fleet.tenant import TenantLoad
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_fleet.json"
+
+#: ``REPRO_BENCH_QUICK=1``: shrink the fleet for CI.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Fleet shape for the throughput and determinism measurements.
+N_DRIVES = 8 if QUICK else 16
+N_TENANTS = 16 if QUICK else 32
+SPAN = 2.0 if QUICK else 4.0
+SHARD_SIZE = 4
+
+#: Acceptance floor for sharded fleet throughput in simulated drives
+#: per wall-clock second. Each drive carries ~2 tenants over a short
+#: span; even one slow core clears this by an order of magnitude. The
+#: assert exists to catch dispatch-overhead regressions, not to race
+#: hardware.
+DRIVES_PER_SEC_FLOOR = 0.5
+
+#: Noisy-neighbor scenario: one shared drive, a modest web victim and
+#: three saturating database aggressors.
+VICTIM_RATE = 60.0
+AGGRESSOR_RATE = 700.0
+NOISY_SPAN = 2.0 if QUICK else 4.0
+
+
+def _fleet_spec():
+    tenants = sample_tenants(N_TENANTS, seed=SEED)
+    return FleetSpec(
+        n_drives=N_DRIVES,
+        tenants=tenants,
+        drive=DRIVE,
+        placement="leastload",
+        span=SPAN,
+        seed=SEED,
+    )
+
+
+def measure_throughput():
+    """Drives simulated per second through the 2-worker sharded runner."""
+    plan = build_fleet_plan(_fleet_spec())
+    runner = ExperimentRunner(workers=2)
+    t0 = time.perf_counter()
+    report = runner.run_sharded(plan.jobs, shard_size=SHARD_SIZE)
+    elapsed = time.perf_counter() - t0
+    return {
+        "n_drives": len(plan.jobs),
+        "n_tenants": N_TENANTS,
+        "span": SPAN,
+        "shard_size": SHARD_SIZE,
+        "workers": 2,
+        "seconds": round(elapsed, 3),
+        "drives_per_sec": round(len(plan.jobs) / elapsed, 3),
+        "floor_drives_per_sec": DRIVES_PER_SEC_FLOOR,
+        "total_requests": sum(r.n_requests for r in report.results),
+    }
+
+
+def measure_determinism():
+    """Merged report identity across worker counts and shard sizes."""
+    plan = build_fleet_plan(_fleet_spec())
+    one_worker = ExperimentRunner(workers=1).run_sharded(
+        plan.jobs, shard_size=SHARD_SIZE
+    )
+    two_workers = ExperimentRunner(workers=2).run_sharded(
+        plan.jobs, shard_size=SHARD_SIZE
+    )
+    other_shards = ExperimentRunner(workers=2).run_sharded(
+        plan.jobs, shard_size=max(1, SHARD_SIZE // 2)
+    )
+    return {
+        "n_drives": len(plan.jobs),
+        "workers_identical": (
+            one_worker.canonical_json() == two_workers.canonical_json()
+        ),
+        "shard_size_identical": (
+            one_worker.canonical_json() == other_shards.canonical_json()
+        ),
+    }
+
+
+def measure_noisy_neighbor():
+    """Victim p99 inflation when co-located with database aggressors."""
+    web = get_profile("web")
+    database = get_profile("database")
+    tenants = (
+        TenantLoad("victim", profile=web.with_rate(VICTIM_RATE)),
+        TenantLoad("aggr0", profile=database.with_rate(AGGRESSOR_RATE)),
+        TenantLoad("aggr1", profile=database.with_rate(AGGRESSOR_RATE)),
+        TenantLoad("aggr2", profile=database.with_rate(AGGRESSOR_RATE)),
+    )
+    spec = FleetSpec(
+        n_drives=1,
+        tenants=tenants,
+        drive=DRIVE,
+        span=NOISY_SPAN,
+        seed=SEED,
+        interference=True,
+    )
+    plan = build_fleet_plan(spec)
+    report = ExperimentRunner(workers=1).run_sharded(plan.jobs, shard_size=1)
+    victim = report.results[0].tenant_interference["victim"]
+    return {
+        "victim_rate": VICTIM_RATE,
+        "aggressor_rate": AGGRESSOR_RATE,
+        "n_aggressors": len(tenants) - 1,
+        "span": NOISY_SPAN,
+        "isolated_p99_ms": round(victim["isolated_p99"] * 1e3, 3),
+        "colocated_p99_ms": round(victim["colocated_p99"] * 1e3, 3),
+        "p99_inflation": round(victim["p99_inflation"], 3),
+    }
+
+
+def measure():
+    return {
+        "throughput": measure_throughput(),
+        "determinism": measure_determinism(),
+        "noisy_neighbor": measure_noisy_neighbor(),
+    }
+
+
+def write_artifact(results):
+    payload = {
+        "schema": 1,
+        "quick": QUICK,
+        "generated_by": "benchmarks/bench_fleet.py",
+        "seed": SEED,
+        **results,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_table(results):
+    throughput = results["throughput"]
+    determinism = results["determinism"]
+    noisy = results["noisy_neighbor"]
+    table = Table(
+        ["metric", "value"],
+        title="M31: fleet simulation (sharded throughput, determinism, QoS)",
+        precision=3,
+    )
+    table.add_row(["fleet_drives", throughput["n_drives"]])
+    table.add_row(["fleet_tenants", throughput["n_tenants"]])
+    table.add_row(["drives_per_sec", throughput["drives_per_sec"]])
+    table.add_row(["workers_identical", str(determinism["workers_identical"])])
+    table.add_row(["shard_size_identical", str(determinism["shard_size_identical"])])
+    table.add_row(["victim_isolated_p99_ms", noisy["isolated_p99_ms"]])
+    table.add_row(["victim_colocated_p99_ms", noisy["colocated_p99_ms"]])
+    table.add_row(["victim_p99_inflation", noisy["p99_inflation"]])
+    return table.render()
+
+
+def _assert_guarantees(payload):
+    throughput = payload["throughput"]
+    determinism = payload["determinism"]
+    noisy = payload["noisy_neighbor"]
+    assert throughput["drives_per_sec"] >= DRIVES_PER_SEC_FLOOR, throughput
+    assert determinism["workers_identical"], determinism
+    assert determinism["shard_size_identical"], determinism
+    assert noisy["p99_inflation"] > 1.0, noisy
+
+
+def test_fleet(tmp_path):
+    results = measure()
+    payload = write_artifact(results)
+    save_result("fleet", render_table(results))
+    assert ARTIFACT.exists()
+    _assert_guarantees(payload)
+
+
+if __name__ == "__main__":
+    computed = measure()
+    artifact = write_artifact(computed)
+    print(render_table(computed))
+    _assert_guarantees(artifact)
+    print(
+        f"wrote {ARTIFACT} "
+        f"({artifact['throughput']['drives_per_sec']:.1f} drives/s, "
+        f"victim p99 inflation {artifact['noisy_neighbor']['p99_inflation']:.2f}x)"
+    )

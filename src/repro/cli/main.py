@@ -45,6 +45,8 @@ from repro.disk.drive import DriveSpec, cheetah_10k, cheetah_15k, nearline_7200
 from repro.disk.faults import available_fault_profiles, get_fault_profile
 from repro.errors import CliError, ReproError
 from repro.obs import OBS_LEVELS, Observer
+from repro.fleet.placement import PLACEMENT_POLICIES
+from repro.fleet.tenant import DEFAULT_TENANT_PROFILES
 from repro.synth.family import FamilyModel
 from repro.synth.hourly import HourlyWorkloadModel
 from repro.synth.profiles import available_profiles, get_profile
@@ -695,6 +697,214 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.runner import ExperimentRunner, shard_jobs
+    from repro.errors import SuiteError
+    from repro.fleet import (
+        FleetSpec,
+        build_fleet_plan,
+        plan_fleet_scrub,
+        sample_tenants,
+    )
+
+    drive = _drive(args.drive)
+    faults = _fault_profile(args.fault_profile)
+    tier = _tier_config(args)
+    obs_level = _obs_level_from_args(args)
+    tenants = sample_tenants(
+        args.tenants,
+        seed=args.seed,
+        profiles=tuple(args.tenant_profiles),
+        min_rate=args.min_rate,
+        max_rate=args.max_rate,
+    )
+    spec = FleetSpec(
+        n_drives=args.drives,
+        tenants=tenants,
+        drive=drive,
+        placement=args.placement,
+        scheduler=args.scheduler,
+        span=args.span,
+        seed=args.seed,
+        queue_depth=args.queue_depth,
+        faults=faults,
+        tier=tier,
+        obs_level=obs_level,
+        interference=args.interference,
+    )
+    plan = build_fleet_plan(spec)
+    chaos = None
+    if args.chaos != "off":
+        from repro.core.chaos import get_chaos_policy
+
+        chaos = get_chaos_policy(args.chaos, seed=args.chaos_seed)
+    runner = ExperimentRunner(
+        workers=args.workers,
+        max_retries=args.max_retries,
+        on_error="collect" if args.keep_going else "raise",
+        chaos=chaos,
+    )
+    journal = None
+    if args.resume and not args.journal:
+        raise CliError("--resume requires --journal PATH")
+    if args.journal:
+        from repro.core.journal import SuiteJournal
+
+        shards = shard_jobs(plan.jobs, args.shard_size)
+        journal = SuiteJournal.open(args.journal, shards, resume=args.resume)
+        if journal.resumed and journal.n_completed:
+            print(
+                f"(resuming from journal {args.journal}: "
+                f"{journal.n_completed} of {len(shards)} shards already "
+                "recorded, skipping them)"
+            )
+    try:
+        report = runner.run_sharded(
+            plan.jobs, shard_size=args.shard_size, journal=journal
+        )
+    except SuiteError as exc:
+        report = exc.report
+        print(f"error: {exc}", file=sys.stderr)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    label_to_drive = {
+        job.label: drive_index
+        for job, drive_index in zip(plan.jobs, plan.drive_indices)
+    }
+    table = Table(
+        ["drive", "tenants", "requests", "utilization", "mean_resp_ms",
+         "p99_resp_ms", "busy_s"],
+        title=(
+            f"fleet: {len(tenants)} tenants on {args.drives} x {drive.name} "
+            f"({args.placement} placement, shard_size={args.shard_size})"
+        ),
+        precision=3,
+    )
+    for r in report.results:
+        drive_index = label_to_drive.get(r.label)
+        table.add_row([
+            f"drive{drive_index:03d}" if drive_index is not None else "?",
+            len(r.tenant_qos or {}),
+            r.n_requests,
+            r.utilization,
+            r.mean_response * 1e3,
+            r.p99_response * 1e3,
+            r.total_busy,
+        ])
+    print(table.render())
+
+    summary = report.fleet_summary()
+    if summary:
+        per_tenant = Table(
+            ["tenant", "requests", "mean_resp_ms", "p99_resp_ms",
+             "p999_resp_ms", "max_resp_ms"],
+            title="per-tenant QoS (worst across the tenant's drives)",
+            precision=3,
+        )
+        for tenant_id in sorted(summary):
+            entry = summary[tenant_id]
+            per_tenant.add_row([
+                tenant_id,
+                int(entry["n_requests"]),
+                entry["mean_response"] * 1e3,
+                entry["p99_response"] * 1e3,
+                entry["p999_response"] * 1e3,
+                entry["max_response"] * 1e3,
+            ])
+        print(per_tenant.render())
+    interference_payload = {}
+    if args.interference:
+        noisy = Table(
+            ["tenant", "isolated_p99_ms", "colocated_p99_ms", "p99_inflation"],
+            title="noisy-neighbor interference (co-located vs isolated tails)",
+            precision=3,
+        )
+        for r in report.results:
+            for tenant_id in sorted(r.tenant_interference or {}):
+                entry = r.tenant_interference[tenant_id]
+                interference_payload[tenant_id] = entry
+                noisy.add_row([
+                    tenant_id,
+                    entry["isolated_p99"] * 1e3,
+                    entry["colocated_p99"] * 1e3,
+                    entry["p99_inflation"],
+                ])
+        print(noisy.render())
+    scrub_plan = None
+    if args.scrub_budget is not None:
+        scrub_plan = plan_fleet_scrub(
+            report.results, args.scrub_budget, args.scrub_work
+        )
+        print(
+            f"(fleet scrub: {scrub_plan.total_allocated:.1f} s of the "
+            f"{args.scrub_budget:.1f} s idle budget allocated across "
+            f"{len(scrub_plan.allocations)} drives, "
+            f"{scrub_plan.completion_fraction:.1%} of the scrub workload covered)"
+        )
+    if report.failures:
+        print()
+        print(_failure_table(report).render())
+    if report.resilience:
+        resilience = Table(
+            ["event", "count"],
+            title="resilience: what the crash/chaos machinery absorbed",
+        )
+        for name, count in sorted(report.resilience.items()):
+            resilience.add_row([name, count])
+        print(resilience.render())
+    if journal is not None:
+        print(
+            f"(journal {args.journal}: {journal.n_recorded} shard(s) recorded "
+            f"this run, {journal.n_completed} durable)"
+        )
+    if args.json:
+        payload = {
+            "schema_version": 1,
+            "fleet": {
+                "n_drives": args.drives,
+                "n_tenants": len(tenants),
+                "placement": args.placement,
+                "shard_size": args.shard_size,
+                "span": args.span,
+                "seed": args.seed,
+                "drive": drive.name,
+                "tenants": [
+                    {
+                        "tenant_id": t.tenant_id,
+                        "profile": t.workload_name,
+                        "rate": t.profile.rate if t.profile is not None else None,
+                    }
+                    for t in tenants
+                ],
+                "assignments": plan.placement.as_dict()["assignments"],
+            },
+            "jobs": [r.as_dict() for r in report.results],
+            "failures": [f.as_dict() for f in report.failures],
+            "n_jobs": report.n_jobs,
+            "workers": report.workers,
+            "retries": report.retries,
+            "wall_seconds": report.wall_seconds,
+            "fleet_summary": summary,
+        }
+        if interference_payload:
+            payload["interference"] = interference_payload
+        if scrub_plan is not None:
+            payload["scrub_plan"] = scrub_plan.as_dict()
+        if report.resilience:
+            payload["resilience"] = dict(report.resilience)
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(
+            f"wrote {len(report.results)} drive results "
+            f"({len(report.failures)} failures) to {args.json}"
+        )
+    return 1 if report.failures else 0
+
+
+def _cmd_fleet_anomalies(args: argparse.Namespace) -> int:
     from repro.core.anomaly import population_anomalies, self_anomalies
 
     dataset = read_hourly_dataset(args.dataset)
@@ -975,12 +1185,110 @@ def build_parser() -> argparse.ArgumentParser:
     add_drive(p)
     p.set_defaults(func=_cmd_analyze_hourly)
 
-    p = sub.add_parser("fleet", help="flag anomalous drives in an hourly dataset")
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a multi-tenant fleet: tenants multiplexed onto "
+        "shared drives, sharded across workers, with per-tenant QoS",
+    )
+    p.add_argument(
+        "--tenants", type=int, default=8,
+        help="tenant count; rates drawn from the lifetime family model "
+        "(default 8)",
+    )
+    p.add_argument(
+        "--drives", type=int, default=4,
+        help="shared drives in the fleet (default 4)",
+    )
+    p.add_argument(
+        "--placement", default="roundrobin",
+        choices=list(PLACEMENT_POLICIES),
+        help="tenant-to-drive placement policy (default: roundrobin)",
+    )
+    p.add_argument(
+        "--shard-size", type=int, default=4,
+        help="drives per dispatch shard; never affects results, only "
+        "batching (default 4)",
+    )
+    p.add_argument(
+        "--tenant-profiles", nargs="+", default=list(DEFAULT_TENANT_PROFILES),
+        help="profile names assigned to tenants round-robin "
+        f"(default: {' '.join(DEFAULT_TENANT_PROFILES)})",
+    )
+    p.add_argument("--span", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scheduler", default="fcfs", choices=["fcfs", "sstf", "scan"],
+    )
+    p.add_argument("--queue-depth", type=int, default=None)
+    p.add_argument(
+        "--min-rate", type=float, default=0.5,
+        help="clip tenant request rates below this req/s (default 0.5)",
+    )
+    p.add_argument(
+        "--max-rate", type=float, default=2000.0,
+        help="clip tenant request rates above this req/s (default 2000)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = run inline)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per failing job (default 0)",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="run every drive even if some fail (default: stop after the "
+        "first failure)",
+    )
+    p.add_argument(
+        "--interference", action="store_true",
+        help="also replay each tenant alone and report noisy-neighbor "
+        "p99 inflation (one extra simulation per tenant)",
+    )
+    p.add_argument(
+        "--scrub-budget", type=float, default=None, metavar="SECONDS",
+        help="allocate this global idle-time budget across drives for "
+        "background scrub (default: no scrub planning)",
+    )
+    p.add_argument(
+        "--scrub-work", type=float, default=60.0, metavar="SECONDS",
+        help="scrub workload per drive in seconds (default 60)",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable checkpoint journal over the dispatch shards; resume "
+        "requires the same --shard-size",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --journal (skip recorded shards)",
+    )
+    p.add_argument(
+        "--chaos", default="off",
+        choices=["off", "light", "moderate", "heavy"],
+        help="inject seeded worker faults while the fleet runs "
+        "(default: off; results stay bit-identical)",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the chaos policy's fault schedule (default 0)",
+    )
+    p.add_argument("--json", default=None, help="also write results as JSON")
+    add_drive(p)
+    add_faults(p)
+    add_tier(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "fleet-anomalies", help="flag anomalous drives in an hourly dataset"
+    )
     p.add_argument("dataset")
     p.add_argument("--recent-hours", type=int, default=168)
     p.add_argument("--threshold", type=float, default=3.5)
     add_drive(p)
-    p.set_defaults(func=_cmd_fleet)
+    p.set_defaults(func=_cmd_fleet_anomalies)
 
     p = sub.add_parser("analyze-family", help="analyze a lifetime dataset file")
     p.add_argument("dataset")

@@ -107,14 +107,25 @@ class BackgroundRunReport:
     idle_time_used_fraction: float
 
 
-def run_in_idle(timeline: BusyIdleTimeline, task: BackgroundTask) -> BackgroundRunReport:
+def run_in_idle(
+    timeline: BusyIdleTimeline,
+    task: BackgroundTask,
+    budget_seconds: Optional[float] = None,
+) -> BackgroundRunReport:
     """Simulate ``task`` running only inside the timeline's idle intervals.
 
     In each idle interval the task pays ``setup_seconds`` once, then runs
     back-to-back chunks while a whole chunk still fits and work remains.
     Foreground traffic is untouched by construction — work never extends
     past an interval's end.
+
+    ``budget_seconds`` optionally caps the *total* background time (work
+    plus setup) the task may consume — the per-drive grant a fleet-level
+    allocator hands out (:mod:`repro.fleet.scrub`). ``None`` means
+    unbounded and is byte-identical to the historical behavior.
     """
+    if budget_seconds is not None and budget_seconds <= 0:
+        raise AnalysisError(f"budget_seconds must be > 0, got {budget_seconds!r}")
     remaining = task.total_work
     completed = 0.0
     setup_spent = 0.0
@@ -131,6 +142,12 @@ def run_in_idle(timeline: BusyIdleTimeline, task: BackgroundTask) -> BackgroundR
         n_fit = int(available // task.chunk_seconds)
         n_needed = int(-(-remaining // task.chunk_seconds))  # ceil
         n_run = min(n_fit, n_needed)
+        if budget_seconds is not None:
+            budget_left = budget_seconds - completed - setup_spent
+            if budget_left < task.setup_seconds + task.chunk_seconds:
+                break  # cannot afford even one more chunk anywhere
+            n_afford = int((budget_left - task.setup_seconds) // task.chunk_seconds)
+            n_run = min(n_run, n_afford)
         if n_run <= 0:
             continue
         resumptions += 1

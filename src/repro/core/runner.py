@@ -62,6 +62,7 @@ from repro.disk.drive import DriveSpec
 from repro.disk.faults import FaultProfile
 from repro.disk.simulator import DiskSimulator
 from repro.errors import (
+    FleetError,
     ObservabilityError,
     ResourceGuardError,
     SimulationError,
@@ -144,6 +145,19 @@ class ExperimentJob:
         a byte of request payload. Trace jobs ignore ``span`` (the
         capture's own span rules) and use ``seed`` only for the drive
         RNG.
+    tenants:
+        Optional tuple of :class:`~repro.fleet.tenant.TenantLoad` —
+        the third workload source: the job multiplexes every tenant's
+        stream onto this one shared drive (equal contiguous volumes,
+        deterministic per-tenant seeds spawned from the job seed) and
+        the result carries per-tenant QoS (``JobResult.tenant_qos``).
+        Exactly one of ``profile``, ``trace`` and ``tenants`` must be
+        set.
+    interference:
+        Fleet jobs only: additionally replay each tenant *alone* on the
+        same drive and report isolated-vs-colocated tail inflation
+        (``JobResult.tenant_interference``) — the noisy-neighbor
+        metric. Costs one extra simulation per tenant.
     """
 
     profile: Optional[WorkloadProfile]
@@ -157,6 +171,8 @@ class ExperimentJob:
     tier: Optional[TierConfig] = None
     obs_level: str = "off"
     trace: Optional[TraceSource] = None
+    tenants: Optional[Tuple[Any, ...]] = None
+    interference: bool = False
 
     def __post_init__(self) -> None:
         if self.obs_level not in OBS_LEVELS:
@@ -164,17 +180,32 @@ class ExperimentJob:
                 f"unknown obs_level {self.obs_level!r}; "
                 f"expected one of {OBS_LEVELS}"
             )
-        if (self.profile is None) == (self.trace is None):
+        sources = (self.profile, self.trace, self.tenants)
+        if sum(source is not None for source in sources) != 1:
             raise SimulationError(
                 "an ExperimentJob needs exactly one workload source: "
-                "either a profile to synthesize or a trace to replay"
+                "a profile to synthesize, a trace to replay, or a "
+                "tenant set to multiplex"
+            )
+        if self.tenants is not None:
+            if not self.tenants:
+                raise FleetError("a fleet job needs at least one tenant")
+            ids = [t.tenant_id for t in self.tenants]
+            if len(set(ids)) != len(ids):
+                raise FleetError("tenant ids must be unique within a fleet job")
+        if self.interference and self.tenants is None:
+            raise FleetError(
+                "interference accounting requires a tenant set"
             )
 
     @property
     def workload_name(self) -> str:
-        """Name of whatever drives the job: profile name or trace stem."""
+        """Name of whatever drives the job: profile name, trace stem, or
+        the tenant-count tag of a fleet job."""
         if self.profile is not None:
             return self.profile.name
+        if self.tenants is not None:
+            return f"fleet-{len(self.tenants)}t"
         return self.trace.label
 
     @property
@@ -224,6 +255,15 @@ class JobResult:
     tier_hdd_offload: Optional[float] = None
     tier_flushed_bytes: Optional[int] = None
     tier_migrated_chunks: Optional[int] = None
+    #: Per-tenant QoS of a fleet job (``tenant_id -> tail entry``; see
+    #: :func:`repro.fleet.qos.tenant_qos_from_result`); ``None`` for
+    #: single-workload jobs, and omitted from the serialized record so
+    #: pre-fleet suites and goldens are byte-identical.
+    tenant_qos: Optional[Dict[str, Any]] = None
+    #: Noisy-neighbor report of a fleet job run with
+    #: ``interference=True`` (isolated vs co-located tails per tenant);
+    #: ``None`` otherwise and likewise omitted when absent.
+    tenant_interference: Optional[Dict[str, Any]] = None
     #: Per-phase wall/CPU seconds (``None`` when the job ran with
     #: ``obs_level="off"``); keys are phase names like ``"simulate"``.
     phase_wall: Optional[Dict[str, float]] = None
@@ -251,6 +291,8 @@ class JobResult:
             "tier_hdd_offload",
             "tier_flushed_bytes",
             "tier_migrated_chunks",
+            "tenant_qos",
+            "tenant_interference",
         ):
             if record[key] is None:
                 del record[key]
@@ -275,9 +317,25 @@ def run_job(job: ExperimentJob) -> JobResult:
     def phase(name: str):
         return obs.profile.phase(name) if obs is not None else nullcontext()
 
+    columns = None
+    tenant_idx = None
     with phase("synthesize"):
         if job.trace is not None:
             trace = job.trace.load()
+        elif job.tenants is not None:
+            # Lazy import: the fleet layer builds on the runner, so the
+            # runner must not import it at module level.
+            from repro.fleet.multiplex import (
+                combine_columns,
+                synthesize_tenant_columns,
+            )
+
+            columns = synthesize_tenant_columns(
+                job.tenants, job.drive.capacity_sectors, job.span, seed=job.seed
+            )
+            trace, tenant_idx = combine_columns(
+                columns, span=job.span, capacity_sectors=job.drive.capacity_sectors
+            )
         else:
             trace = job.profile.synthesize(
                 span=job.span,
@@ -304,6 +362,26 @@ def run_job(job: ExperimentJob) -> JobResult:
             p99 = response.p99
         else:
             mean_service = mean_response = p95 = p99 = worst = float("nan")
+    tenant_qos = tenant_interference = None
+    if job.tenants is not None:
+        from repro.fleet.qos import interference_report, tenant_qos_from_result
+
+        with phase("qos"):
+            responses = np.asarray(result.response_times, dtype=np.float64)
+            tenant_qos = tenant_qos_from_result(job.tenants, tenant_idx, responses)
+            if obs is not None:
+                # Recorded post-hoc so the simulated numbers stay
+                # bit-identical to an unobserved run of the same job.
+                for k, tenant in enumerate(job.tenants):
+                    entry = tenant_qos[tenant.tenant_id]
+                    obs.metrics.counter(
+                        f"fleet.tenant.{tenant.tenant_id}.requests"
+                    ).inc(entry["n_requests"])
+                    obs.metrics.histogram(
+                        f"fleet.tenant.{tenant.tenant_id}.response"
+                    ).observe_many(responses[tenant_idx == k])
+            if job.interference:
+                tenant_interference = interference_report(job, columns, tenant_qos)
     wall = perf_counter() - wall_start
     if obs is not None:
         phase_wall, phase_cpu = obs.profile.as_dicts()
@@ -330,7 +408,7 @@ def run_job(job: ExperimentJob) -> JobResult:
         drive=job.drive.name,
         scheduler=job.scheduler,
         seed=job.seed,
-        span=trace.span if job.trace is not None else job.span,
+        span=trace.span if job.profile is None else job.span,
         n_requests=len(trace),
         utilization=result.utilization,
         mean_service=mean_service,
@@ -347,6 +425,8 @@ def run_job(job: ExperimentJob) -> JobResult:
         tier_hdd_offload=tier_hdd_offload,
         tier_flushed_bytes=tier_flushed_bytes,
         tier_migrated_chunks=tier_migrated_chunks,
+        tenant_qos=tenant_qos,
+        tenant_interference=tenant_interference,
         phase_wall=phase_wall,
         phase_cpu=phase_cpu,
         metrics=metrics,
@@ -547,6 +627,54 @@ class SuiteReport:
         """Chunks moved by migration epochs, suite-wide."""
         return sum(r.tier_migrated_chunks or 0 for r in self.tiered_results)
 
+    @property
+    def tenant_results(self) -> Tuple[JobResult, ...]:
+        """The results that ran as multi-tenant fleet jobs."""
+        return tuple(r for r in self.results if r.tenant_qos is not None)
+
+    def fleet_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant rollup across every fleet job in the suite.
+
+        Returns ``tenant_id -> {"drives", "n_requests", "mean_response",
+        "p99_response", "p999_response", "max_response"}`` where the
+        mean is request-weighted and the tails are the worst across the
+        tenant's drives (NaN entries from empty samples are skipped).
+        Empty when no job carried tenants.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for result in self.tenant_results:
+            for tenant_id, entry in result.tenant_qos.items():
+                agg = summary.setdefault(
+                    tenant_id,
+                    {
+                        "drives": 0,
+                        "n_requests": 0,
+                        "mean_response": 0.0,
+                        "p99_response": float("-inf"),
+                        "p999_response": float("-inf"),
+                        "max_response": float("-inf"),
+                    },
+                )
+                agg["drives"] += 1
+                n = int(entry["n_requests"])
+                agg["n_requests"] += n
+                if n and np.isfinite(entry["mean_response"]):
+                    agg["mean_response"] += float(entry["mean_response"]) * n
+                for key in ("p99_response", "p999_response", "max_response"):
+                    value = float(entry[key])
+                    if np.isfinite(value):
+                        agg[key] = max(agg[key], value)
+        for agg in summary.values():
+            agg["mean_response"] = (
+                agg["mean_response"] / agg["n_requests"]
+                if agg["n_requests"]
+                else float("nan")
+            )
+            for key in ("p99_response", "p999_response", "max_response"):
+                if agg[key] == float("-inf"):
+                    agg[key] = float("nan")
+        return summary
+
     def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
         """Suite-wide per-phase totals from the jobs that ran observed.
 
@@ -604,6 +732,10 @@ class SuiteReport:
                 "flushed_bytes": self.tier_flushed_bytes,
                 "migrated_chunks": self.tier_migrated_chunks,
             }
+        # Only when some job carried tenants — single-workload suites
+        # serialize exactly as they did before the fleet existed.
+        if self.tenant_results:
+            payload["fleet_summary"] = self.fleet_summary()
         # Likewise for the resilience layer: a suite where nothing
         # crashed, resumed, or degraded serializes exactly as before.
         if self.deadline_exceeded:
@@ -714,6 +846,120 @@ def _dataclass_from_record(cls: type, record: Mapping[str, Any]) -> Any:
         raise ObservabilityError(
             f"malformed {cls.__name__} record: {exc}"
         ) from exc
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: partition jobs into contiguous shards so one
+# dispatch (and one journal record) covers several drives of a fleet.
+# ----------------------------------------------------------------------
+
+
+def make_shards(n_jobs: int, shard_size: int) -> Tuple[Tuple[int, ...], ...]:
+    """Partition ``range(n_jobs)`` into contiguous index shards.
+
+    Every index appears in exactly one shard (the partition property the
+    fleet test-suite asserts); the last shard may be short.
+    """
+    if shard_size < 1:
+        raise SimulationError(f"shard_size must be >= 1, got {shard_size!r}")
+    if n_jobs < 0:
+        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs!r}")
+    return tuple(
+        tuple(range(i, min(i + shard_size, n_jobs)))
+        for i in range(0, n_jobs, shard_size)
+    )
+
+
+@dataclass(frozen=True)
+class JobShard:
+    """A contiguous slice of a suite's jobs dispatched as one unit.
+
+    Carries both the member jobs and their positions in the original
+    job list, so shard outcomes flatten back into input order. Shards
+    are what a sharded suite journals: resuming requires the same
+    ``shard_size`` (a different size changes the shard fingerprints and
+    the journal refuses them).
+    """
+
+    indices: Tuple[int, ...]
+    jobs: Tuple[ExperimentJob, ...]
+
+    @property
+    def label(self) -> str:
+        return f"shard[{self.indices[0]}..{self.indices[-1]}]"
+
+
+def shard_jobs(jobs: Sequence[ExperimentJob], shard_size: int) -> List[JobShard]:
+    """Slice a job list into :class:`JobShard` units of ``shard_size``."""
+    jobs = tuple(jobs)
+    return [
+        JobShard(indices=indices, jobs=tuple(jobs[i] for i in indices))
+        for indices in make_shards(len(jobs), shard_size)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcomes of one shard's members, in shard order."""
+
+    indices: Tuple[int, ...]
+    outcomes: Tuple[JobOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every member produced a result (journal-worthy:
+        shards with failed members are re-run on resume)."""
+        return all(isinstance(o, JobResult) for o in self.outcomes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "indices": list(self.indices),
+            "outcomes": [
+                {"kind": "result", **o.as_dict()}
+                if isinstance(o, JobResult)
+                else {"kind": "failure", **o.as_dict()}
+                for o in self.outcomes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "ShardResult":
+        outcomes: List[JobOutcome] = []
+        for entry in record["outcomes"]:
+            entry = dict(entry)
+            kind = entry.pop("kind", "result")
+            target = JobFailure if kind == "failure" else JobResult
+            outcomes.append(_dataclass_from_record(target, entry))
+        return cls(indices=tuple(record["indices"]), outcomes=tuple(outcomes))
+
+
+class _ShardRunner:
+    """Picklable ``job_fn`` over :class:`JobShard`: run every member
+    through :func:`_execute_job` (bounded member-level retries, errors
+    captured as :class:`JobFailure`) and return a :class:`ShardResult`.
+    Module-level class, not a closure, so pooled workers can unpickle
+    it."""
+
+    __slots__ = ("job_fn", "max_retries", "backoff")
+
+    def __init__(
+        self,
+        job_fn: Callable[[ExperimentJob], JobResult],
+        max_retries: int = 0,
+        backoff: Optional[BackoffPolicy] = None,
+    ) -> None:
+        self.job_fn = job_fn
+        self.max_retries = max_retries
+        self.backoff = backoff
+
+    def __call__(self, shard: JobShard) -> ShardResult:
+        outcomes = []
+        for index, job in zip(shard.indices, shard.jobs):
+            _, outcome, _, _ = _execute_job(
+                self.job_fn, job, index, self.max_retries, self.backoff
+            )
+            outcomes.append(outcome)
+        return ShardResult(indices=shard.indices, outcomes=tuple(outcomes))
 
 
 def _rss_bytes() -> int:
@@ -1035,6 +1281,7 @@ class ExperimentRunner:
         progress: Optional[ProgressCallback] = None,
         job_fn: Optional[Callable[[ExperimentJob], JobResult]] = None,
         journal=None,
+        result_decoder: Optional[Callable[[Mapping[str, Any]], Any]] = None,
     ) -> SuiteReport:
         """Execute the jobs and report everything that happened.
 
@@ -1047,9 +1294,18 @@ class ExperimentRunner:
         results merged in place, counted in
         ``resilience["journal.resumed_jobs"]``), and each newly
         completed job is durably appended before the suite moves on.
+
+        ``result_decoder`` rebuilds a journaled record into its outcome
+        object on resume (default: a :class:`JobResult`); sharded runs
+        pass :meth:`ShardResult.from_dict`.
         """
         jobs = list(jobs)
         fn = job_fn if job_fn is not None else run_job
+        decode = (
+            result_decoder
+            if result_decoder is not None
+            else lambda record: _dataclass_from_record(JobResult, record)
+        )
         start = perf_counter()
         n = len(jobs)
         counters = MetricsRegistry()
@@ -1061,9 +1317,7 @@ class ExperimentRunner:
         if journal is not None:
             resumed = journal.completed_results()
             for index in sorted(resumed):
-                outcomes[index] = _dataclass_from_record(
-                    JobResult, resumed[index]
-                )
+                outcomes[index] = decode(resumed[index])
             if resumed:
                 counters.counter("journal.resumed_jobs").inc(len(resumed))
             if getattr(journal, "recovered_torn_line", False):
@@ -1084,7 +1338,11 @@ class ExperimentRunner:
             outcomes[index] = outcome
             attempts[index] = n_attempts
             done += 1
-            if journal is not None and isinstance(outcome, JobResult):
+            if (
+                journal is not None
+                and not isinstance(outcome, JobFailure)
+                and getattr(outcome, "ok", True)
+            ):
                 journal.record(index, outcome.as_dict())
                 counters.counter("journal.recorded").inc()
             if progress is not None:
@@ -1104,7 +1362,11 @@ class ExperimentRunner:
             if counter.value
         }
         report = SuiteReport(
-            results=tuple(o for o in outcomes if isinstance(o, JobResult)),
+            results=tuple(
+                o
+                for o in outcomes
+                if o is not None and not isinstance(o, JobFailure)
+            ),
             failures=tuple(o for o in outcomes if isinstance(o, JobFailure)),
             n_jobs=n,
             workers=workers,
@@ -1112,6 +1374,113 @@ class ExperimentRunner:
             wall_seconds=perf_counter() - start,
             deadline_exceeded=deadline_exceeded,
             resilience=resilience or None,
+        )
+        if report.failures and self.on_error == "raise":
+            first = report.failures[0]
+            raise SuiteError(
+                f"suite job {first.label!r} failed after {first.attempts} "
+                f"attempt(s): {first.error_type}: {first.message}",
+                report=report,
+            )
+        return report
+
+    def run_sharded(
+        self,
+        jobs: Sequence[ExperimentJob],
+        shard_size: int = 4,
+        progress: Optional[ProgressCallback] = None,
+        job_fn: Optional[Callable[[ExperimentJob], JobResult]] = None,
+        journal=None,
+    ) -> SuiteReport:
+        """Execute the jobs in contiguous shards of ``shard_size``.
+
+        The sharded mode of the fleet subsystem: jobs (one per fleet
+        drive) are sliced into :class:`JobShard` units, the shards are
+        fanned across the worker pool (one zero-pickle dispatch per
+        shard instead of per job), and the shard outcomes are flattened
+        back into input order and merged into one ordinary
+        :class:`SuiteReport`.
+
+        **Determinism guarantee** (normative, asserted by tests and
+        ``BENCH_fleet.json``): every member job is simulated exactly
+        once with its own seed, and the merged report's
+        :meth:`SuiteReport.canonical_json` is byte-identical whatever
+        the worker count or ``shard_size`` — only wall-clock and
+        environment fields may differ.
+
+        ``journal`` must have been opened over ``shard_jobs(jobs,
+        shard_size)`` (the shard is the checkpoint unit); resuming with
+        a different ``shard_size`` changes the fingerprints and the
+        journal refuses them. Shards with failed members are not
+        journaled, so a resume re-runs them. ``shard_size`` must never
+        be derived from machine properties (CPU count), or journals
+        stop being portable across hosts.
+        """
+        jobs = list(jobs)
+        n = len(jobs)
+        start = perf_counter()
+        shards = shard_jobs(jobs, shard_size)
+        fn = job_fn if job_fn is not None else run_job
+        inner = ExperimentRunner(
+            workers=self.workers,
+            max_retries=self.max_retries,
+            job_timeout=self.job_timeout,
+            on_error="collect",
+            chaos=self.chaos,
+            suite_deadline=self.suite_deadline,
+            rss_limit_mb=self.rss_limit_mb,
+            retry_backoff=self.retry_backoff,
+        )
+
+        shard_progress: Optional[ProgressCallback] = None
+        if progress is not None:
+            member_done = [0]
+
+            def shard_progress(done: int, total: int, outcome: Any) -> None:
+                members = (
+                    outcome.outcomes
+                    if isinstance(outcome, ShardResult)
+                    else (outcome,)
+                )
+                for member in members:
+                    member_done[0] += 1
+                    progress(member_done[0], n, member)
+
+        shard_report = inner.run_suite(
+            shards,
+            progress=shard_progress,
+            job_fn=_ShardRunner(fn, self.max_retries, self.retry_backoff),
+            journal=journal,
+            result_decoder=ShardResult.from_dict,
+        )
+
+        outcomes: List[Optional[JobOutcome]] = [None] * n
+        for shard_result in shard_report.results:
+            for index, outcome in zip(shard_result.indices, shard_result.outcomes):
+                outcomes[index] = outcome
+        for failure in shard_report.failures:
+            # The whole shard failed before producing member outcomes
+            # (worker crash, timeout, unpicklable dispatch): expand to
+            # one per-member failure so accounting stays per job.
+            for index in shards[failure.index].indices:
+                outcomes[index] = JobFailure(
+                    label=getattr(jobs[index], "label", f"job-{index}"),
+                    index=index,
+                    error_type=failure.error_type,
+                    message=failure.message,
+                    traceback=failure.traceback,
+                    attempts=failure.attempts,
+                    wall_seconds=failure.wall_seconds,
+                )
+        report = SuiteReport(
+            results=tuple(o for o in outcomes if isinstance(o, JobResult)),
+            failures=tuple(o for o in outcomes if isinstance(o, JobFailure)),
+            n_jobs=n,
+            workers=shard_report.workers,
+            retries=shard_report.retries,
+            wall_seconds=perf_counter() - start,
+            deadline_exceeded=shard_report.deadline_exceeded,
+            resilience=shard_report.resilience,
         )
         if report.failures and self.on_error == "raise":
             first = report.failures[0]

@@ -58,6 +58,13 @@ class SuiteError(SimulationError):
         self.report = report
 
 
+class FleetError(SimulationError):
+    """The fleet-simulation layer was configured inconsistently
+    (unknown placement policy, duplicate or empty tenant set, a shared
+    drive too small to give every tenant a volume, or an invalid shard
+    size)."""
+
+
 class JournalError(SimulationError):
     """The durable suite journal was misused or found corrupt: schema
     version mismatch, a fingerprint that does not belong to the suite

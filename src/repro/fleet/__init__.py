@@ -1,0 +1,53 @@
+"""Fleet-scale multi-tenant simulation.
+
+Promotes the lifetime family model from a distribution sampler to a
+simulated fleet: per-tenant workload profiles multiplexed onto shared
+drives through a deterministic placement layer, executed by the sharded
+runner mode, with tenant-level QoS, noisy-neighbor interference and
+fleet-wide scrub budgeting on top.
+"""
+
+from repro.fleet.multiplex import (
+    TenantColumns,
+    combine_columns,
+    synthesize_tenant_columns,
+    volume_layout,
+)
+from repro.fleet.placement import (
+    PLACEMENT_POLICIES,
+    FleetPlacement,
+    place_tenants,
+)
+from repro.fleet.qos import interference_report, qos_entry, tenant_qos_from_result
+from repro.fleet.run import FleetPlan, FleetSpec, build_fleet_plan, run_fleet
+from repro.fleet.scrub import FleetScrubPlan, allocate_idle_budget, plan_fleet_scrub
+from repro.fleet.tenant import (
+    DEFAULT_TENANT_PROFILES,
+    TenantLoad,
+    sample_tenants,
+    tenant_from_trace,
+)
+
+__all__ = [
+    "DEFAULT_TENANT_PROFILES",
+    "PLACEMENT_POLICIES",
+    "FleetPlacement",
+    "FleetPlan",
+    "FleetScrubPlan",
+    "FleetSpec",
+    "TenantColumns",
+    "TenantLoad",
+    "allocate_idle_budget",
+    "build_fleet_plan",
+    "combine_columns",
+    "interference_report",
+    "place_tenants",
+    "plan_fleet_scrub",
+    "qos_entry",
+    "run_fleet",
+    "sample_tenants",
+    "synthesize_tenant_columns",
+    "tenant_from_trace",
+    "tenant_qos_from_result",
+    "volume_layout",
+]

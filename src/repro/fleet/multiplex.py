@@ -1,0 +1,139 @@
+"""Multiplex several tenants' workloads onto one shared drive.
+
+Each tenant owns an equal contiguous *volume* (an LBA slice) of the
+shared drive, mirroring how cloud block storage carves virtual volumes
+out of physical devices. Tenant request streams are synthesized (or
+loaded) independently against their own volume, offset into the shared
+address space, and merged into one time-ordered
+:class:`~repro.traces.RequestTrace` plus a parallel per-request tenant
+index used by the QoS layer to attribute response times back to
+tenants.
+
+Everything here is deterministic: per-tenant seeds come from
+``numpy.random.SeedSequence(seed).spawn``, and the time-merge uses a
+stable sort so simultaneous arrivals resolve by tenant order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FleetError
+from repro.fleet.tenant import TenantLoad
+from repro.traces.millisecond import RequestTrace
+
+
+@dataclass(frozen=True)
+class TenantColumns:
+    """One tenant's request stream, already offset into the shared LBA space."""
+
+    tenant_id: str
+    times: np.ndarray
+    lbas: np.ndarray
+    nsectors: np.ndarray
+    is_write: np.ndarray
+    span: float
+    volume_start: int
+    volume_sectors: int
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.times.size)
+
+
+def volume_layout(capacity_sectors: int, n_tenants: int) -> Tuple[Tuple[int, int], ...]:
+    """Equal contiguous ``(start, sectors)`` volume slices for each tenant."""
+    if n_tenants <= 0:
+        raise FleetError(f"n_tenants must be > 0, got {n_tenants!r}")
+    per = capacity_sectors // n_tenants
+    if per <= 0:
+        raise FleetError(
+            f"drive of {capacity_sectors} sectors cannot host {n_tenants} tenants"
+        )
+    return tuple((i * per, per) for i in range(n_tenants))
+
+
+def synthesize_tenant_columns(
+    tenants: Sequence[TenantLoad],
+    capacity_sectors: int,
+    span: float,
+    seed: int = 0,
+) -> Tuple[TenantColumns, ...]:
+    """Generate each tenant's stream against its own volume.
+
+    Profile tenants synthesize ``span`` seconds with a per-tenant seed
+    spawned from ``seed``; trace tenants replay their capture (requests
+    wrapped into the volume, sizes clipped) at the capture's own span.
+    """
+    layout = volume_layout(capacity_sectors, len(tenants))
+    seeds = [int(s.generate_state(1)[0]) for s in np.random.SeedSequence(seed).spawn(len(tenants))]
+    columns = []
+    for k, tenant in enumerate(tenants):
+        start, sectors = layout[k]
+        if tenant.profile is not None:
+            local = tenant.profile.synthesize(span, sectors, seed=seeds[k])
+            times = local.times
+            lbas = start + local.lbas
+            nsectors = local.nsectors
+            is_write = local.is_write
+            tenant_span = float(local.span)
+        else:
+            loaded = tenant.trace.load()
+            times = loaded.times
+            nsectors = np.minimum(loaded.nsectors, sectors)
+            lbas = start + loaded.lbas % np.maximum(1, sectors - nsectors + 1)
+            is_write = loaded.is_write
+            tenant_span = float(loaded.span)
+        columns.append(
+            TenantColumns(
+                tenant_id=tenant.tenant_id,
+                times=np.asarray(times, dtype=np.float64),
+                lbas=np.asarray(lbas, dtype=np.int64),
+                nsectors=np.asarray(nsectors, dtype=np.int64),
+                is_write=np.asarray(is_write, dtype=bool),
+                span=tenant_span,
+                volume_start=start,
+                volume_sectors=sectors,
+            )
+        )
+    return tuple(columns)
+
+
+def combine_columns(
+    columns: Sequence[TenantColumns],
+    span: float,
+    capacity_sectors: int,
+    subset: Optional[Sequence[int]] = None,
+) -> Tuple[RequestTrace, np.ndarray]:
+    """Merge tenant columns into one shared-drive trace.
+
+    Returns the merged time-ordered trace and the parallel array of
+    tenant indices (into ``columns``) for each merged request. Passing
+    ``subset`` merges only those tenants — the QoS layer uses a
+    single-tenant subset to measure a tenant's *isolated* tail.
+    """
+    chosen = list(range(len(columns))) if subset is None else list(subset)
+    if not chosen:
+        raise FleetError("combine_columns needs at least one tenant")
+    times = np.concatenate([columns[k].times for k in chosen])
+    lbas = np.concatenate([columns[k].lbas for k in chosen])
+    nsectors = np.concatenate([columns[k].nsectors for k in chosen])
+    is_write = np.concatenate([columns[k].is_write for k in chosen])
+    tenant_idx = np.concatenate(
+        [np.full(columns[k].times.size, k, dtype=np.int64) for k in chosen]
+    )
+    order = np.argsort(times, kind="stable")
+    merged_span = max([span] + [columns[k].span for k in chosen])
+    trace = RequestTrace(
+        times[order],
+        lbas[order],
+        nsectors[order],
+        is_write[order],
+        span=merged_span,
+        label="fleet-volume",
+        capacity_sectors=capacity_sectors,
+    )
+    return trace, tenant_idx[order]

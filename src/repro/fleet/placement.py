@@ -1,0 +1,100 @@
+"""Deterministic tenant-to-drive placement.
+
+Placement is the fleet's sharding key: every tenant lands on exactly
+one drive, and the assignment depends only on the tenant set, the drive
+count and the policy name — never on process state, hash randomization
+or worker count. That property is what lets the sharded runner promise
+bit-identical fleet reports across worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import FleetError
+from repro.fleet.tenant import TenantLoad
+
+PLACEMENT_POLICIES: Tuple[str, ...] = ("roundrobin", "hash", "leastload")
+
+
+@dataclass(frozen=True)
+class FleetPlacement:
+    """Assignment of tenant indices to drives.
+
+    ``assignments[d]`` is the tuple of tenant indices (into the original
+    tenant sequence) placed on drive ``d``; drives may be empty.
+    """
+
+    n_drives: int
+    policy: str
+    assignments: Tuple[Tuple[int, ...], ...]
+
+    def tenants_on(self, drive: int, tenants: Sequence[TenantLoad]) -> Tuple[TenantLoad, ...]:
+        return tuple(tenants[i] for i in self.assignments[drive])
+
+    def as_dict(self) -> dict:
+        return {
+            "n_drives": self.n_drives,
+            "policy": self.policy,
+            "assignments": [list(a) for a in self.assignments],
+        }
+
+
+def _stable_hash(tenant_id: str) -> int:
+    return int.from_bytes(hashlib.sha256(tenant_id.encode("utf-8")).digest()[:8], "big")
+
+
+def place_tenants(
+    tenants: Sequence[TenantLoad],
+    n_drives: int,
+    policy: str = "roundrobin",
+) -> FleetPlacement:
+    """Place every tenant on exactly one drive.
+
+    Policies:
+
+    * ``roundrobin`` — tenant ``i`` on drive ``i % n_drives``;
+    * ``hash`` — sha256 of the tenant id modulo ``n_drives`` (stable
+      across processes, unlike Python's randomized ``hash``);
+    * ``leastload`` — tenants sorted by descending profile rate (ties by
+      index) assigned greedily to the currently least-loaded drive
+      (ties by lowest drive index).
+    """
+    if n_drives < 1:
+        raise FleetError(f"n_drives must be >= 1, got {n_drives!r}")
+    if not tenants:
+        raise FleetError("cannot place an empty tenant set")
+    ids = [t.tenant_id for t in tenants]
+    if len(set(ids)) != len(ids):
+        raise FleetError("tenant ids must be unique within a fleet")
+    if policy not in PLACEMENT_POLICIES:
+        raise FleetError(
+            f"unknown placement policy {policy!r}; expected one of {PLACEMENT_POLICIES}"
+        )
+
+    buckets: Tuple[list, ...] = tuple([] for _ in range(n_drives))
+    if policy == "roundrobin":
+        for i in range(len(tenants)):
+            buckets[i % n_drives].append(i)
+    elif policy == "hash":
+        for i, tenant in enumerate(tenants):
+            buckets[_stable_hash(tenant.tenant_id) % n_drives].append(i)
+    else:  # leastload
+        weights = [
+            (t.profile.rate if t.profile is not None else 1.0) for t in tenants
+        ]
+        order = sorted(range(len(tenants)), key=lambda i: (-weights[i], i))
+        loads = [0.0] * n_drives
+        for i in order:
+            drive = min(range(n_drives), key=lambda d: (loads[d], d))
+            buckets[drive].append(i)
+            loads[drive] += weights[i]
+        for bucket in buckets:
+            bucket.sort()
+    return FleetPlacement(
+        n_drives=n_drives,
+        policy=policy,
+        assignments=tuple(tuple(b) for b in buckets),
+    )

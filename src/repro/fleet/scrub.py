@@ -1,0 +1,118 @@
+"""Fleet-level scrub scheduling under a global idle-time budget.
+
+A fleet operator cannot scrub every drive flat-out: background I/O
+competes with tenants, so the fleet grants a *global* budget of
+background seconds and splits it across drives. The allocation is a
+deterministic water-fill: every drive gets an equal share per round,
+capped by its own idle time (a busy drive cannot absorb its share), and
+leftover budget is redistributed to drives that still have idle
+headroom. Per-drive execution then runs on the single-drive
+:func:`repro.core.background.run_in_idle` machinery with its
+``budget_seconds`` cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import FleetError
+
+
+def allocate_idle_budget(
+    idle_seconds: Mapping[str, float],
+    budget_seconds: float,
+) -> Dict[str, float]:
+    """Water-fill ``budget_seconds`` across drives, capped by per-drive idle.
+
+    Deterministic: drives are processed in sorted-key order and every
+    round grants ``remaining / n_open`` to each drive still below its
+    idle cap. The total allocated never exceeds the budget or the sum of
+    idle times.
+    """
+    if budget_seconds < 0:
+        raise FleetError(f"budget_seconds must be >= 0, got {budget_seconds!r}")
+    caps = {}
+    for name in sorted(idle_seconds):
+        cap = float(idle_seconds[name])
+        if cap < 0:
+            raise FleetError(f"idle time for {name!r} must be >= 0, got {cap!r}")
+        caps[name] = cap
+    grants = {name: 0.0 for name in caps}
+    remaining = float(budget_seconds)
+    while remaining > 1e-12:
+        open_drives = [n for n in grants if grants[n] < caps[n] - 1e-12]
+        if not open_drives:
+            break
+        share = remaining / len(open_drives)
+        progressed = False
+        for name in open_drives:
+            grant = min(share, caps[name] - grants[name])
+            if grant > 0:
+                grants[name] += grant
+                remaining -= grant
+                progressed = True
+        if not progressed:
+            break
+    return grants
+
+
+@dataclass(frozen=True)
+class FleetScrubPlan:
+    """Budget split across the fleet plus the work it buys."""
+
+    budget_seconds: float
+    work_seconds_per_drive: float
+    allocations: Tuple[Tuple[str, float], ...]
+
+    @property
+    def total_allocated(self) -> float:
+        return sum(seconds for _, seconds in self.allocations)
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of the fleet-wide scrub workload the budget covers."""
+        if not self.allocations or self.work_seconds_per_drive <= 0:
+            return 0.0
+        done = sum(
+            min(seconds, self.work_seconds_per_drive)
+            for _, seconds in self.allocations
+        )
+        return done / (self.work_seconds_per_drive * len(self.allocations))
+
+    def as_dict(self) -> dict:
+        return {
+            "budget_seconds": self.budget_seconds,
+            "work_seconds_per_drive": self.work_seconds_per_drive,
+            "total_allocated": self.total_allocated,
+            "completion_fraction": self.completion_fraction,
+            "allocations": {name: seconds for name, seconds in self.allocations},
+        }
+
+
+def plan_fleet_scrub(
+    results: Sequence,
+    budget_seconds: float,
+    work_seconds_per_drive: float,
+) -> FleetScrubPlan:
+    """Split a global scrub budget across a suite's drive results.
+
+    ``results`` are :class:`~repro.core.runner.JobResult` rows; each
+    drive's idle time is ``span - total_busy`` (clamped at zero) and its
+    grant is additionally capped at ``work_seconds_per_drive`` — budget
+    beyond the scrub workload is left unspent.
+    """
+    if work_seconds_per_drive <= 0:
+        raise FleetError(
+            f"work_seconds_per_drive must be > 0, got {work_seconds_per_drive!r}"
+        )
+    idle = {
+        r.label: min(max(0.0, r.span - r.total_busy), work_seconds_per_drive)
+        for r in results
+    }
+    grants = allocate_idle_budget(idle, budget_seconds)
+    return FleetScrubPlan(
+        budget_seconds=float(budget_seconds),
+        work_seconds_per_drive=float(work_seconds_per_drive),
+        allocations=tuple(sorted(grants.items())),
+    )

@@ -42,7 +42,9 @@ class FamilyModel:
     util_sigma:
         Sigma of the mainstream lognormal utilization spread.
     idle_fraction, saturated_fraction:
-        Role probabilities (the remainder is mainstream).
+        Role probabilities (the remainder is mainstream). Their sum must
+        stay **strictly below 1** so a mainstream population exists;
+        violating this raises :class:`~repro.errors.SynthesisError`.
     min_age_hours, max_age_hours:
         Uniform range of power-on hours across the family.
     write_fraction_mean, write_fraction_spread:
@@ -66,15 +68,57 @@ class FamilyModel:
             raise SynthesisError(
                 f"median_util must be in (0, 1], got {self.median_util!r}"
             )
+        if self.util_sigma <= 0:
+            raise SynthesisError(f"util_sigma must be > 0, got {self.util_sigma!r}")
         if self.idle_fraction < 0 or self.saturated_fraction < 0:
             raise SynthesisError("role fractions must be >= 0")
         if self.idle_fraction + self.saturated_fraction >= 1.0:
             raise SynthesisError("role fractions must leave room for mainstream drives")
+        if not 0.0 < self.write_fraction_mean < 1.0:
+            raise SynthesisError(
+                f"write_fraction_mean must be in (0, 1), got {self.write_fraction_mean!r}"
+            )
+        if self.write_fraction_spread < 0:
+            raise SynthesisError(
+                f"write_fraction_spread must be >= 0, got {self.write_fraction_spread!r}"
+            )
         if not 0 < self.min_age_hours <= self.max_age_hours:
             raise SynthesisError(
                 "need 0 < min_age_hours <= max_age_hours, got "
                 f"{self.min_age_hours!r} and {self.max_age_hours!r}"
             )
+
+    def intensity_multipliers(self, n: int, seed: int = 0) -> np.ndarray:
+        """Per-deployment intensity multipliers relative to the mainstream median.
+
+        Draws ``n`` samples from the same role-partitioned intensity model
+        that :meth:`generate` uses for lifetime utilization, but expressed
+        as dimensionless multipliers of the mainstream median load (a
+        mainstream drive at the median draws 1.0). The fleet layer uses
+        these to scale per-tenant request rates so a simulated fleet
+        reproduces the family's heavy-tailed load skew: near-idle tenants
+        land ~10x below the median, saturated tenants near the bandwidth
+        ceiling.
+
+        Deterministic in ``seed``.
+        """
+        if n <= 0:
+            raise SynthesisError(f"n must be > 0, got {n!r}")
+        rng = np.random.default_rng(seed)
+        roles = rng.choice(
+            3,
+            size=n,
+            p=[
+                self.idle_fraction,
+                1.0 - self.idle_fraction - self.saturated_fraction,
+                self.saturated_fraction,
+            ],
+        )
+        mult = rng.lognormal(0.0, self.util_sigma, size=n)
+        mult[roles == 0] *= 0.1
+        saturated = roles == 2
+        mult[saturated] = rng.uniform(0.75, 0.98, size=int(saturated.sum())) / self.median_util
+        return mult
 
     def generate(
         self, n_drives: int, seed: int = 0, family: str = "enterprise-10k"

@@ -79,6 +79,26 @@ def test_run_suite_tier_wb_json_golden(tmp_path, capsys, golden):
     golden.check_json("run_suite_web_tier_wb.json", payload)
 
 
+def test_fleet_json_golden(tmp_path, capsys, golden):
+    """The fleet subcommand's JSON payload — placement, per-drive jobs,
+    per-tenant QoS rollup, interference report, and scrub plan — is
+    pinned, modulo timing-derived fields."""
+    out = tmp_path / "fleet.json"
+    code = main(
+        [
+            "fleet", "--tenants", "4", "--drives", "2", "--span", "5",
+            "--seed", "3", "--workers", "1", "--interference",
+            "--scrub-budget", "3", "--json", str(out),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["fleet"]["n_tenants"] == 4
+    assert "interference" in payload
+    golden.check_json("fleet_suite.json", payload)
+
+
 def test_ingest_golden(tmp_path, capsys, golden):
     """The full ingest report — parse summary, quarantine listing, fitted
     twin, and per-timescale divergence — is pinned for the committed MSR

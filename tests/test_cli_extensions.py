@@ -44,7 +44,7 @@ def test_calibrate_missing_file_fails_cleanly(capsys):
         main(["calibrate", "/nonexistent/trace.csv"])
 
 
-def test_fleet_detects_injected_anomaly(tmp_path, capsys):
+def test_fleet_anomalies_detects_injected_anomaly(tmp_path, capsys):
     from repro.core.anomaly import inject_regime_change
     from repro.synth.hourly import HourlyWorkloadModel
     from repro.traces.hourly import HourlyDataset
@@ -57,14 +57,14 @@ def test_fleet_detects_injected_anomaly(tmp_path, capsys):
     path = tmp_path / "fleet.jsonl"
     write_hourly_dataset(HourlyDataset(fleet), path)
 
-    code = main(["fleet", str(path)])
+    code = main(["fleet-anomalies", str(path)])
     out = capsys.readouterr().out
     assert code == 0
     assert fleet[4].drive_id in out
     assert "surged" in out
 
 
-def test_fleet_quiet_dataset(tmp_path, capsys):
+def test_fleet_anomalies_quiet_dataset(tmp_path, capsys):
     from repro.synth.hourly import HourlyWorkloadModel
     from repro.traces.io import write_hourly_dataset
     from repro.units import MIB
@@ -72,7 +72,7 @@ def test_fleet_quiet_dataset(tmp_path, capsys):
     model = HourlyWorkloadModel(bandwidth=80 * MIB, burst_sigma=0.05, saturated_fraction=0.0)
     path = tmp_path / "fleet.jsonl"
     write_hourly_dataset(model.generate(n_drives=10, weeks=6, seed=3), path)
-    code = main(["fleet", str(path), "--threshold", "10"])
+    code = main(["fleet-anomalies", str(path), "--threshold", "10"])
     out = capsys.readouterr().out
     assert code == 0
     assert "no anomalies" in out

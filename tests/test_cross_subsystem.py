@@ -1,0 +1,192 @@
+"""Cross-subsystem integration: the tier + faults + obs triple on one
+shared drive, and journal resume of a sharded fleet suite killed
+mid-shard.
+
+Each subsystem promises bit-identity in isolation; these tests check the
+promises still hold when the subsystems stack on the same job.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.journal import SuiteJournal
+from repro.core.runner import (
+    ExperimentJob,
+    ExperimentRunner,
+    run_job,
+    shard_jobs,
+)
+from repro.disk.faults import FaultProfile
+from repro.fleet import FleetSpec, build_fleet_plan, sample_tenants
+from repro.tier import TierConfig
+from repro.units import SECTOR_BYTES
+
+#: Core simulated numbers that must not move when observability turns
+#: on: everything except wall-clock and the obs payload itself.
+_CORE_FIELDS = (
+    "label", "profile", "drive", "scheduler", "seed", "span", "n_requests",
+    "utilization", "mean_service", "mean_response", "p95_response",
+    "p99_response", "max_response", "total_busy", "n_faulted", "n_failed",
+    "fault_penalty_seconds", "tier_hit_rate", "tier_hdd_offload",
+    "tier_flushed_bytes", "tier_migrated_chunks", "tenant_qos",
+    "tenant_interference",
+)
+
+
+def _core(result):
+    return {field: getattr(result, field) for field in _CORE_FIELDS}
+
+
+def _tier_config():
+    return TierConfig(
+        mode="wb",
+        policy="lru",
+        capacity_bytes=16 * 256 * SECTOR_BYTES,
+        chunk_sectors=256,
+        flush_interval=1.0,
+        migrate_interval=5.0,
+    )
+
+
+def _faults():
+    return FaultProfile(
+        name="weak",
+        latent_region_count=2,
+        transient_error_prob=1e-3,
+        slow_region_count=2,
+    )
+
+
+class TestTierFaultsObsTriple:
+    def test_obs_does_not_perturb_tiered_faulted_fleet_job(self, tiny_spec):
+        """Tier + faults + obs stacked on one fleet drive: turning the
+        metrics registry on must not move a single simulated number."""
+        tenants = sample_tenants(3, seed=21, max_rate=200.0)
+        base = dict(
+            profile=None, drive=tiny_spec, span=3.0, seed=8,
+            tenants=tenants, faults=_faults(), tier=_tier_config(),
+        )
+        dark = run_job(ExperimentJob(obs_level="off", **base))
+        lit = run_job(ExperimentJob(obs_level="metrics", **base))
+
+        assert _core(lit) == _core(dark)
+        # Every subsystem actually engaged on this one drive.
+        assert dark.tier_hit_rate is not None
+        assert dark.n_faulted > 0
+        assert dark.tenant_qos is not None
+        # And the observer saw the fleet: per-tenant counters match QoS.
+        assert dark.metrics is None
+        counters = lit.metrics["counters"]
+        for tenant in tenants:
+            key = f"fleet.tenant.{tenant.tenant_id}.requests"
+            assert counters[key] == lit.tenant_qos[tenant.tenant_id][
+                "n_requests"
+            ]
+
+    def test_triple_is_deterministic_across_runs(self, tiny_spec):
+        tenants = sample_tenants(3, seed=21, max_rate=200.0)
+        job = ExperimentJob(
+            profile=None, drive=tiny_spec, span=3.0, seed=8,
+            tenants=tenants, faults=_faults(), tier=_tier_config(),
+        )
+        assert _core(run_job(job)) == _core(run_job(job))
+
+
+# Fleet suite rebuilt identically in a separate crashing process (the
+# DriveSpec literals match the tiny_spec fixture in conftest.py).
+_FLEET_PRELUDE = """\
+import os, signal, sys
+from repro.core.journal import SuiteJournal
+from repro.core.runner import ExperimentRunner, shard_jobs
+from repro.disk.drive import DriveSpec
+from repro.fleet import FleetSpec, build_fleet_plan, sample_tenants
+from repro.units import ms
+
+spec = DriveSpec(name="tiny", rpm=10_000, heads=2, cylinders=2_000,
+                 nzones=4, outer_spt=300, inner_spt=200,
+                 single_cylinder_seek=ms(0.5), full_stroke_seek=ms(5.0))
+fleet = FleetSpec(n_drives=4, tenants=sample_tenants(8, seed=33),
+                  drive=spec, span=2.0, seed=33)
+jobs = build_fleet_plan(fleet).jobs
+"""
+
+_CRASHING_FLEET = _FLEET_PRELUDE + """\
+from repro.core.runner import run_job
+
+journal = SuiteJournal.open(sys.argv[1], shard_jobs(jobs, 2))
+calls = {"n": 0}
+
+def die_mid_second_shard(job):
+    calls["n"] += 1
+    if calls["n"] == 4:  # second member of shard 2: mid-shard, unjournaled
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_job(job)
+
+ExperimentRunner(workers=1).run_sharded(
+    jobs, shard_size=2, job_fn=die_mid_second_shard, journal=journal
+)
+"""
+
+
+def _fleet_jobs(tiny_spec):
+    fleet = FleetSpec(
+        n_drives=4, tenants=sample_tenants(8, seed=33),
+        drive=tiny_spec, span=2.0, seed=33,
+    )
+    return build_fleet_plan(fleet).jobs
+
+
+def _run_child(script_path, *argv):
+    return subprocess.run(
+        [sys.executable, str(script_path), *argv],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd="/root/repo",
+        timeout=300,
+    )
+
+
+class TestFleetResumeAfterSigkill:
+    def test_resumed_fleet_report_is_bit_identical(self, tiny_spec, tmp_path):
+        # 1. A sharded fleet suite is SIGKILLed mid-second-shard: only
+        #    the first completed shard made it into the journal.
+        script = tmp_path / "crashing_fleet.py"
+        script.write_text(_CRASHING_FLEET)
+        journal_path = tmp_path / "fleet.jsonl"
+        proc = _run_child(script, str(journal_path))
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 1 + 1  # header + exactly one fsync'd shard
+
+        # 2. Resume over the same shards: one shard replays from the
+        #    journal, the other executes fresh.
+        jobs = _fleet_jobs(tiny_spec)
+        shards = shard_jobs(jobs, 2)
+        with SuiteJournal.open(journal_path, shards, resume=True) as journal:
+            resumed = ExperimentRunner(workers=1).run_sharded(
+                jobs, shard_size=2, journal=journal
+            )
+            assert journal.n_recorded == 1  # the shard the crash lost
+
+        # 3. Canonically bit-identical to a clean, uninterrupted run.
+        clean = ExperimentRunner(workers=1).run_sharded(jobs, shard_size=2)
+        assert resumed.canonical_json() == clean.canonical_json()
+        assert resumed.resilience.get("journal.resumed_jobs") == 1
+
+    def test_resume_with_different_shard_size_refuses(
+        self, tiny_spec, tmp_path
+    ):
+        jobs = _fleet_jobs(tiny_spec)
+        journal_path = tmp_path / "fleet.jsonl"
+        with SuiteJournal.open(journal_path, shard_jobs(jobs, 2)) as journal:
+            ExperimentRunner(workers=1).run_sharded(
+                jobs, shard_size=2, journal=journal
+            )
+        with pytest.raises(Exception):
+            SuiteJournal.open(journal_path, shard_jobs(jobs, 3), resume=True)

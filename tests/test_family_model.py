@@ -82,6 +82,12 @@ def test_model_string_applied():
         {"idle_fraction": 0.6, "saturated_fraction": 0.5},
         {"min_age_hours": 0.0},
         {"min_age_hours": 100.0, "max_age_hours": 50.0},
+        {"util_sigma": 0.0},
+        {"util_sigma": -1.0},
+        {"write_fraction_mean": 0.0},
+        {"write_fraction_mean": 1.0},
+        {"write_fraction_mean": -0.2},
+        {"write_fraction_spread": -0.01},
     ],
 )
 def test_invalid_model_rejected(kwargs):
@@ -92,3 +98,25 @@ def test_invalid_model_rejected(kwargs):
 def test_invalid_generate_args():
     with pytest.raises(SynthesisError):
         FamilyModel().generate(0)
+
+
+def test_intensity_multipliers_deterministic():
+    model = FamilyModel()
+    a = model.intensity_multipliers(50, seed=3)
+    b = model.intensity_multipliers(50, seed=3)
+    assert a.shape == (50,)
+    assert (a == b).all()
+    assert (a > 0).all()
+
+
+def test_intensity_multipliers_skewed():
+    # The fleet's tenant-rate spread: idle drives well below the median,
+    # saturated drives well above it.
+    mult = FamilyModel().intensity_multipliers(500, seed=1)
+    assert mult.max() > 10 * float(np.median(mult))
+    assert mult.min() < 0.5 * float(np.median(mult))
+
+
+def test_intensity_multipliers_invalid_n():
+    with pytest.raises(SynthesisError):
+        FamilyModel().intensity_multipliers(0)

@@ -1,0 +1,145 @@
+"""Property-based hardening for the fleet subsystem (hypothesis).
+
+Three contracts that must hold for *any* fleet shape, not just the
+shapes the unit tests happen to pick:
+
+* sharding is a partition — every job index appears in exactly one
+  shard, in input order, for any ``(n_jobs, shard_size)``;
+* tenant placement is a partition for every policy — no tenant is
+  dropped or double-placed whatever the tenant count and drive count;
+* per-tenant request counts are conserved end to end: the multiplexed
+  volume trace carries exactly the requests each tenant synthesized,
+  across placement policy, seed, and shard size.
+
+Plus two plain (non-hypothesis) determinism checks: the merged sharded
+report is byte-identical across worker counts, and identical again when
+the suite runs under ``--chaos light``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chaos import get_chaos_policy
+from repro.core.runner import ExperimentRunner, make_shards
+from repro.fleet import (
+    FleetSpec,
+    build_fleet_plan,
+    combine_columns,
+    place_tenants,
+    sample_tenants,
+    synthesize_tenant_columns,
+)
+
+settings.register_profile("repro-fleet", deadline=None, max_examples=25)
+settings.load_profile("repro-fleet")
+
+CAPACITY = 4_000_000  # sectors; plenty of room for small tenant sets
+
+
+@given(
+    n_jobs=st.integers(min_value=0, max_value=200),
+    shard_size=st.integers(min_value=1, max_value=40),
+)
+def test_make_shards_is_a_partition(n_jobs, shard_size):
+    shards = make_shards(n_jobs, shard_size)
+    flattened = [i for shard in shards for i in shard]
+    assert flattened == list(range(n_jobs))
+    assert all(len(shard) <= shard_size for shard in shards)
+    assert all(shard for shard in shards)
+
+
+@given(
+    n_tenants=st.integers(min_value=1, max_value=24),
+    n_drives=st.integers(min_value=1, max_value=12),
+    policy=st.sampled_from(["roundrobin", "hash", "leastload"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_placement_is_a_partition(n_tenants, n_drives, policy, seed):
+    tenants = sample_tenants(n_tenants, seed=seed)
+    placement = place_tenants(tenants, n_drives, policy=policy)
+    assert len(placement.assignments) == n_drives
+    placed = sorted(i for bucket in placement.assignments for i in bucket)
+    assert placed == list(range(n_tenants))
+
+
+@given(
+    n_tenants=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_requests_conserved_through_multiplex(n_tenants, seed):
+    tenants = sample_tenants(n_tenants, seed=seed, max_rate=300.0)
+    columns = synthesize_tenant_columns(tenants, CAPACITY, span=2.0, seed=seed)
+    trace, tenant_idx = combine_columns(
+        columns, span=2.0, capacity_sectors=CAPACITY
+    )
+    counts = np.bincount(tenant_idx, minlength=n_tenants)
+    assert counts.tolist() == [c.n_requests for c in columns]
+    assert len(trace) == int(counts.sum())
+
+
+@given(
+    policy=st.sampled_from(["roundrobin", "hash", "leastload"]),
+    seed=st.integers(min_value=0, max_value=2**10),
+    shard_size=st.integers(min_value=1, max_value=4),
+)
+@settings(deadline=None, max_examples=8)
+def test_fleet_conserves_requests_per_tenant(
+    tiny_spec, policy, seed, shard_size
+):
+    tenants = sample_tenants(4, seed=seed, max_rate=200.0)
+    spec = FleetSpec(
+        n_drives=2, tenants=tenants, drive=tiny_spec,
+        placement=policy, span=2.0, seed=seed,
+    )
+    plan = build_fleet_plan(spec)
+    report = ExperimentRunner(workers=1).run_sharded(
+        plan.jobs, shard_size=shard_size
+    )
+    qos_counts = {
+        tid: int(entry["n_requests"])
+        for result in report.results
+        for tid, entry in result.tenant_qos.items()
+    }
+    expected = {}
+    for job in plan.jobs:
+        columns = synthesize_tenant_columns(
+            job.tenants, spec.drive.capacity_sectors, span=job.span,
+            seed=job.seed,
+        )
+        for column in columns:
+            expected[column.tenant_id] = column.n_requests
+    assert qos_counts == expected
+    assert sorted(qos_counts) == sorted(t.tenant_id for t in tenants)
+
+
+@pytest.fixture(scope="module")
+def fleet_jobs(tiny_spec):
+    tenants = sample_tenants(6, seed=17, max_rate=200.0)
+    spec = FleetSpec(
+        n_drives=3, tenants=tenants, drive=tiny_spec, span=2.0, seed=17
+    )
+    return build_fleet_plan(spec).jobs
+
+
+def test_sharded_report_identical_across_workers(fleet_jobs):
+    one = ExperimentRunner(workers=1).run_sharded(fleet_jobs, shard_size=2)
+    two = ExperimentRunner(workers=2).run_sharded(fleet_jobs, shard_size=2)
+    assert one.canonical_json() == two.canonical_json()
+
+
+def test_sharded_report_identical_across_shard_sizes(fleet_jobs):
+    a = ExperimentRunner(workers=2).run_sharded(fleet_jobs, shard_size=1)
+    b = ExperimentRunner(workers=2).run_sharded(fleet_jobs, shard_size=3)
+    assert a.canonical_json() == b.canonical_json()
+
+
+def test_sharded_report_identical_under_light_chaos(fleet_jobs):
+    clean = ExperimentRunner(workers=2).run_sharded(fleet_jobs, shard_size=2)
+    chaos = get_chaos_policy("light", seed=7)
+    tortured = ExperimentRunner(workers=2, chaos=chaos).run_sharded(
+        fleet_jobs, shard_size=2
+    )
+    assert tortured.ok
+    assert tortured.canonical_json() == clean.canonical_json()
